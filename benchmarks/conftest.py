@@ -1,0 +1,36 @@
+"""Shared benchmark fixtures.
+
+All benchmark modules draw from one process-wide :func:`get_suite` instance
+so the world (databases, corpus, synthetic splits) is built exactly once per
+run.  Each benchmark writes its rendered table/figure to ``results/`` next
+to this directory and prints it, so a ``pytest benchmarks/ --benchmark-only
+-s`` run regenerates every artifact of the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def suite():
+    from repro.experiments.runner import get_suite
+
+    return get_suite("quick")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(results_dir: Path, name: str, text: str) -> None:
+    """Print an artifact and persist it under results/."""
+    print()
+    print(text)
+    (results_dir / name).write_text(text + "\n")

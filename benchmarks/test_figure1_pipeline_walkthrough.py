@@ -1,0 +1,28 @@
+"""Benchmark — Figure 1: the end-to-end pipeline walk-through.
+
+Replays the paper's architecture figure on its own running example (the
+SDSS ``neighbors`` query): seed SQL → template → generated SQL queries →
+8 candidate questions each → top-2 selection.
+"""
+
+from conftest import emit
+
+
+def test_figure1(benchmark, suite, results_dir):
+    from repro.experiments.figures import FIGURE1_SEED_SQL, render_figure1, run_figure1
+
+    trace = benchmark.pedantic(
+        run_figure1, args=(suite,), kwargs={"n_queries": 3}, rounds=1, iterations=1
+    )
+
+    assert trace.seed_sql == FIGURE1_SEED_SQL
+    assert "T(0)" in trace.template_signature and "V(0)" in trace.template_signature
+    assert len(trace.generated_sql) >= 2
+    database = suite.domain("sdss").database
+    for sql in trace.generated_sql:
+        assert database.try_execute(sql) is not None
+        assert len(trace.candidates[sql]) == 8
+        assert 1 <= len(trace.selected[sql]) <= 2
+        assert set(trace.selected[sql]) <= set(trace.candidates[sql])
+
+    emit(results_dir, "figure1.txt", render_figure1(trace))

@@ -1,0 +1,27 @@
+"""Benchmark — Table 1: database complexity (ScienceBenchmark vs Spider).
+
+Regenerates the paper's database-statistics table and checks the structural
+claims that must hold exactly: 19/82 (CORDIS), 6/61 (SDSS), 25/106 (OncoMX)
+tables/columns, and every domain database larger and wider than the average
+MiniSpider database.
+"""
+
+from conftest import emit
+
+
+def test_table1(benchmark, suite, results_dir):
+    from repro.experiments.table1 import compute_table1, render_table1
+
+    data = benchmark.pedantic(compute_table1, args=(suite,), rounds=1, iterations=1)
+
+    measured = {row.dataset.split(" ")[0]: row for row in data["measured"]}
+    assert (measured["CORDIS"].tables, measured["CORDIS"].columns) == (19, 82)
+    assert (measured["SDSS"].tables, measured["SDSS"].columns) == (6, 61)
+    assert (measured["ONCOMX"].tables, measured["ONCOMX"].columns) == (25, 106)
+
+    spider_avg = data["spider_avg"]
+    for row in measured.values():
+        assert row.columns > spider_avg.columns
+        assert row.rows > spider_avg.rows
+
+    emit(results_dir, "table1.txt", render_table1(suite))

@@ -1,0 +1,35 @@
+"""Benchmark — Table 2: Spider-hardness distribution of every split.
+
+Shape checks (the paper's observations):
+* every domain ships Seed, Dev and Synth splits with four hardness classes;
+* Synth skews easier than Dev (complex templates instantiate less reliably);
+* OncoMX is the easiest domain (no meaningful extra-hard seed mass);
+* the SDSS Dev set is the hardest evaluation set.
+"""
+
+from conftest import emit
+
+
+def test_table2(benchmark, suite, results_dir):
+    from repro.experiments.table2 import (
+        compute_table2,
+        render_table2,
+        synth_easier_than_dev,
+    )
+
+    rows = benchmark.pedantic(compute_table2, args=(suite,), rounds=1, iterations=1)
+    by_name = {row["dataset"]: row for row in rows}
+
+    for domain in ("cordis", "sdss", "oncomx"):
+        for split in ("seed", "dev", "synth"):
+            assert f"{domain}-{split}" in by_name
+        assert synth_easier_than_dev(suite, domain)
+
+    def hard_share(name):
+        row = by_name[name]
+        return (row["hard"] + row["extra"]) / row["total"]
+
+    assert hard_share("oncomx-seed") <= hard_share("sdss-seed") + 0.05
+    assert hard_share("sdss-dev") >= 0.3  # SDSS dev is hard, as in the paper
+
+    emit(results_dir, "table2.txt", render_table2(suite))

@@ -1,0 +1,37 @@
+"""Benchmark — Table 3: SQL-to-NL quality of the four simulated LLMs, plus
+the per-domain expert rates of §4.1.2.
+
+Shape checks (the paper's findings):
+* fine-tuned GPT-3 has the best SacreBLEU and embedding score;
+* both GPT-3 variants beat GPT-2 on the expert rate;
+* SDSS is the hardest domain to verbalise (lowest §4.1.2 rate).
+"""
+
+from conftest import emit
+
+
+def test_table3(benchmark, suite, results_dir):
+    from repro.experiments.table3 import (
+        compute_domain_expert_rates,
+        compute_table3,
+        render_table3,
+    )
+
+    rows = benchmark.pedantic(compute_table3, args=(suite,), rounds=1, iterations=1)
+    by_model = {r.model: r for r in rows}
+
+    best_bleu = max(rows, key=lambda r: r.sacrebleu)
+    assert best_bleu.model == "gpt3-davinci-ft"
+    best_embed = max(rows, key=lambda r: r.sentence_score)
+    assert best_embed.model == "gpt3-davinci-ft"
+
+    gpt2 = by_model["gpt2-large-ft"]
+    assert by_model["gpt3-davinci-zero"].expert_rate >= gpt2.expert_rate
+    assert by_model["gpt3-davinci-ft"].expert_rate >= gpt2.expert_rate
+
+    domain_rates = compute_domain_expert_rates(suite)
+    assert domain_rates["sdss"] <= domain_rates["cordis"]  # SDSS hardest
+    for rate in domain_rates.values():
+        assert 0.3 <= rate <= 1.0
+
+    emit(results_dir, "table3.txt", render_table3(suite))

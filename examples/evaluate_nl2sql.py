@@ -1,0 +1,57 @@
+"""Evaluating NL-to-SQL systems on a ScienceBenchmark domain (mini Table 5).
+
+Trains the three systems under the paper's four regimes on the OncoMX
+domain and prints the execution-accuracy grid — the per-domain slice of the
+paper's Table 5.
+
+    python examples/evaluate_nl2sql.py
+"""
+
+from repro import ExecutionAccuracy, SmBoP, T5Seq2Seq, ValueNet, augment_domain, build_domain
+from repro.spider import build_corpus
+
+
+def main() -> None:
+    print("Building MiniSpider (the Spider stand-in) and the OncoMX domain...")
+    corpus = build_corpus(train_per_db=50, dev_per_db=8)
+    domain = build_domain("oncomx", scale=0.3)
+    synth = augment_domain(domain, target_queries=200)
+    print(f"  spider train: {len(corpus.train)}, oncomx seed: {len(domain.seed)}, synth: {len(synth)}")
+
+    regimes = {
+        "Spider (zero-shot)": list(corpus.train.pairs),
+        "+ Seed": list(corpus.train.pairs) + list(domain.seed.pairs),
+        "+ Synth": list(corpus.train.pairs) + list(synth.pairs),
+        "+ Seed + Synth": (
+            list(corpus.train.pairs) + list(domain.seed.pairs) + list(synth.pairs)
+        ),
+    }
+
+    header = f"{'Train set':22s}" + "".join(
+        f"{name:>12s}" for name in ("valuenet", "t5-large", "smbop")
+    )
+    print("\n" + header)
+    for regime_name, pairs in regimes.items():
+        cells = []
+        for system_cls in (ValueNet, T5Seq2Seq, SmBoP):
+            system = system_cls()
+            for db_id, database in corpus.databases.items():
+                system.register_database(db_id, database, corpus.enhanced[db_id])
+            system.register_database(domain.name, domain.database, domain.enhanced)
+            system.train(pairs)
+            accuracy = ExecutionAccuracy()
+            for pair in domain.dev.pairs:
+                accuracy.add(
+                    domain.database, pair.sql, system.predict(pair.question, pair.db_id)
+                )
+            cells.append(f"{accuracy.accuracy:12.3f}")
+        print(f"{regime_name:22s}" + "".join(cells))
+
+    print(
+        "\nExpected shape (paper, Table 5): zero-shot lowest, every augmented "
+        "regime higher,\nwith the seed+synth mix at or near the top."
+    )
+
+
+if __name__ == "__main__":
+    main()

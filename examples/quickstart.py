@@ -1,0 +1,41 @@
+"""Quickstart: build a ScienceBenchmark domain and augment it.
+
+Runs the full Figure-1 pipeline on a small SDSS instance and prints a few
+of the resulting synthetic NL/SQL pairs next to the expert-written seeds.
+
+    python examples/quickstart.py
+"""
+
+from repro import augment_domain, build_domain
+
+
+def main() -> None:
+    print("Building the SDSS astrophysics domain (scale 0.3)...")
+    domain = build_domain("sdss", scale=0.3)
+    print(
+        f"  {len(domain.database.schema.tables)} tables, "
+        f"{domain.database.schema.total_columns()} columns, "
+        f"{domain.database.row_count():,} rows"
+    )
+    print(f"  {len(domain.seed)} expert seed pairs, {len(domain.dev)} dev pairs")
+
+    print("\nOne expert seed pair:")
+    pair = domain.seed.pairs[0]
+    print(f"  NL : {pair.question}")
+    print(f"  SQL: {pair.sql}")
+
+    print("\nRunning the 4-phase augmentation pipeline (target: 150 queries)...")
+    synth = augment_domain(domain, target_queries=150)
+    print(f"  produced {len(synth)} synthetic NL/SQL pairs")
+    print(f"  hardness mix: {synth.hardness_counts()}")
+
+    print("\nThree synthetic pairs:")
+    for pair in synth.pairs[:3]:
+        print(f"  NL : {pair.question}")
+        print(f"  SQL: {pair.sql}")
+        rows = domain.database.execute(pair.sql).rows
+        print(f"       -> executes, {len(rows)} row(s)")
+
+
+if __name__ == "__main__":
+    main()

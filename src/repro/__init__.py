@@ -1,0 +1,81 @@
+"""ScienceBenchmark reproduction — complex NL-to-SQL benchmark construction.
+
+Reproduction of *"ScienceBenchmark: A Complex Real-World Benchmark for
+Evaluating Natural Language to SQL Systems"* (VLDB 2023): three scientific
+benchmark databases (CORDIS, SDSS, OncoMX), the four-phase automatic
+training-data generation pipeline, simulated SQL-to-NL language models,
+three trainable NL-to-SQL systems and the full evaluation harness.
+
+Quickstart::
+
+    from repro import build_domain, augment_domain
+
+    domain = build_domain("sdss", scale=0.3)
+    synth = augment_domain(domain, target_queries=500)
+    print(len(synth), "synthetic NL/SQL pairs")
+
+See ``examples/`` for end-to-end scenarios and ``benchmarks/`` for the
+regeneration of every table and figure in the paper.
+"""
+
+from repro.datasets import cordis, oncomx, sdss
+from repro.datasets.records import BenchmarkDomain, NLSQLPair, Split
+from repro.engine import Database, create_database
+from repro.errors import ReproError
+from repro.metrics import ExecutionAccuracy, execution_match
+from repro.nl2sql import SmBoP, T5Seq2Seq, ValueNet
+from repro.schema import Column, ColumnType, EnhancedSchema, ForeignKey, Schema, TableDef
+from repro.spider import build_corpus, classify_hardness
+from repro.sql import parse, to_sql
+from repro.synthesis import AugmentationPipeline, PipelineConfig, augment_domain
+
+__version__ = "1.0.0"
+
+_DOMAIN_BUILDERS = {"cordis": cordis.build, "sdss": sdss.build, "oncomx": oncomx.build}
+
+
+def build_domain(name: str, scale: float = 1.0, seed: int | None = None) -> BenchmarkDomain:
+    """Build one ScienceBenchmark domain (``cordis``, ``sdss`` or ``oncomx``).
+
+    ``scale`` multiplies the synthetic row counts; ``seed`` overrides the
+    dataset's default RNG seed.
+    """
+    try:
+        builder = _DOMAIN_BUILDERS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown domain {name!r}; choose from {sorted(_DOMAIN_BUILDERS)}"
+        ) from None
+    if seed is None:
+        return builder(scale=scale)
+    return builder(scale=scale, seed=seed)
+
+
+__all__ = [
+    "build_domain",
+    "augment_domain",
+    "AugmentationPipeline",
+    "PipelineConfig",
+    "BenchmarkDomain",
+    "NLSQLPair",
+    "Split",
+    "Database",
+    "create_database",
+    "Schema",
+    "TableDef",
+    "Column",
+    "ColumnType",
+    "ForeignKey",
+    "EnhancedSchema",
+    "ValueNet",
+    "T5Seq2Seq",
+    "SmBoP",
+    "ExecutionAccuracy",
+    "execution_match",
+    "build_corpus",
+    "classify_hardness",
+    "parse",
+    "to_sql",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,128 @@
+"""Command-line interface: ``sciencebenchmark <command>``.
+
+Commands
+--------
+``tables``     regenerate one or all paper tables (1, 2, 3, 4, 5)
+``figures``    regenerate the Figure 1 / Figure 2 walk-throughs
+``augment``    run the pipeline for one domain and write the Synth split
+``stats``      print the per-domain split statistics
+
+All commands accept ``--preset quick|full`` (default quick) and are fully
+deterministic.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="sciencebenchmark",
+        description="ScienceBenchmark (VLDB 2023) reproduction harness",
+    )
+    parser.add_argument(
+        "--preset", choices=("quick", "full"), default="quick",
+        help="experiment scale preset (default: quick)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    tables = sub.add_parser("tables", help="regenerate paper tables")
+    tables.add_argument(
+        "which", nargs="*", default=["1", "2", "4"],
+        help="table numbers (1-5); default: the fast ones (1, 2, 4)",
+    )
+
+    sub.add_parser("figures", help="regenerate Figure 1 and Figure 2")
+
+    augment = sub.add_parser("augment", help="run the pipeline for one domain")
+    augment.add_argument("domain", choices=("cordis", "sdss", "oncomx"))
+    augment.add_argument("--out", default=None, help="write the Synth split as JSON")
+
+    sub.add_parser("stats", help="print split statistics for all domains")
+
+    args = parser.parse_args(argv)
+    from repro.experiments.runner import get_suite
+
+    suite = get_suite(args.preset)
+
+    if args.command == "tables":
+        return _tables(suite, args.which)
+    if args.command == "figures":
+        return _figures(suite)
+    if args.command == "augment":
+        return _augment(suite, args.domain, args.out)
+    if args.command == "stats":
+        return _stats(suite)
+    return 2
+
+
+def _tables(suite, which: list[str]) -> int:
+    renderers = {
+        "1": lambda: __import__("repro.experiments.table1", fromlist=["render_table1"]).render_table1(suite),
+        "2": lambda: __import__("repro.experiments.table2", fromlist=["render_table2"]).render_table2(suite),
+        "3": lambda: __import__("repro.experiments.table3", fromlist=["render_table3"]).render_table3(suite),
+        "4": lambda: __import__("repro.experiments.table4", fromlist=["render_table4"]).render_table4(suite),
+        "5": _table5_renderer(suite),
+    }
+    for number in which:
+        if number not in renderers:
+            print(f"unknown table {number!r} (choose 1-5)", file=sys.stderr)
+            return 2
+        print(renderers[number]())
+        print()
+    return 0
+
+
+def _table5_renderer(suite):
+    def run():
+        from repro.experiments.table5 import compute_table5, render_table5
+
+        result = compute_table5(suite)
+        return render_table5(result)
+
+    return run
+
+
+def _figures(suite) -> int:
+    from repro.experiments.figures import (
+        render_figure1,
+        render_figure2,
+        run_figure1,
+        run_figure2,
+    )
+
+    print(render_figure1(run_figure1(suite)))
+    print()
+    print(render_figure2(run_figure2(suite)))
+    return 0
+
+
+def _augment(suite, domain_name: str, out: str | None) -> int:
+    domain = suite.domain(domain_name)
+    synth = domain.synth
+    print(f"{domain_name}: {len(synth)} synthetic pairs "
+          f"({synth.hardness_counts()})")
+    if out:
+        synth.to_json(out)
+        print(f"written to {out}")
+    return 0
+
+
+def _stats(suite) -> int:
+    for name, domain in suite.domains().items():
+        print(f"{name}:")
+        for split in (domain.seed, domain.dev, domain.synth):
+            if split is None:
+                continue
+            print(f"  {split.name:16s} {len(split):5d} {split.hardness_counts()}")
+    corpus = suite.corpus
+    print("minispider:")
+    for split in (corpus.train, corpus.dev):
+        print(f"  {split.name:16s} {len(split):5d} {split.hardness_counts()}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,17 @@
+"""ScienceBenchmark datasets: the three scientific domains and containers."""
+
+from repro.datasets import cordis, generators, oncomx, sdss
+from repro.datasets.programs import Program, expand_programs
+from repro.datasets.records import BenchmarkDomain, NLSQLPair, Split
+
+__all__ = [
+    "cordis",
+    "sdss",
+    "oncomx",
+    "generators",
+    "BenchmarkDomain",
+    "NLSQLPair",
+    "Split",
+    "Program",
+    "expand_programs",
+]

@@ -1,0 +1,1110 @@
+"""CORDIS — the research-policy-making domain of ScienceBenchmark.
+
+The Community Research and Development Information Service database holds
+the EU's research-funding record: projects, the institutions and people
+behind them, funding schemes, framework programmes, thematic topics and the
+NUTS territorial-unit hierarchy — all expressed in the EU's enigmatic
+administrative vocabulary that the paper highlights (e.g. "NUTS").
+
+We rebuild the version-2022-08 structure the paper reports: 19 tables and 82
+columns, populated with synthetic but referentially consistent funding data.
+Nominal (paper-scale) statistics for Table 1: 671 K rows, 35 K rows/table
+average, 1 GB.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets import generators as gen
+from repro.datasets.programs import Program, expand_programs
+from repro.datasets.records import BenchmarkDomain, Split
+from repro.engine.database import Database, create_database
+from repro.nlgen.lexicon import DomainLexicon
+from repro.schema.enhanced import EnhancedSchema
+from repro.schema.introspect import profile_database
+from repro.schema.model import Column, ColumnType, ForeignKey, Schema, TableDef
+
+I = ColumnType.INTEGER
+F = ColumnType.REAL
+T = ColumnType.TEXT
+D = ColumnType.DATE
+
+#: Paper-reported full-scale statistics (Table 1).
+NOMINAL_STATS = {
+    "tables": 19,
+    "columns": 82,
+    "rows": 671_000,
+    "avg_rows_per_table": 35_355,
+    "size_gb": 1.0,
+}
+
+FRAMEWORK_PROGRAMS = ("H2020", "FP7", "HORIZON", "FP6")
+FUNDING_SCHEMES = (
+    ("ERC-STG", "ERC Starting Grant"),
+    ("ERC-ADG", "ERC Advanced Grant"),
+    ("MSCA-IF", "Marie Sklodowska-Curie Individual Fellowship"),
+    ("RIA", "Research and Innovation Action"),
+    ("IA", "Innovation Action"),
+    ("CSA", "Coordination and Support Action"),
+    ("SME-2", "SME Instrument Phase 2"),
+    ("MSCA-ITN", "Marie Sklodowska-Curie Innovative Training Network"),
+)
+ACTIVITY_TYPES = (
+    ("HES", "Higher or Secondary Education Establishments"),
+    ("REC", "Research Organisations"),
+    ("PRC", "Private for-profit entities"),
+    ("PUB", "Public bodies"),
+    ("OTH", "Other"),
+)
+MEMBER_ROLES = (
+    ("coordinator", "Project coordinator"),
+    ("participant", "Project participant"),
+    ("thirdParty", "Third party"),
+)
+COUNTRIES = (
+    ("Germany", "DE"), ("France", "FR"), ("Italy", "IT"), ("Spain", "ES"),
+    ("Netherlands", "NL"), ("Belgium", "BE"), ("Switzerland", "CH"),
+    ("Austria", "AT"), ("Greece", "EL"), ("Sweden", "SE"), ("Poland", "PL"),
+    ("Portugal", "PT"), ("Denmark", "DK"), ("Finland", "FI"), ("Ireland", "IE"),
+    ("Norway", "NO"), ("Czechia", "CZ"), ("Hungary", "HU"), ("Romania", "RO"),
+    ("United Kingdom", "UK"),
+)
+SUBJECT_AREAS = (
+    ("INF", "Information and Media"),
+    ("BIO", "Biotechnology"),
+    ("ENE", "Energy"),
+    ("ENV", "Environment"),
+    ("MAT", "Materials"),
+    ("NUC", "Nuclear Fission"),
+    ("TRA", "Transport"),
+    ("SOC", "Social and Economic Concerns"),
+)
+ERC_DOMAINS = (
+    ("PE", "Physical Sciences and Engineering"),
+    ("LS", "Life Sciences"),
+    ("SH", "Social Sciences and Humanities"),
+)
+ERC_PANELS = (
+    ("PE1", "Mathematics", "PE"),
+    ("PE6", "Computer Science and Informatics", "PE"),
+    ("PE9", "Universe Sciences", "PE"),
+    ("LS2", "Genetics, Genomics, Bioinformatics", "LS"),
+    ("LS4", "Physiology, Pathophysiology and Endocrinology", "LS"),
+    ("SH1", "Individuals, Markets and Organisations", "SH"),
+    ("SH2", "Institutions, Values, Environment and Space", "SH"),
+)
+PROJECT_STATUS = ("SIGNED", "CLOSED", "TERMINATED")
+
+
+def build_schema() -> Schema:
+    """The 19-table / 82-column CORDIS schema."""
+    tables = (
+        TableDef(
+            "countries",
+            (
+                Column("unics_id", I, alias="country id", nullable=False),
+                Column("country_name", T, alias="country name"),
+                Column("country_code2", T, alias="two letter country code"),
+                Column("country_code3", T, alias="three letter country code"),
+                Column("geocode_region", T, alias="geocode region"),
+            ),
+            primary_key="unics_id",
+            alias="country",
+        ),
+        TableDef(
+            "eu_territorial_units",
+            (
+                Column("geocode_regions", T, alias="geocode region code", nullable=False),
+                Column("description", T, alias="territorial unit description"),
+                Column("geocode_level", I, alias="geocode level"),
+                Column("nuts_version", T, alias="NUTS version"),
+            ),
+            primary_key="geocode_regions",
+            alias="territorial unit",
+        ),
+        TableDef(
+            "institutions",
+            (
+                Column("unics_id", I, alias="institution id", nullable=False),
+                Column("institution_name", T, alias="institution name"),
+                Column("acronym", T, alias="institution acronym"),
+                Column("country_id", I, alias="country id"),
+                Column("geocode_regions_3", T, alias="NUTS level 3 region"),
+                Column("city", T, alias="city"),
+                Column("postal_code", T, alias="postal code"),
+                Column("website", T, alias="website"),
+                Column("activity_type_code", T, alias="activity type code"),
+            ),
+            primary_key="unics_id",
+            alias="institution",
+        ),
+        TableDef(
+            "activity_types",
+            (
+                Column("code", T, alias="activity type code", nullable=False),
+                Column("description", T, alias="activity type description"),
+            ),
+            primary_key="code",
+            alias="activity type",
+        ),
+        TableDef(
+            "ec_framework_programs",
+            (
+                Column("program_id", I, alias="framework program id", nullable=False),
+                Column("program_name", T, alias="framework program name"),
+            ),
+            primary_key="program_id",
+            alias="framework program",
+        ),
+        TableDef(
+            "funding_schemes",
+            (
+                Column("code", T, alias="funding scheme code", nullable=False),
+                Column("title", T, alias="funding scheme title"),
+                Column("description", T, alias="funding scheme description"),
+            ),
+            primary_key="code",
+            alias="funding scheme",
+        ),
+        TableDef(
+            "projects",
+            (
+                Column("unics_id", I, alias="project id", nullable=False),
+                Column("acronym", T, alias="project acronym"),
+                Column("title", T, alias="project title"),
+                Column("ec_call", T, alias="EC call"),
+                Column("ec_fund_scheme", T, alias="funding scheme code"),
+                Column("framework_program", I, alias="framework program id"),
+                Column("start_date", D, alias="start date"),
+                Column("end_date", D, alias="end date"),
+                Column("start_year", I, alias="start year"),
+                Column("end_year", I, alias="end year"),
+                Column("duration_months", I, alias="duration in months"),
+                Column("total_cost", F, alias="total cost"),
+                Column("ec_max_contribution", F, alias="maximum EC contribution"),
+                Column("objective", T, alias="project objective"),
+                Column("homepage", T, alias="project homepage"),
+                Column("status", T, alias="project status"),
+                Column("ec_signature_date", D, alias="EC signature date"),
+            ),
+            primary_key="unics_id",
+            alias="project",
+        ),
+        TableDef(
+            "people",
+            (
+                Column("person_id", I, alias="person id", nullable=False),
+                Column("full_name", T, alias="full name"),
+                Column("title", T, alias="person title"),
+                Column("project", I, alias="project id"),
+            ),
+            primary_key="person_id",
+            alias="person",
+        ),
+        TableDef(
+            "project_members",
+            (
+                Column("member_id", I, alias="member id", nullable=False),
+                Column("project", I, alias="project id"),
+                Column("institution_id", I, alias="institution id"),
+                Column("member_name", T, alias="member name"),
+                Column("activity_type", T, alias="activity type code"),
+                Column("country_id", I, alias="country id"),
+                Column("city", T, alias="member city"),
+                Column("member_role", T, alias="member role"),
+                Column("ec_contribution", F, alias="EC contribution"),
+                Column("geocode_regions_3", T, alias="NUTS level 3 region"),
+            ),
+            primary_key="member_id",
+            alias="project member",
+        ),
+        TableDef(
+            "project_member_roles",
+            (
+                Column("code", T, alias="member role code", nullable=False),
+                Column("description", T, alias="member role description"),
+            ),
+            primary_key="code",
+            alias="project member role",
+        ),
+        TableDef(
+            "topics",
+            (
+                Column("code", T, alias="topic code", nullable=False),
+                Column("title", T, alias="topic title"),
+                Column("rcn", I, alias="record control number"),
+                Column("description", T, alias="topic description"),
+            ),
+            primary_key="code",
+            alias="topic",
+        ),
+        TableDef(
+            "project_topics",
+            (
+                Column("project", I, alias="project id"),
+                Column("topic", T, alias="topic code"),
+            ),
+            alias="project topic link",
+        ),
+        TableDef(
+            "subject_areas",
+            (
+                Column("code", T, alias="subject area code", nullable=False),
+                Column("title", T, alias="subject area title"),
+                Column("description", T, alias="subject area description"),
+            ),
+            primary_key="code",
+            alias="subject area",
+        ),
+        TableDef(
+            "project_subject_areas",
+            (
+                Column("project", I, alias="project id"),
+                Column("subject_area", T, alias="subject area code"),
+            ),
+            alias="project subject area link",
+        ),
+        TableDef(
+            "programmes",
+            (
+                Column("code", T, alias="programme code", nullable=False),
+                Column("title", T, alias="programme title"),
+                Column("short_name", T, alias="programme short name"),
+                Column("rcn", I, alias="record control number"),
+            ),
+            primary_key="code",
+            alias="programme",
+        ),
+        TableDef(
+            "project_programmes",
+            (
+                Column("project", I, alias="project id"),
+                Column("programme", T, alias="programme code"),
+            ),
+            alias="project programme link",
+        ),
+        TableDef(
+            "erc_research_domains",
+            (
+                Column("code", T, alias="ERC research domain code", nullable=False),
+                Column("description", T, alias="ERC research domain description"),
+            ),
+            primary_key="code",
+            alias="ERC research domain",
+        ),
+        TableDef(
+            "erc_panels",
+            (
+                Column("code", T, alias="ERC panel code", nullable=False),
+                Column("description", T, alias="ERC panel description"),
+                Column("part_of", T, alias="parent research domain"),
+            ),
+            primary_key="code",
+            alias="ERC panel",
+        ),
+        TableDef(
+            "project_erc_panels",
+            (
+                Column("project", I, alias="project id"),
+                Column("panel", T, alias="ERC panel code"),
+            ),
+            alias="project ERC panel link",
+        ),
+    )
+    foreign_keys = (
+        ForeignKey("institutions", "country_id", "countries", "unics_id"),
+        ForeignKey("institutions", "geocode_regions_3", "eu_territorial_units", "geocode_regions"),
+        ForeignKey("institutions", "activity_type_code", "activity_types", "code"),
+        ForeignKey("projects", "ec_fund_scheme", "funding_schemes", "code"),
+        ForeignKey("projects", "framework_program", "ec_framework_programs", "program_id"),
+        ForeignKey("people", "project", "projects", "unics_id"),
+        ForeignKey("project_members", "project", "projects", "unics_id"),
+        ForeignKey("project_members", "institution_id", "institutions", "unics_id"),
+        ForeignKey("project_members", "activity_type", "activity_types", "code"),
+        ForeignKey("project_members", "country_id", "countries", "unics_id"),
+        ForeignKey("project_members", "member_role", "project_member_roles", "code"),
+        ForeignKey("project_members", "geocode_regions_3", "eu_territorial_units", "geocode_regions"),
+        ForeignKey("project_topics", "project", "projects", "unics_id"),
+        ForeignKey("project_topics", "topic", "topics", "code"),
+        ForeignKey("project_subject_areas", "project", "projects", "unics_id"),
+        ForeignKey("project_subject_areas", "subject_area", "subject_areas", "code"),
+        ForeignKey("project_programmes", "project", "projects", "unics_id"),
+        ForeignKey("project_programmes", "programme", "programmes", "code"),
+        ForeignKey("erc_panels", "part_of", "erc_research_domains", "code"),
+        ForeignKey("project_erc_panels", "project", "projects", "unics_id"),
+        ForeignKey("project_erc_panels", "panel", "erc_panels", "code"),
+    )
+    return Schema(name="cordis", tables=tables, foreign_keys=foreign_keys)
+
+
+def populate(database: Database, scale: float, rng: random.Random) -> None:
+    """Fill the CORDIS instance with synthetic funding data."""
+    n_projects = max(80, int(900 * scale))
+    n_institutions = max(40, int(300 * scale))
+    n_members = max(160, int(2200 * scale))
+    n_people = max(60, int(700 * scale))
+    n_topics = max(12, int(50 * scale))
+    n_regions = max(15, int(60 * scale))
+    n_programmes = max(8, int(30 * scale))
+
+    database.insert("activity_types", list(ACTIVITY_TYPES))
+    database.insert("project_member_roles", list(MEMBER_ROLES))
+    database.insert(
+        "ec_framework_programs",
+        [(i + 1, name) for i, name in enumerate(FRAMEWORK_PROGRAMS)],
+    )
+    database.insert(
+        "funding_schemes",
+        [(code, title, gen.sentence(rng, 8)) for code, title in FUNDING_SCHEMES],
+    )
+    database.insert(
+        "countries",
+        [
+            (i + 1, name, code, code + "U", f"EU{code}")
+            for i, (name, code) in enumerate(COUNTRIES)
+        ],
+    )
+    database.insert(
+        "subject_areas",
+        [(code, title, gen.sentence(rng, 6)) for code, title in SUBJECT_AREAS],
+    )
+    database.insert("erc_research_domains", list(ERC_DOMAINS))
+    database.insert("erc_panels", list(ERC_PANELS))
+
+    region_codes = []
+    for i in range(n_regions):
+        country = rng.choice(COUNTRIES)[1]
+        code = f"{country}{rng.randint(1, 9)}{rng.randint(0, 9)}{rng.randint(0, 9)}"
+        if code in region_codes:
+            continue
+        region_codes.append(code)
+        database.insert(
+            "eu_territorial_units",
+            [(code, f"{gen.word(rng, 2).capitalize()} region", 3, "2021")],
+        )
+
+    topic_codes = []
+    for i in range(n_topics):
+        code = f"{rng.choice(['ICT', 'HEALTH', 'ENERGY', 'SPACE', 'FOOD'])}-{i:02d}-{rng.randint(2014, 2022)}"
+        topic_codes.append(code)
+        database.insert(
+            "topics", [(code, gen.title(rng, 5), 600000 + i, gen.sentence(rng, 10))]
+        )
+
+    programme_codes = []
+    for i in range(n_programmes):
+        code = f"H2020-EU.{rng.randint(1, 4)}.{rng.randint(1, 9)}."
+        if code in programme_codes:
+            code = f"{code}{i}"
+        programme_codes.append(code)
+        database.insert(
+            "programmes",
+            [(code, gen.title(rng, 4), gen.acronym(rng, 5), 660000 + i)],
+        )
+
+    institution_ids = []
+    for i in range(n_institutions):
+        inst_id = 9000 + i
+        institution_ids.append(inst_id)
+        kind = gen.skewed_choice(rng, ["University of", "Institute of", "Centre for", ""])
+        name = f"{kind} {gen.title(rng, 2)}".strip()
+        database.insert(
+            "institutions",
+            [
+                (
+                    inst_id,
+                    name,
+                    gen.acronym(rng, rng.randint(3, 5)),
+                    rng.randint(1, len(COUNTRIES)),
+                    rng.choice(region_codes),
+                    gen.word(rng, 2).capitalize(),
+                    f"{rng.randint(1000, 99999)}",
+                    f"https://www.{gen.word(rng, 2)}.eu",
+                    gen.skewed_choice(rng, [c for c, _ in ACTIVITY_TYPES]),
+                )
+            ],
+        )
+
+    project_ids = []
+    project_rows = []
+    for i in range(n_projects):
+        project_id = 100000 + i
+        project_ids.append(project_id)
+        start_year = rng.randint(2008, 2022)
+        duration = rng.choice([24, 36, 48, 60])
+        end_year = start_year + duration // 12
+        total_cost = round(gen.lognormal_int(rng, 2_000_000, 0.9, lo=50_000), 2)
+        contribution = round(total_cost * rng.uniform(0.5, 1.0), 2)
+        framework = gen.skewed_choice(rng, list(range(1, len(FRAMEWORK_PROGRAMS) + 1)), alpha=1.0)
+        scheme = gen.skewed_choice(rng, [c for c, _ in FUNDING_SCHEMES], alpha=1.0)
+        project_rows.append(
+            (
+                project_id,
+                gen.acronym(rng, rng.randint(4, 7)),
+                gen.title(rng, rng.randint(4, 7)),
+                f"{FRAMEWORK_PROGRAMS[framework - 1]}-{gen.acronym(rng, 3)}-{start_year}",
+                scheme,
+                framework,
+                f"{start_year:04d}-{rng.randint(1, 12):02d}-01",
+                f"{end_year:04d}-{rng.randint(1, 12):02d}-28",
+                start_year,
+                end_year,
+                duration,
+                float(total_cost),
+                float(contribution),
+                gen.sentence(rng, rng.randint(20, 60)),
+                f"https://project-{gen.word(rng, 2)}.eu",
+                gen.skewed_choice(rng, list(PROJECT_STATUS), alpha=1.0),
+                f"{start_year - 1:04d}-{rng.randint(1, 12):02d}-15",
+            )
+        )
+    database.insert("projects", project_rows)
+
+    people_rows = []
+    for i in range(n_people):
+        people_rows.append(
+            (
+                40000 + i,
+                gen.person_name(rng),
+                gen.skewed_choice(rng, ["Dr.", "Prof.", "Ms.", "Mr."]),
+                rng.choice(project_ids),
+            )
+        )
+    database.insert("people", people_rows)
+
+    member_rows = []
+    for i in range(n_members):
+        inst = rng.choice(institution_ids)
+        member_rows.append(
+            (
+                500000 + i,
+                rng.choice(project_ids),
+                inst,
+                gen.title(rng, 2),
+                gen.skewed_choice(rng, [c for c, _ in ACTIVITY_TYPES]),
+                rng.randint(1, len(COUNTRIES)),
+                gen.word(rng, 2).capitalize(),
+                gen.skewed_choice(rng, [c for c, _ in MEMBER_ROLES], alpha=1.0),
+                round(gen.lognormal_int(rng, 300_000, 1.0, lo=10_000) * 1.0, 2),
+                rng.choice(region_codes),
+            )
+        )
+    database.insert("project_members", member_rows)
+
+    link_rows = set()
+    for project_id in project_ids:
+        for topic in rng.sample(topic_codes, k=min(len(topic_codes), rng.randint(1, 3))):
+            link_rows.add((project_id, topic))
+    database.insert("project_topics", sorted(link_rows))
+
+    subject_links = set()
+    for project_id in project_ids:
+        for code in rng.sample([c for c, _ in SUBJECT_AREAS], k=rng.randint(1, 2)):
+            subject_links.add((project_id, code))
+    database.insert("project_subject_areas", sorted(subject_links))
+
+    programme_links = set()
+    for project_id in project_ids:
+        programme_links.add((project_id, rng.choice(programme_codes)))
+    database.insert("project_programmes", sorted(programme_links))
+
+    panel_links = set()
+    for project_id in rng.sample(project_ids, k=max(1, len(project_ids) // 3)):
+        panel_links.add((project_id, rng.choice([c for c, _, _ in ERC_PANELS])))
+    database.insert("project_erc_panels", sorted(panel_links))
+
+
+def build_lexicon() -> DomainLexicon:
+    """Research-policy phrasing used by domain experts."""
+    lex = DomainLexicon(name="cordis")
+    lex.add_table("projects", "projects", "EU projects", "funded projects")
+    lex.add_table("institutions", "institutions", "organisations")
+    lex.add_table("project_members", "project members", "participants")
+    lex.add_table("countries", "countries")
+    lex.add_table("people", "people", "researchers")
+    lex.add_table("topics", "topics", "call topics")
+    lex.add_table("subject_areas", "subject areas")
+    lex.add_table("funding_schemes", "funding schemes")
+    lex.add_table("ec_framework_programs", "framework programs", "framework programmes")
+    lex.add_table("eu_territorial_units", "territorial units", "NUTS regions")
+    lex.add_table("erc_panels", "ERC panels")
+
+    lex.add_column("projects", "total_cost", "total cost", "overall budget")
+    lex.add_column("projects", "ec_max_contribution", "maximum EC contribution", "EU funding")
+    lex.add_column("projects", "start_year", "start year")
+    lex.add_column("projects", "end_year", "end year")
+    lex.add_column("projects", "acronym", "acronym", "project acronym")
+    lex.add_column("projects", "title", "title", "project title")
+    lex.add_column("projects", "objective", "objective", "project objective")
+    lex.add_column("projects", "ec_fund_scheme", "funding scheme")
+    lex.add_column("projects", "duration_months", "duration in months")
+    lex.add_column("institutions", "institution_name", "institution name", "name")
+    lex.add_column("institutions", "geocode_regions_3", "NUTS level 3 region")
+    lex.add_column("project_members", "ec_contribution", "EC contribution", "EU contribution")
+    lex.add_column("project_members", "member_role", "member role", "role")
+    lex.add_column("countries", "country_name", "country name")
+    lex.add_column("eu_territorial_units", "geocode_level", "geocode level", "NUTS level")
+
+    for name, code in COUNTRIES:
+        lex.add_value("countries", "country_name", name, name)
+    for code, title in FUNDING_SCHEMES:
+        lex.add_value("projects", "ec_fund_scheme", code, title, code)
+    for i, name in enumerate(FRAMEWORK_PROGRAMS):
+        lex.add_value("ec_framework_programs", "program_name", name, name)
+    for code, desc in ACTIVITY_TYPES:
+        lex.add_value("institutions", "activity_type_code", code, desc, code)
+        lex.add_value("project_members", "activity_type", code, desc, code)
+    for code, desc in MEMBER_ROLES:
+        lex.add_value("project_members", "member_role", code, desc, code)
+    return lex
+
+
+def _question_programs() -> list[Program]:
+    """The expert question catalogue for CORDIS (seed + dev)."""
+    return [
+        Program(
+            nl=(
+                "Find the titles of projects funded under the {scheme} scheme.",
+                "What are the project titles financed via the {scheme} funding scheme?",
+            ),
+            sql="SELECT title FROM projects WHERE ec_fund_scheme = '{scheme}'",
+            params={"scheme": ("ERC-STG", "MSCA-IF", "RIA", "IA", "CSA", "ERC-ADG")},
+        ),
+        Program(
+            nl=(
+                "How many projects started in {year}?",
+                "Count the EU projects with start year {year}.",
+            ),
+            sql="SELECT COUNT(*) FROM projects WHERE start_year = {year}",
+            params={"year": (2015, 2018, 2020, 2012, 2021, 2016)},
+        ),
+        Program(
+            nl=(
+                "What is the total cost and maximum EC contribution of projects with status {status} that started in {year}?",
+                "Show the overall budget and EU funding for {status} projects with start year {year}.",
+            ),
+            sql=(
+                "SELECT total_cost, ec_max_contribution FROM projects "
+                "WHERE start_year = {year} AND status = '{status}'"
+            ),
+            params={
+                "year": (2016, 2019, 2014, 2021),
+                "status": ("SIGNED", "CLOSED", "SIGNED", "CLOSED"),
+            },
+        ),
+        Program(
+            nl=(
+                "What is the average total cost of projects for each funding scheme code?",
+                "Compute the mean total cost per funding scheme.",
+            ),
+            sql="SELECT AVG(total_cost), ec_fund_scheme FROM projects GROUP BY ec_fund_scheme",
+            params={},
+        ),
+        Program(
+            nl=(
+                "Find the number of projects for each start year.",
+                "How many projects are there per start year?",
+            ),
+            sql="SELECT COUNT(*), start_year FROM projects GROUP BY start_year",
+            params={},
+        ),
+        Program(
+            nl=(
+                "Find the acronyms of projects whose total cost is greater than {cost}.",
+                "Which project acronyms have an overall budget above {cost}?",
+            ),
+            sql="SELECT acronym FROM projects WHERE total_cost > {cost}",
+            params={"cost": (5000000, 10000000, 2000000, 8000000, 1000000, 3000000)},
+        ),
+        Program(
+            nl=(
+                "What are the institution names located in {country}?",
+                "List the names of organisations based in {country}.",
+            ),
+            sql=(
+                "SELECT T1.institution_name FROM institutions AS T1 "
+                "JOIN countries AS T2 ON T1.country_id = T2.unics_id "
+                "WHERE T2.country_name = '{country}'"
+            ),
+            params={
+                "country": ("Germany", "France", "Switzerland", "Italy", "Spain", "Greece"),
+            },
+        ),
+        Program(
+            nl=(
+                "Count the institutions for each activity type code.",
+                "How many institutions are there per activity type?",
+            ),
+            sql="SELECT COUNT(*), activity_type_code FROM institutions GROUP BY activity_type_code",
+            params={},
+        ),
+        Program(
+            nl=(
+                "Find the member names of project members with member role {role}.",
+                "Who are the participants whose role is {role}?",
+            ),
+            sql="SELECT member_name FROM project_members WHERE member_role = '{role}'",
+            params={"role": ("coordinator", "participant", "thirdParty", "coordinator")},
+        ),
+        Program(
+            nl=(
+                "What is the average EC contribution of project members for each member role?",
+                "Compute the mean EC contribution per member role.",
+            ),
+            sql=(
+                "SELECT AVG(ec_contribution), member_role FROM project_members "
+                "GROUP BY member_role"
+            ),
+            params={},
+        ),
+        Program(
+            nl=(
+                "Find the titles of projects with maximum EC contribution above the average maximum EC contribution.",
+                "Which projects receive more EU funding than the average maximum EC contribution?",
+            ),
+            sql=(
+                "SELECT title FROM projects WHERE ec_max_contribution > "
+                "(SELECT AVG(ec_max_contribution) FROM projects)"
+            ),
+            params={},
+        ),
+        Program(
+            nl=(
+                "Find the project titles under the framework program {fp}.",
+                "List the titles of projects belonging to the {fp} framework programme.",
+            ),
+            sql=(
+                "SELECT T1.title FROM projects AS T1 "
+                "JOIN ec_framework_programs AS T2 ON T1.framework_program = T2.program_id "
+                "WHERE T2.program_name = '{fp}'"
+            ),
+            params={"fp": ("H2020", "FP7", "HORIZON", "FP6")},
+        ),
+        Program(
+            nl=(
+                "How many projects are there for each framework program name?",
+                "Count projects per framework programme.",
+            ),
+            sql=(
+                "SELECT COUNT(*), T2.program_name FROM projects AS T1 "
+                "JOIN ec_framework_programs AS T2 ON T1.framework_program = T2.program_id "
+                "GROUP BY T2.program_name"
+            ),
+            params={},
+        ),
+        Program(
+            nl=(
+                "Find the project with the highest total cost.",
+                "Which project has the largest overall budget?",
+            ),
+            sql="SELECT acronym FROM projects ORDER BY total_cost DESC LIMIT 1",
+            params={},
+            only="seed",
+        ),
+        Program(
+            nl=(
+                "List the {k} projects with the highest maximum EC contribution.",
+                "Return the top {k} projects by EU funding.",
+            ),
+            sql="SELECT acronym FROM projects ORDER BY ec_max_contribution DESC LIMIT {k}",
+            params={"k": (5, 10, 3, 20)},
+        ),
+        Program(
+            nl=(
+                "Find the titles of topics whose code contains {needle}.",
+                "Which call topics have a code containing {needle}?",
+            ),
+            sql="SELECT title FROM topics WHERE code LIKE '%{needle}%'",
+            params={"needle": ("ICT", "HEALTH", "ENERGY", "SPACE")},
+        ),
+        Program(
+            nl=(
+                "Find the descriptions of the territorial units with geocode level {level}.",
+                "Show the description of NUTS regions at geocode level {level}.",
+            ),
+            sql="SELECT description FROM eu_territorial_units WHERE geocode_level = {level}",
+            params={"level": (3, 3, 3, 3)},
+            only="seed",
+        ),
+        Program(
+            nl=(
+                "Find the full names of people working on the project with project id {pid}.",
+                "List the researchers involved in project {pid}.",
+            ),
+            sql="SELECT full_name FROM people WHERE project = {pid}",
+            params={"pid": (100005, 100010, 100003, 100020, 100001, 100015)},
+        ),
+        Program(
+            nl=(
+                "Find the ERC panel descriptions that are part of the research domain {domain}.",
+                "Which ERC panels belong to the {domain} domain?",
+            ),
+            sql="SELECT description FROM erc_panels WHERE part_of = '{domain}'",
+            params={"domain": ("PE", "LS", "SH", "PE")},
+        ),
+        Program(
+            nl=(
+                "Find the project acronyms assigned to the ERC panel {panel}.",
+                "List the acronyms of projects evaluated in ERC panel {panel}.",
+            ),
+            sql=(
+                "SELECT T1.acronym FROM projects AS T1 "
+                "JOIN project_erc_panels AS T2 ON T2.project = T1.unics_id "
+                "WHERE T2.panel = '{panel}'"
+            ),
+            params={"panel": ("PE6", "LS2", "SH1", "PE1")},
+        ),
+        Program(
+            nl=(
+                "Count the project members for each activity type code.",
+                "How many participants are there per activity type?",
+            ),
+            sql=(
+                "SELECT COUNT(*), activity_type FROM project_members "
+                "GROUP BY activity_type"
+            ),
+            params={},
+        ),
+        # -- shared medium programs ------------------------------------------
+        Program(
+            nl=(
+                "Find the acronym and title of projects with status {status}.",
+                "List acronym together with title for projects whose status is {status}.",
+            ),
+            sql="SELECT acronym, title FROM projects WHERE status = '{status}'",
+            params={"status": ("SIGNED", "CLOSED", "TERMINATED", "SIGNED", "CLOSED", "TERMINATED")},
+        ),
+        Program(
+            nl=(
+                "Find the start year and end year of projects with duration in months equal to {d}.",
+                "Show start and end year for projects lasting {d} months.",
+            ),
+            sql="SELECT start_year, end_year FROM projects WHERE duration_months = {d}",
+            params={"d": (36, 48, 24, 60, 36, 48)},
+        ),
+        Program(
+            nl=(
+                "What is the maximum and minimum total cost of projects that started in {year}?",
+                "Find the largest and smallest overall budget among projects with start year {year}.",
+            ),
+            sql="SELECT MAX(total_cost), MIN(total_cost) FROM projects WHERE start_year = {year}",
+            params={"year": (2015, 2018, 2020, 2016)},
+        ),
+        Program(
+            nl=(
+                "Find the institution name and city of institutions with activity type code {at}.",
+                "List name and city for organisations of activity type {at}.",
+            ),
+            sql=(
+                "SELECT institution_name, city FROM institutions "
+                "WHERE activity_type_code = '{at}'"
+            ),
+            params={"at": ("HES", "REC", "PRC", "PUB")},
+        ),
+        Program(
+            nl=(
+                "What is the total EC contribution of project members from {country}?",
+                "Sum the EC contribution over participants located in {country}.",
+            ),
+            sql=(
+                "SELECT SUM(T1.ec_contribution) FROM project_members AS T1 "
+                "JOIN countries AS T2 ON T1.country_id = T2.unics_id "
+                "WHERE T2.country_name = '{country}'"
+            ),
+            params={"country": ("Germany", "France", "Italy", "Netherlands")},
+        ),
+        Program(
+            nl=(
+                "Find the number of distinct funding scheme codes used by projects.",
+                "How many different funding schemes appear among the projects?",
+            ),
+            sql="SELECT COUNT(DISTINCT ec_fund_scheme) FROM projects",
+            params={},
+            only="seed",
+        ),
+        # -- seed-only extra-hard -----------------------------------------------
+        Program(
+            nl=(
+                "For each funding scheme, find the scheme code and average total cost of projects starting after {year}, keeping schemes with more than {n} projects, ordered by average cost descending.",
+                "",
+            ),
+            sql=(
+                "SELECT ec_fund_scheme, AVG(total_cost) FROM projects "
+                "WHERE start_year > {year} GROUP BY ec_fund_scheme "
+                "HAVING COUNT(*) > {n} ORDER BY AVG(total_cost) DESC"
+            ),
+            params={"year": (2014, 2016, 2010, 2018), "n": (5, 10, 3, 8)},
+            only="seed",
+        ),
+        Program(
+            nl=(
+                "Find the acronyms and total cost of projects coordinated by institutions from {country} whose total cost exceeds {cost}.",
+                "",
+            ),
+            sql=(
+                "SELECT T1.acronym, T1.total_cost FROM projects AS T1 "
+                "JOIN project_members AS T2 ON T2.project = T1.unics_id "
+                "JOIN countries AS T3 ON T2.country_id = T3.unics_id "
+                "WHERE T3.country_name = '{country}' AND T2.member_role = 'coordinator' "
+                "AND T1.total_cost > {cost}"
+            ),
+            params={
+                "country": ("Germany", "France", "Spain", "Italy"),
+                "cost": (1000000, 2000000, 500000, 3000000),
+            },
+            only="seed",
+        ),
+        Program(
+            nl=(
+                "Find the titles of projects that are funded under the scheme {s1} as well as projects whose maximum EC contribution is above {c}.",
+                "",
+            ),
+            sql=(
+                "SELECT title FROM projects WHERE ec_fund_scheme = '{s1}' "
+                "UNION SELECT title FROM projects WHERE ec_max_contribution > {c}"
+            ),
+            params={
+                "s1": ("ERC-STG", "MSCA-IF", "CSA", "RIA"),
+                "c": (8000000, 5000000, 10000000, 6000000),
+            },
+            only="seed",
+        ),
+        Program(
+            nl=(
+                "Find the project acronyms whose EC contribution by some member is larger than the average EC contribution of all project members, for projects that started in {year}.",
+                "",
+            ),
+            sql=(
+                "SELECT T1.acronym FROM projects AS T1 "
+                "JOIN project_members AS T2 ON T2.project = T1.unics_id "
+                "WHERE T1.start_year = {year} AND T2.ec_contribution > "
+                "(SELECT AVG(ec_contribution) FROM project_members)"
+            ),
+            params={"year": (2015, 2018, 2020, 2012)},
+            only="seed",
+        ),
+        # -- dev-only hard/extra -------------------------------------------------
+        Program(
+            nl=(
+                "",
+                "For each country name, count the project members with role {role}, keeping countries with more than {n} such members, ordered by the count descending.",
+            ),
+            sql=(
+                "SELECT T2.country_name, COUNT(*) FROM project_members AS T1 "
+                "JOIN countries AS T2 ON T1.country_id = T2.unics_id "
+                "WHERE T1.member_role = '{role}' GROUP BY T2.country_name "
+                "HAVING COUNT(*) > {n} ORDER BY COUNT(*) DESC"
+            ),
+            params={"role": ("coordinator", "participant", "thirdParty", "coordinator"), "n": (2, 10, 1, 5)},
+            only="dev",
+        ),
+        Program(
+            nl=(
+                "",
+                "Which project titles belong to projects funded under {scheme} whose total cost is above {cost} and that started after {year}?",
+            ),
+            sql=(
+                "SELECT title FROM projects WHERE ec_fund_scheme = '{scheme}' "
+                "AND total_cost > {cost} AND start_year > {year}"
+            ),
+            params={
+                "scheme": ("RIA", "IA", "ERC-STG", "MSCA-IF"),
+                "cost": (1000000, 2000000, 1500000, 500000),
+                "year": (2015, 2017, 2013, 2019),
+            },
+            only="dev",
+        ),
+        Program(
+            nl=(
+                "",
+                "List the names of institutions that participate in projects of the framework programme {fp} and are located in {country}.",
+            ),
+            sql=(
+                "SELECT T1.institution_name FROM institutions AS T1 "
+                "JOIN project_members AS T2 ON T2.institution_id = T1.unics_id "
+                "JOIN projects AS T3 ON T2.project = T3.unics_id "
+                "JOIN ec_framework_programs AS T4 ON T3.framework_program = T4.program_id "
+                "JOIN countries AS T5 ON T1.country_id = T5.unics_id "
+                "WHERE T4.program_name = '{fp}' AND T5.country_name = '{country}'"
+            ),
+            params={
+                "fp": ("H2020", "FP7", "H2020", "HORIZON"),
+                "country": ("Germany", "France", "Netherlands", "Italy"),
+            },
+            only="dev",
+        ),
+        Program(
+            nl=(
+                "",
+                "Find the acronyms of projects whose ids appear among the projects linked to the subject area {area} and whose total cost is below {cost}.",
+            ),
+            sql=(
+                "SELECT acronym FROM projects WHERE unics_id IN "
+                "(SELECT project FROM project_subject_areas WHERE subject_area = '{area}') "
+                "AND total_cost < {cost}"
+            ),
+            params={
+                "area": ("INF", "BIO", "ENE", "ENV"),
+                "cost": (3000000, 5000000, 2000000, 4000000),
+            },
+            only="dev",
+        ),
+        Program(
+            nl=(
+                "",
+                "Return the titles of projects funded under {s1}, excluding those that started before {year}.",
+            ),
+            sql=(
+                "SELECT title FROM projects WHERE ec_fund_scheme = '{s1}' "
+                "EXCEPT SELECT title FROM projects WHERE start_year < {year}"
+            ),
+            params={"s1": ("RIA", "CSA", "IA", "ERC-ADG"), "year": (2016, 2018, 2015, 2019)},
+            only="dev",
+        ),
+        Program(
+            nl=(
+                "",
+                "For each start year after {year}, report the year and the summed total cost, ordered by the summed cost in descending order, limited to the top {k} years.",
+            ),
+            sql=(
+                "SELECT start_year, SUM(total_cost) FROM projects "
+                "WHERE start_year > {year} GROUP BY start_year "
+                "ORDER BY SUM(total_cost) DESC LIMIT {k}"
+            ),
+            params={"year": (2010, 2014, 2012, 2016), "k": (3, 5, 2, 4)},
+            only="dev",
+        ),
+        Program(
+            nl=(
+                "",
+                "Which institutions participate with an EC contribution greater than the average EC contribution of all project members?",
+            ),
+            sql=(
+                "SELECT T1.institution_name FROM institutions AS T1 "
+                "JOIN project_members AS T2 ON T2.institution_id = T1.unics_id "
+                "WHERE T2.ec_contribution > (SELECT AVG(ec_contribution) FROM project_members)"
+            ),
+            params={},
+            only="dev",
+        ),
+        Program(
+            nl=(
+                "",
+                "Find the topic titles of topics attached to projects that started in {year}.",
+            ),
+            sql=(
+                "SELECT T1.title FROM topics AS T1 "
+                "JOIN project_topics AS T2 ON T2.topic = T1.code "
+                "JOIN projects AS T3 ON T2.project = T3.unics_id "
+                "WHERE T3.start_year = {year}"
+            ),
+            params={"year": (2015, 2019, 2021, 2017)},
+            only="dev",
+        ),
+        Program(
+            nl=(
+                "Find the subject area titles and their codes.",
+                "List every subject area code together with its title.",
+            ),
+            sql="SELECT code, title FROM subject_areas",
+            params={"pad": (1, 2)},
+        ),
+        Program(
+            nl=(
+                "Find the programme titles whose short name contains {needle}.",
+                "Which programme titles have a short name containing {needle}?",
+            ),
+            sql="SELECT title FROM programmes WHERE short_name LIKE '%{needle}%'",
+            params={"needle": ("A", "E", "O", "R")},
+        ),
+        Program(
+            nl=(
+                "How many people work on EU projects, for each person title?",
+                "Count the researchers per person title.",
+            ),
+            sql="SELECT COUNT(*), title FROM people GROUP BY title",
+            params={},
+        ),
+        Program(
+            nl=(
+                "Find the member city and EC contribution of project members whose EC contribution is above {c}.",
+                "Show city and EU contribution for participants contributing more than {c}.",
+            ),
+            sql=(
+                "SELECT city, ec_contribution FROM project_members "
+                "WHERE ec_contribution > {c}"
+            ),
+            params={"c": (500000, 1000000, 200000, 800000, 300000, 600000)},
+        ),
+        Program(
+            nl=(
+                "What is the minimum duration in months of projects funded under {scheme}?",
+                "Find the shortest project duration for the {scheme} scheme.",
+            ),
+            sql=(
+                "SELECT MIN(duration_months) FROM projects WHERE ec_fund_scheme = '{scheme}'"
+            ),
+            params={"scheme": ("RIA", "CSA", "ERC-STG", "IA")},
+        ),
+        Program(
+            nl=(
+                "Find the EC call of projects that ended in {year}.",
+                "Which EC calls belong to projects with end year {year}?",
+            ),
+            sql="SELECT ec_call FROM projects WHERE end_year = {year}",
+            params={"year": (2018, 2021, 2016, 2023, 2019, 2020)},
+        ),
+        Program(
+            nl=(
+                "Find the country names and two letter country codes of all countries.",
+                "List every country name with its two letter code.",
+            ),
+            sql="SELECT country_name, country_code2 FROM countries",
+            params={"pad": (1, 2)},
+        ),
+        Program(
+            nl=(
+                "Find the acronym of projects whose project objective contains {needle}.",
+                "Which project acronyms have an objective containing {needle}?",
+            ),
+            sql="SELECT acronym FROM projects WHERE objective LIKE '%{needle}%'",
+            params={"needle": ("an", "el", "ra", "or")},
+        ),
+    ]
+
+
+def build(scale: float = 1.0, seed: int = 29) -> BenchmarkDomain:
+    """Construct the full CORDIS benchmark domain."""
+    rng = random.Random(seed)
+    schema = build_schema()
+    database = create_database(schema)
+    populate(database, scale, rng)
+
+    enhanced = profile_database(database)
+    _refine_enhanced(enhanced)
+    lexicon = build_lexicon()
+
+    seed_pairs, dev_pairs = expand_programs(_question_programs(), db_id="cordis")
+    return BenchmarkDomain(
+        name="cordis",
+        database=database,
+        enhanced=enhanced,
+        lexicon=lexicon,
+        seed=Split(name="cordis-seed", pairs=seed_pairs),
+        dev=Split(name="cordis-dev", pairs=dev_pairs),
+        nominal_stats=dict(NOMINAL_STATS),
+    )
+
+
+def _refine_enhanced(enhanced: EnhancedSchema) -> None:
+    """The domain experts' one-shot manual refinement (Section 3.3.2)."""
+    enhanced.mark_non_aggregatable("projects", "start_year", "end_year", "framework_program")
+    enhanced.mark_categorical(
+        "projects", "ec_fund_scheme", "status", "start_year", "end_year", "duration_months"
+    )
+    enhanced.mark_categorical("institutions", "activity_type_code")
+    enhanced.mark_categorical("project_members", "member_role", "activity_type")
+    enhanced.mark_categorical("eu_territorial_units", "geocode_level")
+    enhanced.mark_categorical("erc_panels", "part_of")
+    enhanced.mark_math_group("projects", "projects:money", "total_cost", "ec_max_contribution")

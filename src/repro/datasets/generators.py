@@ -1,0 +1,105 @@
+"""Deterministic synthetic-data primitives shared by all database builders.
+
+Real CORDIS/SDSS/OncoMX content is not available offline; these helpers
+fabricate value distributions with the properties the benchmark exercises:
+skewed categorical columns, heavy-tailed numeric measurements, plausible
+names/titles, ISO dates, and referentially consistent foreign keys.  All
+functions are pure given their ``random.Random`` instance.
+"""
+
+from __future__ import annotations
+
+import random
+
+_SYLLABLES = [
+    "al", "an", "ar", "ba", "bel", "ca", "cor", "da", "del", "el", "fa",
+    "gra", "hel", "in", "ka", "lo", "ma", "mi", "na", "or", "pa", "qui",
+    "ra", "sa", "ta", "tha", "ul", "va", "wen", "xi", "yo", "zan",
+]
+
+_FIRST_NAMES = [
+    "Anna", "Bruno", "Carla", "David", "Elena", "Felix", "Greta", "Hugo",
+    "Iris", "Jonas", "Katja", "Luca", "Marta", "Nils", "Olga", "Pavel",
+    "Rosa", "Stefan", "Tanja", "Viktor",
+]
+
+_LAST_NAMES = [
+    "Keller", "Moreau", "Rossi", "Novak", "Schmidt", "Costa", "Berg",
+    "Dubois", "Fischer", "Garcia", "Horvath", "Jansen", "Kovacs", "Lindt",
+    "Meier", "Nilsen", "Olsen", "Petrov", "Richter", "Santos",
+]
+
+
+def word(rng: random.Random, syllables: int = 3) -> str:
+    """A pronounceable fabricated word."""
+    return "".join(rng.choice(_SYLLABLES) for _ in range(syllables))
+
+
+def title(rng: random.Random, words: int = 4) -> str:
+    """A fabricated title-cased phrase (project titles, paper names)."""
+    return " ".join(word(rng, rng.randint(2, 3)).capitalize() for _ in range(words))
+
+
+def person_name(rng: random.Random) -> str:
+    """A plausible first + last name."""
+    return f"{rng.choice(_FIRST_NAMES)} {rng.choice(_LAST_NAMES)}"
+
+
+def sentence(rng: random.Random, words: int = 12) -> str:
+    """A fabricated descriptive sentence (e.g. CORDIS project objectives)."""
+    body = " ".join(word(rng, rng.randint(1, 3)) for _ in range(words))
+    return body.capitalize() + "."
+
+
+def iso_date(rng: random.Random, start_year: int = 2000, end_year: int = 2022) -> str:
+    """An ISO-8601 date within [start_year, end_year]."""
+    year = rng.randint(start_year, end_year)
+    month = rng.randint(1, 12)
+    day = rng.randint(1, 28)
+    return f"{year:04d}-{month:02d}-{day:02d}"
+
+
+def skewed_choice(rng: random.Random, values: list, alpha: float = 1.6):
+    """Zipf-ish draw: earlier values are exponentially more likely.
+
+    Real categorical columns (galaxy classes, funding schemes, cancer types)
+    are heavily skewed; GROUP BY results only look realistic with skew.
+    """
+    weights = [1.0 / (i + 1) ** alpha for i in range(len(values))]
+    return rng.choices(values, weights=weights, k=1)[0]
+
+
+def lognormal_int(rng: random.Random, median: float, sigma: float = 0.8, lo: int = 0) -> int:
+    """Heavy-tailed positive integer around ``median``."""
+    value = int(round(rng.lognormvariate(_ln(median), sigma)))
+    return max(lo, value)
+
+
+def bounded_float(rng: random.Random, lo: float, hi: float, digits: int = 4) -> float:
+    """A uniform float in [lo, hi], rounded to ``digits``."""
+    return round(rng.uniform(lo, hi), digits)
+
+
+def gauss_float(rng: random.Random, mu: float, sigma: float, digits: int = 4) -> float:
+    """A Gaussian float around ``mu``, rounded to ``digits``."""
+    return round(rng.gauss(mu, sigma), digits)
+
+
+def unique_ints(rng: random.Random, n: int, lo: int, hi: int) -> list[int]:
+    """``n`` distinct integers in [lo, hi]."""
+    if hi - lo + 1 < n:
+        raise ValueError("range too small for requested unique count")
+    return rng.sample(range(lo, hi + 1), n)
+
+
+def acronym(rng: random.Random, length: int = 4) -> str:
+    """An upper-case acronym of the given length."""
+    return "".join(rng.choice("ABCDEFGHIJKLMNOPQRSTUVWXYZ") for _ in range(length))
+
+
+def _ln(x: float) -> float:
+    import math
+
+    if x <= 0:
+        raise ValueError("median must be positive")
+    return math.log(x)

@@ -1,0 +1,1228 @@
+"""OncoMX — the cancer-research domain of ScienceBenchmark.
+
+OncoMX integrates cancer-biomarker knowledge from EDRN and the FDA with
+healthy gene expression (Bgee), differential expression between healthy and
+cancerous samples (BioXpress) and cancer mutations (BioMuta).  The paper's
+version has 25 tables and 106 columns; queries are deliberately of lower
+Spider-hardness than the other domains because realistic OncoMX questions
+("Show biomarkers for breast cancer") already require multi-relational joins
+but rarely nesting.
+
+Nominal (paper-scale) statistics for Table 1: 65 M rows, 2.64 M rows/table
+average, 12 GB.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets import generators as gen
+from repro.datasets.programs import Program, expand_programs
+from repro.datasets.records import BenchmarkDomain, Split
+from repro.engine.database import Database, create_database
+from repro.nlgen.lexicon import DomainLexicon
+from repro.schema.enhanced import EnhancedSchema
+from repro.schema.introspect import profile_database
+from repro.schema.model import Column, ColumnType, ForeignKey, Schema, TableDef
+
+I = ColumnType.INTEGER
+F = ColumnType.REAL
+T = ColumnType.TEXT
+
+#: Paper-reported full-scale statistics (Table 1).
+NOMINAL_STATS = {
+    "tables": 25,
+    "columns": 106,
+    "rows": 65_000_000,
+    "avg_rows_per_table": 2_636_771,
+    "size_gb": 12.0,
+}
+
+GENES = (
+    ("BRCA1", "breast cancer gene 1"),
+    ("BRCA2", "breast cancer gene 2"),
+    ("TP53", "tumor protein p53"),
+    ("EGFR", "epidermal growth factor receptor"),
+    ("KRAS", "kirsten rat sarcoma viral oncogene"),
+    ("ERBB2", "erb-b2 receptor tyrosine kinase 2"),
+    ("PTEN", "phosphatase and tensin homolog"),
+    ("MYC", "myc proto-oncogene"),
+    ("ALK", "anaplastic lymphoma kinase"),
+    ("BRAF", "b-raf proto-oncogene"),
+    ("PIK3CA", "phosphatidylinositol kinase catalytic alpha"),
+    ("RB1", "retinoblastoma 1"),
+)
+DISEASES = (
+    ("DOID:1612", "breast cancer"),
+    ("DOID:2394", "ovarian cancer"),
+    ("DOID:1324", "lung cancer"),
+    ("DOID:9256", "colorectal cancer"),
+    ("DOID:10283", "prostate cancer"),
+    ("DOID:1909", "melanoma"),
+    ("DOID:684", "hepatocellular carcinoma"),
+    ("DOID:11054", "urinary bladder cancer"),
+)
+ANATOMICAL_ENTITIES = (
+    ("UBERON:0000310", "breast"),
+    ("UBERON:0002048", "lung"),
+    ("UBERON:0002107", "liver"),
+    ("UBERON:0000955", "brain"),
+    ("UBERON:0001155", "colon"),
+    ("UBERON:0002097", "skin"),
+    ("UBERON:0000992", "ovary"),
+    ("UBERON:0002367", "prostate gland"),
+    ("UBERON:0002113", "kidney"),
+    ("UBERON:0000945", "stomach"),
+)
+SPECIES = ((9606, "Homo sapiens", "human"), (10090, "Mus musculus", "mouse"))
+BIOMARKER_TYPES = ("protein", "gene", "glycan", "metabolite")
+EDRN_PHASES = ("One", "Two", "Three", "Four", "Five")
+QA_STATES = ("Curated", "Under Review", "Initial Load")
+CALL_QUALITIES = ("gold", "silver", "bronze")
+EXPRESSION_LEVELS = ("HIGH", "MEDIUM", "LOW", "ABSENT")
+STAGES = (
+    ("HsapDv:0000087", "adult"),
+    ("HsapDv:0000083", "infant"),
+    ("HsapDv:0000084", "child"),
+    ("HsapDv:0000086", "adolescent"),
+)
+AA_CODES = ("A", "R", "N", "D", "C", "E", "G", "H", "L", "K", "P", "S", "T", "V")
+DATA_SOURCES = ("cosmic", "icgc", "tcga")
+POLYPHEN = ("probably damaging", "possibly damaging", "benign")
+TREND = ("UP", "DOWN")
+
+
+def build_schema() -> Schema:
+    """The 25-table / 106-column OncoMX schema."""
+    tables = (
+        TableDef(
+            "species",
+            (
+                Column("speciesid", I, alias="species id", nullable=False),
+                Column("species_name", T, alias="species name"),
+                Column("common_name", T, alias="common name"),
+                Column("genome_assembly", T, alias="genome assembly"),
+            ),
+            primary_key="speciesid",
+            alias="species",
+        ),
+        TableDef(
+            "gene",
+            (
+                Column("gene_id", I, alias="gene id", nullable=False),
+                Column("gene_symbol", T, alias="gene symbol"),
+                Column("gene_name", T, alias="gene name"),
+                Column("speciesid", I, alias="species id"),
+                Column("chromosome_id", T, alias="chromosome"),
+            ),
+            primary_key="gene_id",
+            alias="gene",
+        ),
+        TableDef(
+            "anatomical_entity",
+            (
+                Column("uberon_anatomical_id", T, alias="anatomical entity id", nullable=False),
+                Column("name", T, alias="anatomical entity name"),
+                Column("description", T, alias="anatomical entity description"),
+            ),
+            primary_key="uberon_anatomical_id",
+            alias="anatomical entity",
+        ),
+        TableDef(
+            "disease",
+            (
+                Column("doid", T, alias="disease ontology id", nullable=False),
+                Column("disease_name", T, alias="disease name"),
+                Column("description", T, alias="disease description"),
+            ),
+            primary_key="doid",
+            alias="disease",
+        ),
+        TableDef(
+            "biomarker",
+            (
+                Column("biomarker_id", I, alias="biomarker id", nullable=False),
+                Column("biomarker_internal_id", T, alias="biomarker internal id"),
+                Column("gene_id", I, alias="gene id"),
+                Column("biomarker_type", T, alias="biomarker type"),
+                Column("test_is_a_panel", ColumnType.BOOLEAN, alias="test is a panel"),
+                Column("biomarker_status", T, alias="biomarker status"),
+                Column("description", T, alias="biomarker description"),
+            ),
+            primary_key="biomarker_id",
+            alias="biomarker",
+        ),
+        TableDef(
+            "biomarker_fda",
+            (
+                Column("id", I, alias="FDA biomarker id", nullable=False),
+                Column("biomarker_id", I, alias="biomarker id"),
+                Column("test_trade_name", T, alias="test trade name"),
+                Column("test_manufacturer", T, alias="test manufacturer"),
+                Column("approved_indication", T, alias="approved indication"),
+            ),
+            primary_key="id",
+            alias="FDA biomarker",
+        ),
+        TableDef(
+            "biomarker_fda_test_use",
+            (
+                Column("id", I, alias="test use id", nullable=False),
+                Column("fda_id", I, alias="FDA biomarker id"),
+                Column("test_use", T, alias="test use"),
+            ),
+            primary_key="id",
+            alias="FDA biomarker test use",
+        ),
+        TableDef(
+            "biomarker_fda_drug",
+            (
+                Column("id", I, alias="FDA drug id", nullable=False),
+                Column("fda_id", I, alias="FDA biomarker id"),
+                Column("drug_name", T, alias="drug name"),
+            ),
+            primary_key="id",
+            alias="FDA biomarker drug",
+        ),
+        TableDef(
+            "biomarker_fda_ncit_term",
+            (
+                Column("id", I, alias="NCIT term id", nullable=False),
+                Column("fda_id", I, alias="FDA biomarker id"),
+                Column("ncit_biomarker", T, alias="NCIT biomarker term"),
+            ),
+            primary_key="id",
+            alias="FDA NCIT term",
+        ),
+        TableDef(
+            "biomarker_edrn",
+            (
+                Column("id", I, alias="EDRN biomarker id", nullable=False),
+                Column("biomarker_id", I, alias="biomarker id"),
+                Column("phase", T, alias="EDRN phase"),
+                Column("qa_state", T, alias="QA state"),
+                Column("biomarker_title", T, alias="biomarker title"),
+            ),
+            primary_key="id",
+            alias="EDRN biomarker",
+        ),
+        TableDef(
+            "biomarker_article",
+            (
+                Column("id", I, alias="article link id", nullable=False),
+                Column("biomarker_id", I, alias="biomarker id"),
+                Column("pmid", I, alias="PubMed id"),
+            ),
+            primary_key="id",
+            alias="biomarker article",
+        ),
+        TableDef(
+            "biomarker_alias",
+            (
+                Column("id", I, alias="alias id", nullable=False),
+                Column("biomarker_id", I, alias="biomarker id"),
+                Column("alias", T, alias="biomarker alias"),
+            ),
+            primary_key="id",
+            alias="biomarker alias",
+        ),
+        TableDef(
+            "biomarker_disease",
+            (
+                Column("id", I, alias="biomarker disease id", nullable=False),
+                Column("biomarker_id", I, alias="biomarker id"),
+                Column("doid", T, alias="disease ontology id"),
+                Column("clinical_significance", T, alias="clinical significance"),
+            ),
+            primary_key="id",
+            alias="biomarker disease link",
+        ),
+        TableDef(
+            "healthy_expression",
+            (
+                Column("id", I, alias="expression record id", nullable=False),
+                Column("gene_id", I, alias="gene id"),
+                Column("uberon_anatomical_id", T, alias="anatomical entity id"),
+                Column("expression_score", F, alias="expression score"),
+                Column("expression_rank_score", F, alias="expression rank score"),
+                Column("expression_level_gene_relative", T, alias="relative expression level"),
+                Column("call_quality", T, alias="call quality"),
+                Column("developmental_stage_id", T, alias="developmental stage id"),
+            ),
+            primary_key="id",
+            alias="healthy expression",
+        ),
+        TableDef(
+            "developmental_stage",
+            (
+                Column("stage_id", T, alias="developmental stage id", nullable=False),
+                Column("stage_name", T, alias="stage name"),
+                Column("description", T, alias="stage description"),
+            ),
+            primary_key="stage_id",
+            alias="developmental stage",
+        ),
+        TableDef(
+            "differential_expression",
+            (
+                Column("id", I, alias="differential expression id", nullable=False),
+                Column("gene_id", I, alias="gene id"),
+                Column("doid", T, alias="disease ontology id"),
+                Column("subjects_up", I, alias="subjects with increased expression"),
+                Column("subjects_down", I, alias="subjects with decreased expression"),
+                Column("subjects_total", I, alias="total subjects"),
+                Column("log2fc", F, alias="log2 fold change"),
+                Column("pvalue", F, alias="p-value"),
+                Column("adjpvalue", F, alias="adjusted p-value"),
+                Column("expression_trend", T, alias="expression trend"),
+            ),
+            primary_key="id",
+            alias="differential expression",
+        ),
+        TableDef(
+            "cancer_tissue",
+            (
+                Column("id", I, alias="cancer tissue id", nullable=False),
+                Column("doid", T, alias="disease ontology id"),
+                Column("uberon_anatomical_id", T, alias="anatomical entity id"),
+            ),
+            primary_key="id",
+            alias="cancer tissue",
+        ),
+        TableDef(
+            "disease_mutation",
+            (
+                Column("mutation_id", I, alias="mutation id", nullable=False),
+                Column("gene_id", I, alias="gene id"),
+                Column("doid", T, alias="disease ontology id"),
+                Column("chromosome_pos", I, alias="chromosome position"),
+                Column("ref_aa", T, alias="reference amino acid"),
+                Column("alt_aa", T, alias="altered amino acid"),
+                Column("ref_nt", T, alias="reference nucleotide"),
+                Column("alt_nt", T, alias="altered nucleotide"),
+                Column("data_source", T, alias="data source"),
+                Column("polyphen_prediction", T, alias="polyphen prediction"),
+            ),
+            primary_key="mutation_id",
+            alias="disease mutation",
+        ),
+        TableDef(
+            "disease_mutation_tissue",
+            (
+                Column("id", I, alias="mutation tissue id", nullable=False),
+                Column("mutation_id", I, alias="mutation id"),
+                Column("uberon_anatomical_id", T, alias="anatomical entity id"),
+            ),
+            primary_key="id",
+            alias="disease mutation tissue",
+        ),
+        TableDef(
+            "disease_mutation_article",
+            (
+                Column("id", I, alias="mutation article id", nullable=False),
+                Column("mutation_id", I, alias="mutation id"),
+                Column("pmid", I, alias="PubMed id"),
+            ),
+            primary_key="id",
+            alias="disease mutation article",
+        ),
+        TableDef(
+            "xref_gene_ensembl",
+            (
+                Column("id", I, alias="ensembl xref id", nullable=False),
+                Column("gene_id", I, alias="gene id"),
+                Column("ensembl_gene_id", T, alias="Ensembl gene id"),
+            ),
+            primary_key="id",
+            alias="Ensembl cross-reference",
+        ),
+        TableDef(
+            "map_uniprot_canonical",
+            (
+                Column("id", I, alias="uniprot mapping id", nullable=False),
+                Column("gene_id", I, alias="gene id"),
+                Column("uniprot_ac", T, alias="UniProt accession"),
+            ),
+            primary_key="id",
+            alias="UniProt mapping",
+        ),
+        TableDef(
+            "anatomical_entity_synonym",
+            (
+                Column("id", I, alias="anatomical synonym id", nullable=False),
+                Column("uberon_anatomical_id", T, alias="anatomical entity id"),
+                Column("synonym", T, alias="synonym"),
+            ),
+            primary_key="id",
+            alias="anatomical entity synonym",
+        ),
+        TableDef(
+            "disease_synonym",
+            (
+                Column("id", I, alias="disease synonym id", nullable=False),
+                Column("doid", T, alias="disease ontology id"),
+                Column("synonym", T, alias="synonym"),
+            ),
+            primary_key="id",
+            alias="disease synonym",
+        ),
+        TableDef(
+            "gene_disease",
+            (
+                Column("id", I, alias="gene disease id", nullable=False),
+                Column("gene_id", I, alias="gene id"),
+                Column("doid", T, alias="disease ontology id"),
+            ),
+            primary_key="id",
+            alias="gene disease association",
+        ),
+    )
+    foreign_keys = (
+        ForeignKey("gene", "speciesid", "species", "speciesid"),
+        ForeignKey("biomarker", "gene_id", "gene", "gene_id"),
+        ForeignKey("biomarker_fda", "biomarker_id", "biomarker", "biomarker_id"),
+        ForeignKey("biomarker_fda_test_use", "fda_id", "biomarker_fda", "id"),
+        ForeignKey("biomarker_fda_drug", "fda_id", "biomarker_fda", "id"),
+        ForeignKey("biomarker_fda_ncit_term", "fda_id", "biomarker_fda", "id"),
+        ForeignKey("biomarker_edrn", "biomarker_id", "biomarker", "biomarker_id"),
+        ForeignKey("biomarker_article", "biomarker_id", "biomarker", "biomarker_id"),
+        ForeignKey("biomarker_alias", "biomarker_id", "biomarker", "biomarker_id"),
+        ForeignKey("biomarker_disease", "biomarker_id", "biomarker", "biomarker_id"),
+        ForeignKey("biomarker_disease", "doid", "disease", "doid"),
+        ForeignKey("healthy_expression", "gene_id", "gene", "gene_id"),
+        ForeignKey("healthy_expression", "uberon_anatomical_id", "anatomical_entity", "uberon_anatomical_id"),
+        ForeignKey("healthy_expression", "developmental_stage_id", "developmental_stage", "stage_id"),
+        ForeignKey("differential_expression", "gene_id", "gene", "gene_id"),
+        ForeignKey("differential_expression", "doid", "disease", "doid"),
+        ForeignKey("cancer_tissue", "doid", "disease", "doid"),
+        ForeignKey("cancer_tissue", "uberon_anatomical_id", "anatomical_entity", "uberon_anatomical_id"),
+        ForeignKey("disease_mutation", "gene_id", "gene", "gene_id"),
+        ForeignKey("disease_mutation", "doid", "disease", "doid"),
+        ForeignKey("disease_mutation_tissue", "mutation_id", "disease_mutation", "mutation_id"),
+        ForeignKey("disease_mutation_tissue", "uberon_anatomical_id", "anatomical_entity", "uberon_anatomical_id"),
+        ForeignKey("disease_mutation_article", "mutation_id", "disease_mutation", "mutation_id"),
+        ForeignKey("xref_gene_ensembl", "gene_id", "gene", "gene_id"),
+        ForeignKey("map_uniprot_canonical", "gene_id", "gene", "gene_id"),
+        ForeignKey("anatomical_entity_synonym", "uberon_anatomical_id", "anatomical_entity", "uberon_anatomical_id"),
+        ForeignKey("disease_synonym", "doid", "disease", "doid"),
+        ForeignKey("gene_disease", "gene_id", "gene", "gene_id"),
+        ForeignKey("gene_disease", "doid", "disease", "doid"),
+    )
+    return Schema(name="oncomx", tables=tables, foreign_keys=foreign_keys)
+
+
+def populate(database: Database, scale: float, rng: random.Random) -> None:
+    """Fill the OncoMX instance with synthetic biomarker data."""
+    n_biomarkers = max(40, int(250 * scale))
+    n_healthy = max(200, int(2000 * scale))
+    n_diff = max(150, int(1200 * scale))
+    n_mutations = max(120, int(1000 * scale))
+
+    database.insert("species", [(sid, name, common, f"GRC{common[0]}38") for sid, name, common in SPECIES])
+    database.insert(
+        "gene",
+        [
+            (
+                1000 + i,
+                symbol,
+                name,
+                gen.skewed_choice(rng, [9606, 9606, 9606, 10090]),
+                str(rng.randint(1, 22)),
+            )
+            for i, (symbol, name) in enumerate(GENES)
+        ],
+    )
+    database.insert(
+        "anatomical_entity",
+        [(uid, name, gen.sentence(rng, 6)) for uid, name in ANATOMICAL_ENTITIES],
+    )
+    database.insert(
+        "disease",
+        [(doid, name, gen.sentence(rng, 8)) for doid, name in DISEASES],
+    )
+    database.insert(
+        "developmental_stage",
+        [(sid, name, gen.sentence(rng, 5)) for sid, name in STAGES],
+    )
+
+    gene_ids = [1000 + i for i in range(len(GENES))]
+    doids = [doid for doid, _ in DISEASES]
+    uberons = [uid for uid, _ in ANATOMICAL_ENTITIES]
+    stage_ids = [sid for sid, _ in STAGES]
+
+    biomarker_rows = []
+    for i in range(n_biomarkers):
+        biomarker_rows.append(
+            (
+                2000 + i,
+                f"ONX_{2000 + i}",
+                rng.choice(gene_ids),
+                gen.skewed_choice(rng, list(BIOMARKER_TYPES)),
+                rng.random() < 0.2,
+                gen.skewed_choice(rng, ["approved", "investigational", "retired"]),
+                gen.sentence(rng, 10),
+            )
+        )
+    database.insert("biomarker", biomarker_rows)
+    biomarker_ids = [row[0] for row in biomarker_rows]
+
+    fda_rows = []
+    for i, biomarker_id in enumerate(rng.sample(biomarker_ids, k=len(biomarker_ids) // 2)):
+        fda_rows.append(
+            (
+                3000 + i,
+                biomarker_id,
+                f"{gen.word(rng, 2).capitalize()}Dx",
+                f"{gen.word(rng, 2).capitalize()} Diagnostics",
+                gen.skewed_choice(rng, [name for _, name in DISEASES]),
+            )
+        )
+    database.insert("biomarker_fda", fda_rows)
+    fda_ids = [row[0] for row in fda_rows]
+
+    database.insert(
+        "biomarker_fda_test_use",
+        [
+            (3500 + i, rng.choice(fda_ids), gen.skewed_choice(
+                rng, ["diagnosis", "prognosis", "monitoring", "predisposition"]))
+            for i in range(len(fda_ids) * 2)
+        ],
+    )
+    database.insert(
+        "biomarker_fda_drug",
+        [
+            (3800 + i, rng.choice(fda_ids), gen.skewed_choice(
+                rng, ["trastuzumab", "erlotinib", "olaparib", "vemurafenib", "cetuximab"]))
+            for i in range(len(fda_ids))
+        ],
+    )
+    database.insert(
+        "biomarker_fda_ncit_term",
+        [
+            (3900 + i, fda_id, gen.skewed_choice(rng, [s for s, _ in GENES]))
+            for i, fda_id in enumerate(fda_ids)
+        ],
+    )
+
+    database.insert(
+        "biomarker_edrn",
+        [
+            (
+                4000 + i,
+                rng.choice(biomarker_ids),
+                gen.skewed_choice(rng, list(EDRN_PHASES)),
+                gen.skewed_choice(rng, list(QA_STATES)),
+                gen.title(rng, 4),
+            )
+            for i in range(max(20, n_biomarkers // 2))
+        ],
+    )
+    database.insert(
+        "biomarker_article",
+        [
+            (4500 + i, rng.choice(biomarker_ids), 10_000_000 + rng.randint(0, 9_999_999))
+            for i in range(n_biomarkers)
+        ],
+    )
+    database.insert(
+        "biomarker_alias",
+        [
+            (4800 + i, rng.choice(biomarker_ids), gen.acronym(rng, rng.randint(3, 6)))
+            for i in range(n_biomarkers)
+        ],
+    )
+    database.insert(
+        "biomarker_disease",
+        [
+            (
+                5000 + i,
+                rng.choice(biomarker_ids),
+                gen.skewed_choice(rng, doids),
+                gen.skewed_choice(rng, ["diagnostic", "prognostic", "predictive"]),
+            )
+            for i in range(n_biomarkers * 2)
+        ],
+    )
+
+    healthy_rows = []
+    for i in range(n_healthy):
+        score = gen.bounded_float(rng, 0.0, 100.0, 2)
+        level = (
+            "HIGH" if score > 75 else "MEDIUM" if score > 40 else "LOW" if score > 5 else "ABSENT"
+        )
+        healthy_rows.append(
+            (
+                6000 + i,
+                rng.choice(gene_ids),
+                rng.choice(uberons),
+                score,
+                gen.bounded_float(rng, 0.0, 1.0, 4),
+                level,
+                gen.skewed_choice(rng, list(CALL_QUALITIES)),
+                rng.choice(stage_ids),
+            )
+        )
+    database.insert("healthy_expression", healthy_rows)
+
+    diff_rows = []
+    for i in range(n_diff):
+        up = rng.randint(0, 120)
+        down = rng.randint(0, 120)
+        diff_rows.append(
+            (
+                7000 + i,
+                rng.choice(gene_ids),
+                gen.skewed_choice(rng, doids),
+                up,
+                down,
+                up + down + rng.randint(0, 40),
+                gen.gauss_float(rng, 0.0, 2.2),
+                gen.bounded_float(rng, 0.0, 0.2, 6),
+                gen.bounded_float(rng, 0.0, 0.3, 6),
+                "UP" if up >= down else "DOWN",
+            )
+        )
+    database.insert("differential_expression", diff_rows)
+
+    database.insert(
+        "cancer_tissue",
+        [
+            (7500 + i, doid, rng.choice(uberons))
+            for i, doid in enumerate(doids)
+        ],
+    )
+
+    mutation_rows = []
+    for i in range(n_mutations):
+        ref, alt = rng.sample(list(AA_CODES), 2)
+        mutation_rows.append(
+            (
+                8000 + i,
+                rng.choice(gene_ids),
+                gen.skewed_choice(rng, doids),
+                rng.randint(10_000, 248_000_000),
+                ref,
+                alt,
+                rng.choice("ACGT"),
+                rng.choice("ACGT"),
+                gen.skewed_choice(rng, list(DATA_SOURCES)),
+                gen.skewed_choice(rng, list(POLYPHEN)),
+            )
+        )
+    database.insert("disease_mutation", mutation_rows)
+    mutation_ids = [row[0] for row in mutation_rows]
+
+    database.insert(
+        "disease_mutation_tissue",
+        [
+            (8500 + i, rng.choice(mutation_ids), rng.choice(uberons))
+            for i in range(n_mutations)
+        ],
+    )
+    database.insert(
+        "disease_mutation_article",
+        [
+            (8800 + i, rng.choice(mutation_ids), 20_000_000 + rng.randint(0, 9_999_999))
+            for i in range(n_mutations // 2)
+        ],
+    )
+    database.insert(
+        "xref_gene_ensembl",
+        [
+            (9000 + i, gene_id, f"ENSG{rng.randint(10_000_000_000, 99_999_999_999)}")
+            for i, gene_id in enumerate(gene_ids)
+        ],
+    )
+    database.insert(
+        "map_uniprot_canonical",
+        [
+            (9100 + i, gene_id, f"P{rng.randint(10000, 99999)}")
+            for i, gene_id in enumerate(gene_ids)
+        ],
+    )
+    database.insert(
+        "anatomical_entity_synonym",
+        [
+            (9200 + i, uid, f"{name} tissue")
+            for i, (uid, name) in enumerate(ANATOMICAL_ENTITIES)
+        ],
+    )
+    database.insert(
+        "disease_synonym",
+        [
+            (9300 + i, doid, f"{name} (malignant)")
+            for i, (doid, name) in enumerate(DISEASES)
+        ],
+    )
+    database.insert(
+        "gene_disease",
+        [
+            (9400 + i, rng.choice(gene_ids), gen.skewed_choice(rng, doids))
+            for i in range(len(gene_ids) * 4)
+        ],
+    )
+
+
+def build_lexicon() -> DomainLexicon:
+    """Cancer-research phrasing used by domain experts."""
+    lex = DomainLexicon(name="oncomx")
+    lex.add_table("biomarker", "biomarkers", "cancer biomarkers")
+    lex.add_table("gene", "genes")
+    lex.add_table("disease", "diseases", "cancers")
+    lex.add_table("anatomical_entity", "anatomical entities", "tissues")
+    lex.add_table("healthy_expression", "healthy expression records", "gene expressions in healthy tissue")
+    lex.add_table("differential_expression", "differential expression records")
+    lex.add_table("disease_mutation", "cancer mutations", "disease mutations")
+    lex.add_table("biomarker_fda", "FDA approved biomarker tests", "FDA biomarkers")
+    lex.add_table("biomarker_edrn", "EDRN biomarkers")
+
+    lex.add_column("gene", "gene_symbol", "gene symbol", "symbol")
+    lex.add_column("gene", "gene_name", "gene name")
+    lex.add_column("disease", "disease_name", "disease name", "cancer name")
+    lex.add_column("healthy_expression", "expression_score", "expression score")
+    lex.add_column("healthy_expression", "expression_level_gene_relative", "relative expression level")
+    lex.add_column("differential_expression", "log2fc", "log2 fold change", "fold change")
+    lex.add_column("differential_expression", "pvalue", "p-value")
+    lex.add_column("differential_expression", "subjects_up", "subjects with increased expression")
+    lex.add_column("disease_mutation", "polyphen_prediction", "polyphen prediction")
+    lex.add_column("disease_mutation", "chromosome_pos", "chromosome position")
+    lex.add_column("biomarker", "biomarker_type", "biomarker type")
+    lex.add_column("biomarker_edrn", "phase", "EDRN phase", "phase")
+
+    for symbol, name in GENES:
+        lex.add_value("gene", "gene_symbol", symbol, symbol, name)
+    for doid, name in DISEASES:
+        lex.add_value("disease", "disease_name", name, name)
+        lex.add_value("differential_expression", "doid", doid, name)
+        lex.add_value("disease_mutation", "doid", doid, name)
+    for uid, name in ANATOMICAL_ENTITIES:
+        lex.add_value("anatomical_entity", "name", name, name)
+        lex.add_value("healthy_expression", "uberon_anatomical_id", uid, name)
+    return lex
+
+
+def _question_programs() -> list[Program]:
+    """The expert question catalogue for OncoMX (seed + dev).
+
+    Deliberately easier than the other domains: mostly easy/medium with a
+    handful of hard queries, matching Table 2's OncoMX distribution.
+    """
+    return [
+        Program(
+            nl=(
+                "Show biomarkers for {disease}.",
+                "Which biomarkers are associated with {disease}?",
+            ),
+            sql=(
+                "SELECT T1.biomarker_internal_id FROM biomarker AS T1 "
+                "JOIN biomarker_disease AS T2 ON T2.biomarker_id = T1.biomarker_id "
+                "JOIN disease AS T3 ON T2.doid = T3.doid "
+                "WHERE T3.disease_name = '{disease}'"
+            ),
+            params={
+                "disease": ("breast cancer", "lung cancer", "ovarian cancer",
+                            "colorectal cancer", "prostate cancer", "melanoma"),
+            },
+        ),
+        Program(
+            nl=(
+                "Find the gene name of the gene with symbol {symbol}.",
+                "What is the full name of the {symbol} gene?",
+            ),
+            sql="SELECT gene_name FROM gene WHERE gene_symbol = '{symbol}'",
+            params={"symbol": ("BRCA1", "TP53", "EGFR", "KRAS", "BRCA2", "MYC")},
+        ),
+        Program(
+            nl=(
+                "How many biomarkers are of biomarker type {t}?",
+                "Count the biomarkers whose type is {t}.",
+            ),
+            sql="SELECT COUNT(*) FROM biomarker WHERE biomarker_type = '{t}'",
+            params={"t": ("protein", "gene", "glycan", "metabolite")},
+        ),
+        Program(
+            nl=(
+                "Find the number of biomarkers for each biomarker type.",
+                "How many biomarkers exist per biomarker type?",
+            ),
+            sql="SELECT COUNT(*), biomarker_type FROM biomarker GROUP BY biomarker_type",
+            params={},
+        ),
+        Program(
+            nl=(
+                "What is the average expression score of the gene {symbol} in healthy tissue?",
+                "Compute the mean expression score for gene {symbol} across healthy expression records.",
+            ),
+            sql=(
+                "SELECT AVG(T1.expression_score) FROM healthy_expression AS T1 "
+                "JOIN gene AS T2 ON T1.gene_id = T2.gene_id "
+                "WHERE T2.gene_symbol = '{symbol}'"
+            ),
+            params={"symbol": ("BRCA1", "TP53", "EGFR", "PTEN", "MYC", "BRAF")},
+        ),
+        Program(
+            nl=(
+                "Find the expression score of genes in the {tissue}.",
+                "Show the expression scores measured in the {tissue}.",
+            ),
+            sql=(
+                "SELECT T1.expression_score FROM healthy_expression AS T1 "
+                "JOIN anatomical_entity AS T2 "
+                "ON T1.uberon_anatomical_id = T2.uberon_anatomical_id "
+                "WHERE T2.name = '{tissue}'"
+            ),
+            params={"tissue": ("breast", "lung", "liver", "brain", "colon", "ovary")},
+        ),
+        Program(
+            nl=(
+                "Find the mutations of the gene {symbol} in {disease}.",
+                "List mutation ids of {symbol} mutations observed in {disease}.",
+            ),
+            sql=(
+                "SELECT T1.mutation_id FROM disease_mutation AS T1 "
+                "JOIN gene AS T2 ON T1.gene_id = T2.gene_id "
+                "JOIN disease AS T3 ON T1.doid = T3.doid "
+                "WHERE T2.gene_symbol = '{symbol}' AND T3.disease_name = '{disease}'"
+            ),
+            params={
+                "symbol": ("BRCA1", "TP53", "KRAS", "EGFR"),
+                "disease": ("breast cancer", "lung cancer", "colorectal cancer", "lung cancer"),
+            },
+        ),
+        Program(
+            nl=(
+                "How many cancer mutations come from the data source {src}?",
+                "Count disease mutations recorded in {src}.",
+            ),
+            sql="SELECT COUNT(*) FROM disease_mutation WHERE data_source = '{src}'",
+            params={"src": ("cosmic", "tcga", "icgc", "cosmic")},
+        ),
+        Program(
+            nl=(
+                "Find the number of mutations for each polyphen prediction.",
+                "How many mutations are there per polyphen prediction?",
+            ),
+            sql=(
+                "SELECT COUNT(*), polyphen_prediction FROM disease_mutation "
+                "GROUP BY polyphen_prediction"
+            ),
+            params={},
+        ),
+        Program(
+            nl=(
+                "Find the test trade names of FDA approved biomarker tests manufactured by {m}.",
+                "Which FDA biomarker tests does {m} manufacture?",
+            ),
+            sql="SELECT test_trade_name FROM biomarker_fda WHERE test_manufacturer LIKE '%{m}%'",
+            params={"m": ("Diagnostics", "Diagnostics", "Diagnostics", "Diagnostics")},
+            only="seed",
+        ),
+        Program(
+            nl=(
+                "Find the EDRN biomarker titles in phase {phase}.",
+                "List EDRN biomarkers whose phase is {phase}.",
+            ),
+            sql="SELECT biomarker_title FROM biomarker_edrn WHERE phase = '{phase}'",
+            params={"phase": ("Two", "Three", "One", "Four")},
+        ),
+        Program(
+            nl=(
+                "Find genes with log2 fold change greater than {fc} in {disease}.",
+                "Which gene ids show a fold change above {fc} for {disease}?",
+            ),
+            sql=(
+                "SELECT T1.gene_id FROM differential_expression AS T1 "
+                "JOIN disease AS T2 ON T1.doid = T2.doid "
+                "WHERE T2.disease_name = '{disease}' AND T1.log2fc > {fc}"
+            ),
+            params={
+                "disease": ("breast cancer", "lung cancer", "prostate cancer", "melanoma"),
+                "fc": (1.5, 2.0, 1.0, 2.5),
+            },
+        ),
+        Program(
+            nl=(
+                "What is the average log2 fold change for each disease ontology id?",
+                "Compute the mean fold change per disease.",
+            ),
+            sql="SELECT AVG(log2fc), doid FROM differential_expression GROUP BY doid",
+            params={},
+        ),
+        Program(
+            nl=(
+                "Find the relative expression level of the gene {symbol} in the {tissue}.",
+                "What is the relative expression level of {symbol} measured in the {tissue}?",
+            ),
+            sql=(
+                "SELECT T1.expression_level_gene_relative FROM healthy_expression AS T1 "
+                "JOIN gene AS T2 ON T1.gene_id = T2.gene_id "
+                "JOIN anatomical_entity AS T3 "
+                "ON T1.uberon_anatomical_id = T3.uberon_anatomical_id "
+                "WHERE T2.gene_symbol = '{symbol}' AND T3.name = '{tissue}'"
+            ),
+            params={
+                "symbol": ("BRCA1", "TP53", "EGFR", "PTEN"),
+                "tissue": ("breast", "lung", "brain", "liver"),
+            },
+        ),
+        Program(
+            nl=(
+                "How many healthy expression records have call quality {q}?",
+                "Count expression records whose call quality equals {q}.",
+            ),
+            sql="SELECT COUNT(*) FROM healthy_expression WHERE call_quality = '{q}'",
+            params={"q": ("gold", "silver", "bronze", "gold")},
+        ),
+        Program(
+            nl=(
+                "Find the anatomical entity names of the cancer tissues of {disease}.",
+                "Which tissues are affected by {disease}?",
+            ),
+            sql=(
+                "SELECT T1.name FROM anatomical_entity AS T1 "
+                "JOIN cancer_tissue AS T2 "
+                "ON T2.uberon_anatomical_id = T1.uberon_anatomical_id "
+                "JOIN disease AS T3 ON T2.doid = T3.doid "
+                "WHERE T3.disease_name = '{disease}'"
+            ),
+            params={
+                "disease": ("breast cancer", "lung cancer", "melanoma", "prostate cancer"),
+            },
+        ),
+        Program(
+            nl=(
+                "Find the PubMed ids of articles about biomarkers of the gene {symbol}.",
+                "List PubMed ids for biomarker articles linked to gene {symbol}.",
+            ),
+            sql=(
+                "SELECT T1.pmid FROM biomarker_article AS T1 "
+                "JOIN biomarker AS T2 ON T1.biomarker_id = T2.biomarker_id "
+                "JOIN gene AS T3 ON T2.gene_id = T3.gene_id "
+                "WHERE T3.gene_symbol = '{symbol}'"
+            ),
+            params={"symbol": ("BRCA1", "TP53", "ERBB2", "ALK")},
+        ),
+        Program(
+            nl=(
+                "Find the drug names associated with FDA biomarker tests approved for {disease}.",
+                "Which drugs are linked to FDA biomarkers indicated for {disease}?",
+            ),
+            sql=(
+                "SELECT T1.drug_name FROM biomarker_fda_drug AS T1 "
+                "JOIN biomarker_fda AS T2 ON T1.fda_id = T2.id "
+                "WHERE T2.approved_indication = '{disease}'"
+            ),
+            params={
+                "disease": ("breast cancer", "lung cancer", "colorectal cancer", "melanoma"),
+            },
+        ),
+        Program(
+            nl=(
+                "Find the gene symbols of genes associated with {disease}.",
+                "Which gene symbols are linked to {disease}?",
+            ),
+            sql=(
+                "SELECT T1.gene_symbol FROM gene AS T1 "
+                "JOIN gene_disease AS T2 ON T2.gene_id = T1.gene_id "
+                "JOIN disease AS T3 ON T2.doid = T3.doid "
+                "WHERE T3.disease_name = '{disease}'"
+            ),
+            params={
+                "disease": ("breast cancer", "ovarian cancer", "lung cancer", "melanoma"),
+            },
+        ),
+        Program(
+            nl=(
+                "Find the Ensembl gene id of the gene {symbol}.",
+                "What is the Ensembl identifier for gene {symbol}?",
+            ),
+            sql=(
+                "SELECT T1.ensembl_gene_id FROM xref_gene_ensembl AS T1 "
+                "JOIN gene AS T2 ON T1.gene_id = T2.gene_id "
+                "WHERE T2.gene_symbol = '{symbol}'"
+            ),
+            params={"symbol": ("BRCA2", "KRAS", "PIK3CA", "RB1")},
+        ),
+        Program(
+            nl=(
+                "Find the UniProt accession of the gene {symbol}.",
+                "Show the UniProt accession mapped to gene {symbol}.",
+            ),
+            sql=(
+                "SELECT T1.uniprot_ac FROM map_uniprot_canonical AS T1 "
+                "JOIN gene AS T2 ON T1.gene_id = T2.gene_id "
+                "WHERE T2.gene_symbol = '{symbol}'"
+            ),
+            params={"symbol": ("BRCA1", "EGFR", "MYC", "PTEN")},
+        ),
+        Program(
+            nl=(
+                "List the gene symbol and chromosome of all human genes.",
+                "Show gene symbols with their chromosome for the species Homo sapiens.",
+            ),
+            sql=(
+                "SELECT T1.gene_symbol, T1.chromosome_id FROM gene AS T1 "
+                "JOIN species AS T2 ON T1.speciesid = T2.speciesid "
+                "WHERE T2.species_name = 'Homo sapiens'"
+            ),
+            params={},
+        ),
+        Program(
+            nl=(
+                "Find the number of subjects with increased expression for the gene {symbol} in {disease}.",
+                "How many subjects show increased expression of {symbol} in {disease}?",
+            ),
+            sql=(
+                "SELECT T1.subjects_up FROM differential_expression AS T1 "
+                "JOIN gene AS T2 ON T1.gene_id = T2.gene_id "
+                "JOIN disease AS T3 ON T1.doid = T3.doid "
+                "WHERE T2.gene_symbol = '{symbol}' AND T3.disease_name = '{disease}'"
+            ),
+            params={
+                "symbol": ("BRCA1", "TP53", "EGFR", "KRAS"),
+                "disease": ("breast cancer", "ovarian cancer", "lung cancer", "colorectal cancer"),
+            },
+        ),
+        # -- a handful of hard programs (OncoMX Dev has ~11% hard) -------------
+        Program(
+            nl=(
+                "",
+                "Which gene symbols have a mean healthy expression score above {s}?",
+            ),
+            sql=(
+                "SELECT T2.gene_symbol FROM healthy_expression AS T1 "
+                "JOIN gene AS T2 ON T1.gene_id = T2.gene_id "
+                "GROUP BY T2.gene_symbol HAVING AVG(T1.expression_score) > {s}"
+            ),
+            params={"s": (50, 60, 40, 55)},
+            only="dev",
+        ),
+        Program(
+            nl=(
+                "",
+                "Find the disease names with more than {n} recorded mutations, ordered by the number of mutations in descending order.",
+            ),
+            sql=(
+                "SELECT T2.disease_name FROM disease_mutation AS T1 "
+                "JOIN disease AS T2 ON T1.doid = T2.doid "
+                "GROUP BY T2.disease_name HAVING COUNT(*) > {n} "
+                "ORDER BY COUNT(*) DESC"
+            ),
+            params={"n": (10, 30, 5, 20)},
+            only="dev",
+        ),
+        Program(
+            nl=(
+                "",
+                "Which genes have a log2 fold change above the average log2 fold change across all differential expression records?",
+            ),
+            sql=(
+                "SELECT gene_id FROM differential_expression WHERE log2fc > "
+                "(SELECT AVG(log2fc) FROM differential_expression)"
+            ),
+            params={},
+            only="dev",
+        ),
+        Program(
+            nl=(
+                "",
+                "Find the expression score and call quality of records for the {tissue} whose expression score is greater than {s}.",
+            ),
+            sql=(
+                "SELECT T1.expression_score, T1.call_quality FROM healthy_expression AS T1 "
+                "JOIN anatomical_entity AS T2 "
+                "ON T1.uberon_anatomical_id = T2.uberon_anatomical_id "
+                "WHERE T2.name = '{tissue}' AND T1.expression_score > {s}"
+            ),
+            params={"tissue": ("breast", "lung", "liver", "kidney"), "s": (50, 70, 30, 60)},
+            only="dev",
+        ),
+        Program(
+            nl=(
+                "Count the biomarkers for each clinical significance.",
+                "How many biomarker-disease links are there per clinical significance?",
+            ),
+            sql=(
+                "SELECT COUNT(*), clinical_significance FROM biomarker_disease "
+                "GROUP BY clinical_significance"
+            ),
+            params={},
+        ),
+        Program(
+            nl=(
+                "Find the stage names of developmental stages.",
+                "List all developmental stage names.",
+            ),
+            sql="SELECT stage_name FROM developmental_stage",
+            params={},
+            only="seed",
+        ),
+        Program(
+            nl=(
+                "Find the {k} differential expression records with the highest log2 fold change.",
+                "Return the top {k} records by fold change.",
+            ),
+            sql="SELECT id FROM differential_expression ORDER BY log2fc DESC LIMIT {k}",
+            params={"k": (5, 10, 3, 20)},
+        ),
+        Program(
+            nl=(
+                "Find the reference amino acid and altered amino acid of mutations in the gene {symbol}.",
+                "Show the amino acid changes for mutations of gene {symbol}.",
+            ),
+            sql=(
+                "SELECT T1.ref_aa, T1.alt_aa FROM disease_mutation AS T1 "
+                "JOIN gene AS T2 ON T1.gene_id = T2.gene_id "
+                "WHERE T2.gene_symbol = '{symbol}'"
+            ),
+            params={"symbol": ("TP53", "KRAS", "BRAF", "PIK3CA")},
+        ),
+        Program(
+            nl=(
+                "Find the test use of FDA biomarker tests.",
+                "List the recorded test uses of FDA biomarkers.",
+            ),
+            sql="SELECT test_use FROM biomarker_fda_test_use",
+            params={"pad": (1, 2)},
+        ),
+        Program(
+            nl=(
+                "How many FDA biomarker tests are approved for each approved indication?",
+                "Count FDA biomarkers per approved indication.",
+            ),
+            sql=(
+                "SELECT COUNT(*), approved_indication FROM biomarker_fda "
+                "GROUP BY approved_indication"
+            ),
+            params={},
+        ),
+        Program(
+            nl=(
+                "Find the biomarker aliases of the biomarker with biomarker id {b}.",
+                "List the aliases recorded for biomarker {b}.",
+            ),
+            sql="SELECT alias FROM biomarker_alias WHERE biomarker_id = {b}",
+            params={"b": (2001, 2005, 2010, 2003, 2007, 2012)},
+        ),
+        Program(
+            nl=(
+                "Find the disease synonyms of {disease}.",
+                "Which synonyms exist for {disease}?",
+            ),
+            sql=(
+                "SELECT T1.synonym FROM disease_synonym AS T1 "
+                "JOIN disease AS T2 ON T1.doid = T2.doid "
+                "WHERE T2.disease_name = '{disease}'"
+            ),
+            params={
+                "disease": ("breast cancer", "melanoma", "lung cancer", "ovarian cancer"),
+            },
+        ),
+        Program(
+            nl=(
+                "How many mutations have the altered amino acid {aa}?",
+                "Count disease mutations whose altered amino acid equals {aa}.",
+            ),
+            sql="SELECT COUNT(*) FROM disease_mutation WHERE alt_aa = '{aa}'",
+            params={"aa": ("A", "R", "L", "S", "V", "G")},
+        ),
+        Program(
+            nl=(
+                "Find the expression score and the expression rank score of records with relative expression level {level}.",
+                "Show expression score alongside rank score where the relative expression level is {level}.",
+            ),
+            sql=(
+                "SELECT expression_score, expression_rank_score FROM healthy_expression "
+                "WHERE expression_level_gene_relative = '{level}'"
+            ),
+            params={"level": ("HIGH", "LOW", "MEDIUM", "ABSENT")},
+        ),
+        Program(
+            nl=(
+                "Find the species name and genome assembly of all species.",
+                "List every species with its genome assembly.",
+            ),
+            sql="SELECT species_name, genome_assembly FROM species",
+            params={"pad": (1, 2)},
+        ),
+        Program(
+            nl=(
+                "What is the maximum chromosome position among mutations from {src}?",
+                "Find the largest chromosome position recorded in {src}.",
+            ),
+            sql=(
+                "SELECT MAX(chromosome_pos) FROM disease_mutation "
+                "WHERE data_source = '{src}'"
+            ),
+            params={"src": ("cosmic", "tcga", "icgc", "cosmic")},
+        ),
+        Program(
+            nl=(
+                "Count the healthy expression records for each developmental stage id.",
+                "How many expression records exist per developmental stage?",
+            ),
+            sql=(
+                "SELECT COUNT(*), developmental_stage_id FROM healthy_expression "
+                "GROUP BY developmental_stage_id"
+            ),
+            params={},
+        ),
+        Program(
+            nl=(
+                "Find the NCIT biomarker terms of FDA biomarkers approved for {disease}.",
+                "Which NCIT terms are attached to FDA biomarkers indicated for {disease}?",
+            ),
+            sql=(
+                "SELECT T1.ncit_biomarker FROM biomarker_fda_ncit_term AS T1 "
+                "JOIN biomarker_fda AS T2 ON T1.fda_id = T2.id "
+                "WHERE T2.approved_indication = '{disease}'"
+            ),
+            params={
+                "disease": ("breast cancer", "lung cancer", "melanoma", "colorectal cancer"),
+            },
+        ),
+    ]
+
+
+def build(scale: float = 1.0, seed: int = 41) -> BenchmarkDomain:
+    """Construct the full OncoMX benchmark domain."""
+    rng = random.Random(seed)
+    schema = build_schema()
+    database = create_database(schema)
+    populate(database, scale, rng)
+
+    enhanced = profile_database(database)
+    _refine_enhanced(enhanced)
+    lexicon = build_lexicon()
+
+    seed_pairs, dev_pairs = expand_programs(_question_programs(), db_id="oncomx")
+    return BenchmarkDomain(
+        name="oncomx",
+        database=database,
+        enhanced=enhanced,
+        lexicon=lexicon,
+        seed=Split(name="oncomx-seed", pairs=seed_pairs),
+        dev=Split(name="oncomx-dev", pairs=dev_pairs),
+        nominal_stats=dict(NOMINAL_STATS),
+    )
+
+
+def _refine_enhanced(enhanced: EnhancedSchema) -> None:
+    """The domain experts' one-shot manual refinement (Section 3.3.2)."""
+    enhanced.mark_categorical("biomarker", "biomarker_type", "biomarker_status")
+    enhanced.mark_categorical("biomarker_edrn", "phase", "qa_state")
+    enhanced.mark_categorical("biomarker_disease", "clinical_significance")
+    enhanced.mark_categorical(
+        "healthy_expression", "expression_level_gene_relative", "call_quality"
+    )
+    enhanced.mark_categorical("differential_expression", "expression_trend")
+    enhanced.mark_categorical("disease_mutation", "data_source", "polyphen_prediction")
+    enhanced.mark_non_aggregatable("disease_mutation", "chromosome_pos")
+    enhanced.mark_non_aggregatable("biomarker_article", "pmid")
+    enhanced.mark_non_aggregatable("disease_mutation_article", "pmid")
+    enhanced.mark_math_group(
+        "differential_expression",
+        "differential_expression:subjects",
+        "subjects_up",
+        "subjects_down",
+    )

@@ -1,0 +1,166 @@
+"""Benchmark data containers: NL/SQL pairs, splits and domain bundles.
+
+These are the objects that move through the whole system: the seeding phase
+reads a domain's ``seed`` split, the pipeline produces its ``synth`` split,
+NL-to-SQL systems train on mixtures of splits and are evaluated on ``dev``.
+Everything serialises to plain JSON so benchmark artifacts can be saved and
+inspected.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.engine.database import Database
+from repro.nlgen.lexicon import DomainLexicon
+from repro.schema.enhanced import EnhancedSchema
+
+
+@dataclass
+class NLSQLPair:
+    """One natural-language question with its gold SQL query."""
+
+    question: str
+    sql: str
+    db_id: str
+    source: str = "manual"  # "seed" | "dev" | "synth" | "spider"
+    _hardness: str | None = field(default=None, repr=False)
+
+    @property
+    def hardness(self) -> str:
+        """Spider hardness class, computed lazily and cached."""
+        if self._hardness is None:
+            # Imported here: repro.spider's package __init__ pulls in the
+            # corpus module, which needs this module — a direct top-level
+            # import would be circular.
+            from repro.spider.hardness import classify_hardness
+
+            self._hardness = classify_hardness(self.sql)
+        return self._hardness
+
+    def to_dict(self) -> dict:
+        return {
+            "question": self.question,
+            "sql": self.sql,
+            "db_id": self.db_id,
+            "source": self.source,
+            "hardness": self.hardness,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "NLSQLPair":
+        return cls(
+            question=data["question"],
+            sql=data["sql"],
+            db_id=data["db_id"],
+            source=data.get("source", "manual"),
+            _hardness=data.get("hardness"),
+        )
+
+
+@dataclass
+class Split:
+    """A named collection of NL/SQL pairs (Seed / Dev / Synth / Train)."""
+
+    name: str
+    pairs: list[NLSQLPair] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self):
+        return iter(self.pairs)
+
+    def extend(self, pairs) -> None:
+        self.pairs.extend(pairs)
+
+    def hardness_counts(self) -> dict[str, int]:
+        counts = {"easy": 0, "medium": 0, "hard": 0, "extra": 0}
+        for pair in self.pairs:
+            counts[pair.hardness] += 1
+        return counts
+
+    def sample_stratified(self, n: int, rng) -> list[NLSQLPair]:
+        """Sample ``n`` pairs proportionally to the hardness distribution —
+        the protocol of the paper's Table-4 silver-standard evaluation."""
+        if n >= len(self.pairs):
+            return list(self.pairs)
+        by_class: dict[str, list[NLSQLPair]] = {}
+        for pair in self.pairs:
+            by_class.setdefault(pair.hardness, []).append(pair)
+        sampled: list[NLSQLPair] = []
+        total = len(self.pairs)
+        for level, bucket in sorted(by_class.items()):
+            quota = round(n * len(bucket) / total)
+            quota = min(quota, len(bucket))
+            sampled.extend(rng.sample(bucket, quota))
+        # Rounding may leave us short; top up deterministically.
+        remaining = [p for p in self.pairs if p not in sampled]
+        while len(sampled) < n and remaining:
+            sampled.append(remaining.pop(0))
+        return sampled[:n]
+
+    # -- JSON I/O ------------------------------------------------------------------
+
+    def to_json(self, path: str | Path) -> None:
+        payload = {"name": self.name, "pairs": [p.to_dict() for p in self.pairs]}
+        Path(path).write_text(json.dumps(payload, indent=2))
+
+    @classmethod
+    def from_json(cls, path: str | Path) -> "Split":
+        payload = json.loads(Path(path).read_text())
+        return cls(
+            name=payload["name"],
+            pairs=[NLSQLPair.from_dict(d) for d in payload["pairs"]],
+        )
+
+    def to_spider_json(self, path: str | Path) -> None:
+        """Export in the Spider dataset's JSON layout (``question`` /
+        ``query`` / ``db_id``), for interoperability with external
+        NL-to-SQL tooling trained on Spider files."""
+        payload = [
+            {"question": p.question, "query": p.sql, "db_id": p.db_id}
+            for p in self.pairs
+        ]
+        Path(path).write_text(json.dumps(payload, indent=2))
+
+    @classmethod
+    def from_spider_json(cls, path: str | Path, name: str | None = None) -> "Split":
+        """Load a Spider-layout JSON file as a split."""
+        payload = json.loads(Path(path).read_text())
+        pairs = [
+            NLSQLPair(
+                question=entry["question"],
+                sql=entry["query"],
+                db_id=entry["db_id"],
+                source="spider",
+            )
+            for entry in payload
+        ]
+        return cls(name=name or Path(path).stem, pairs=pairs)
+
+
+@dataclass
+class BenchmarkDomain:
+    """Everything one ScienceBenchmark domain bundles together."""
+
+    name: str
+    database: Database
+    enhanced: EnhancedSchema
+    lexicon: DomainLexicon
+    seed: Split
+    dev: Split
+    synth: Split | None = None
+    nominal_stats: dict | None = None  # paper-scale Table-1 numbers
+
+    def validate_gold_sql(self) -> list[str]:
+        """Return the gold queries (seed+dev) that fail to execute — should
+        be empty for a well-formed domain; tests assert this."""
+        bad = []
+        for split in (self.seed, self.dev):
+            for pair in split:
+                if self.database.try_execute(pair.sql) is None:
+                    bad.append(pair.sql)
+        return bad

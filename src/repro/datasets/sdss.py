@@ -1,0 +1,987 @@
+"""SDSS — the astrophysics domain of ScienceBenchmark.
+
+The paper uses a 6-table, 61-column subset of the Sloan Digital Sky Survey
+(photometric objects, spectroscopic objects, neighbour pairs plus three
+auxiliary tables).  We rebuild that subset structurally — same table roles,
+same cryptic column naming (``ra``, ``dec``, ``z``, single-letter photometric
+bands ``u g r i z``) — and populate it with synthetic sky data whose
+distributions support the paper's example queries (Starburst galaxies,
+redshift cuts, colour cuts like ``u - r < 2.22``).
+
+Nominal (paper-scale) statistics for Table 1: 6 tables, 61 columns,
+86 M rows, 14.46 M rows/table average, 6.1 GB.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets import generators as gen
+from repro.datasets.programs import Program, expand_programs
+from repro.datasets.records import BenchmarkDomain, Split
+from repro.engine.database import Database, create_database
+from repro.nlgen.lexicon import DomainLexicon
+from repro.schema.enhanced import ColumnAnnotation, EnhancedSchema
+from repro.schema.introspect import profile_database
+from repro.schema.model import Column, ColumnType, ForeignKey, Schema, TableDef
+
+I = ColumnType.INTEGER
+F = ColumnType.REAL
+T = ColumnType.TEXT
+
+#: Paper-reported full-scale statistics (Table 1).
+NOMINAL_STATS = {
+    "tables": 6,
+    "columns": 61,
+    "rows": 86_000_000,
+    "avg_rows_per_table": 14_462_875,
+    "size_gb": 6.1,
+}
+
+GALAXY_SUBCLASSES = ("STARBURST", "AGN", "BROADLINE", "STARFORMING")
+STAR_SUBCLASSES = ("OB", "F5", "K3", "M2")
+QSO_SUBCLASSES = ("BROADLINE", "AGN")
+SURVEYS = ("sdss", "boss", "eboss", "segue1")
+PROGRAMS = ("legacy", "southern", "special")
+LINE_NAMES = ("H_alpha", "H_beta", "OIII", "NII", "MgII", "CIV")
+
+
+def build_schema() -> Schema:
+    """The 6-table / 61-column SDSS subset."""
+    photoobj = TableDef(
+        "photoobj",
+        (
+            Column("objid", I, alias="object id", nullable=False),
+            Column("ra", F, alias="right ascension"),
+            Column("dec", F, alias="declination"),
+            Column("u", F, alias="magnitude u"),
+            Column("g", F, alias="magnitude g"),
+            Column("r", F, alias="magnitude r"),
+            Column("i", F, alias="magnitude i"),
+            Column("z", F, alias="magnitude z"),
+            Column("run", I, alias="run number"),
+            Column("rerun", I, alias="rerun number"),
+            Column("camcol", I, alias="camera column"),
+            Column("field", I, alias="field number"),
+            Column("type", I, alias="photometric type"),
+            Column("mode", I, alias="photometric mode"),
+            Column("nchild", I, alias="number of child objects"),
+            Column("clean", I, alias="clean photometry flag"),
+            Column("rowc", F, alias="row center position"),
+            Column("colc", F, alias="column center position"),
+        ),
+        primary_key="objid",
+        alias="photometric object",
+    )
+    specobj = TableDef(
+        "specobj",
+        (
+            Column("specobjid", I, alias="spectroscopic object id", nullable=False),
+            Column("bestobjid", I, alias="best object id"),
+            Column("class", T, alias="spectroscopic class"),
+            Column("subclass", T, alias="spectroscopic subclass"),
+            Column("z", F, alias="redshift"),
+            Column("zerr", F, alias="redshift error"),
+            Column("ra", F, alias="right ascension"),
+            Column("dec", F, alias="declination"),
+            Column("plate_id", I, alias="plate id"),
+            Column("mjd", I, alias="modified julian date"),
+            Column("fiberid", I, alias="fiber id"),
+            Column("survey", T, alias="survey name"),
+            Column("programname", T, alias="program name"),
+            Column("sn_median", F, alias="median signal to noise"),
+            Column("veldisp", F, alias="velocity dispersion"),
+            Column("veldisperr", F, alias="velocity dispersion error"),
+        ),
+        primary_key="specobjid",
+        alias="spectroscopic object",
+    )
+    neighbors = TableDef(
+        "neighbors",
+        (
+            Column("objid", I, alias="object id"),
+            Column("neighborobjid", I, alias="neighbor object id"),
+            Column("distance", F, alias="distance in arc minutes"),
+            Column("neighbortype", I, alias="neighbor type"),
+            Column("neighbormode", I, alias="neighbor mode"),
+            Column("mode", I, alias="mode"),
+        ),
+        alias="nearest neighbor",
+    )
+    photo_type = TableDef(
+        "photo_type",
+        (
+            Column("value", I, alias="type value", nullable=False),
+            Column("name", T, alias="type name"),
+            Column("description", T, alias="type description"),
+        ),
+        primary_key="value",
+        alias="photometric type",
+    )
+    speclineall = TableDef(
+        "speclineall",
+        (
+            Column("specline_id", I, alias="spectral line id", nullable=False),
+            Column("specobjid", I, alias="spectroscopic object id"),
+            Column("linename", T, alias="spectral line name"),
+            Column("wave", F, alias="wavelength"),
+            Column("waveerr", F, alias="wavelength error"),
+            Column("ew", F, alias="equivalent width"),
+            Column("ewerr", F, alias="equivalent width error"),
+            Column("height", F, alias="line height"),
+            Column("sigma", F, alias="line sigma"),
+        ),
+        primary_key="specline_id",
+        alias="spectral line",
+    )
+    platex = TableDef(
+        "platex",
+        (
+            Column("plate_id", I, alias="plate id", nullable=False),
+            Column("plate", I, alias="plate number"),
+            Column("mjd", I, alias="modified julian date"),
+            Column("ra", F, alias="right ascension"),
+            Column("dec", F, alias="declination"),
+            Column("survey", T, alias="survey name"),
+            Column("programname", T, alias="program name"),
+            Column("quality", T, alias="plate quality"),
+            Column("nexp", I, alias="number of exposures"),
+        ),
+        primary_key="plate_id",
+        alias="plate",
+    )
+    return Schema(
+        name="sdss",
+        tables=(photoobj, specobj, neighbors, photo_type, speclineall, platex),
+        foreign_keys=(
+            ForeignKey("specobj", "bestobjid", "photoobj", "objid"),
+            ForeignKey("neighbors", "objid", "photoobj", "objid"),
+            ForeignKey("neighbors", "neighborobjid", "photoobj", "objid"),
+            ForeignKey("photoobj", "type", "photo_type", "value"),
+            ForeignKey("speclineall", "specobjid", "specobj", "specobjid"),
+            ForeignKey("specobj", "plate_id", "platex", "plate_id"),
+        ),
+    )
+
+
+def populate(database: Database, scale: float, rng: random.Random) -> None:
+    """Fill the SDSS instance with synthetic sky data."""
+    n_photo = max(200, int(3000 * scale))
+    n_spec = max(120, int(1800 * scale))
+    n_neighbors = max(150, int(2400 * scale))
+    n_lines = max(150, int(2600 * scale))
+    n_plates = max(12, int(60 * scale))
+
+    database.insert(
+        "photo_type",
+        [
+            (0, "UNKNOWN", "Unknown object type"),
+            (3, "GALAXY", "Extended galaxy profile"),
+            (6, "STAR", "Point source star"),
+        ],
+    )
+
+    plate_rows = []
+    for plate_id in range(1, n_plates + 1):
+        plate_rows.append(
+            (
+                plate_id,
+                260 + plate_id,
+                51600 + rng.randint(0, 4000),
+                gen.bounded_float(rng, 0.0, 360.0),
+                gen.bounded_float(rng, -20.0, 80.0),
+                gen.skewed_choice(rng, list(SURVEYS)),
+                gen.skewed_choice(rng, list(PROGRAMS)),
+                gen.skewed_choice(rng, ["good", "marginal", "bad"]),
+                rng.randint(3, 12),
+            )
+        )
+    database.insert("platex", plate_rows)
+
+    photo_rows = []
+    photo_ids = []
+    for idx in range(n_photo):
+        objid = 1_000_000 + idx
+        photo_ids.append(objid)
+        # Colour model: galaxies are redder (larger u - r) than stars.
+        obj_type = gen.skewed_choice(rng, [3, 6, 0], alpha=1.2)
+        r_mag = gen.gauss_float(rng, 18.5, 1.4)
+        if obj_type == 3:
+            u_minus_r = gen.gauss_float(rng, 2.3, 0.7)
+        else:
+            u_minus_r = gen.gauss_float(rng, 1.2, 0.6)
+        u_mag = round(r_mag + u_minus_r, 4)
+        photo_rows.append(
+            (
+                objid,
+                gen.bounded_float(rng, 0.0, 360.0),
+                gen.bounded_float(rng, -20.0, 80.0),
+                u_mag,
+                round(r_mag + gen.gauss_float(rng, 0.6, 0.3), 4),
+                r_mag,
+                round(r_mag - gen.gauss_float(rng, 0.3, 0.2), 4),
+                round(r_mag - gen.gauss_float(rng, 0.5, 0.25), 4),
+                rng.randint(94, 8162),
+                rng.choice([40, 41, 301]),
+                rng.randint(1, 6),
+                rng.randint(11, 800),
+                obj_type,
+                rng.choice([1, 1, 1, 2]),
+                gen.lognormal_int(rng, 1.2, 0.9),
+                rng.choice([0, 1, 1, 1]),
+                gen.bounded_float(rng, 0.0, 2048.0),
+                gen.bounded_float(rng, 0.0, 1489.0),
+            )
+        )
+    database.insert("photoobj", photo_rows)
+
+    spec_rows = []
+    spec_ids = []
+    for idx in range(n_spec):
+        specobjid = 3_000_000 + idx
+        spec_ids.append(specobjid)
+        best = rng.choice(photo_ids)
+        cls = gen.skewed_choice(rng, ["GALAXY", "STAR", "QSO"], alpha=1.1)
+        if cls == "GALAXY":
+            subclass = gen.skewed_choice(rng, list(GALAXY_SUBCLASSES))
+            redshift = abs(gen.gauss_float(rng, 0.35, 0.3))
+        elif cls == "STAR":
+            subclass = gen.skewed_choice(rng, list(STAR_SUBCLASSES))
+            redshift = abs(gen.gauss_float(rng, 0.0002, 0.0002))
+        else:
+            subclass = gen.skewed_choice(rng, list(QSO_SUBCLASSES))
+            redshift = abs(gen.gauss_float(rng, 1.4, 0.8))
+        subclass_value = subclass if rng.random() > 0.1 else None
+        spec_rows.append(
+            (
+                specobjid,
+                best,
+                cls,
+                subclass_value,
+                redshift,
+                gen.bounded_float(rng, 0.00001, 0.003, 6),
+                gen.bounded_float(rng, 0.0, 360.0),
+                gen.bounded_float(rng, -20.0, 80.0),
+                rng.randint(1, n_plates),
+                51600 + rng.randint(0, 4000),
+                rng.randint(1, 640),
+                gen.skewed_choice(rng, list(SURVEYS)),
+                gen.skewed_choice(rng, list(PROGRAMS)),
+                gen.bounded_float(rng, 0.5, 40.0, 3),
+                gen.bounded_float(rng, 30.0, 350.0, 2),
+                gen.bounded_float(rng, 1.0, 40.0, 2),
+            )
+        )
+    database.insert("specobj", spec_rows)
+
+    neighbor_rows = []
+    for _ in range(n_neighbors):
+        a, b = rng.sample(photo_ids, 2)
+        neighbor_rows.append(
+            (
+                a,
+                b,
+                gen.bounded_float(rng, 0.001, 0.5, 5),
+                gen.skewed_choice(rng, [3, 6, 0], alpha=1.2),
+                rng.choice([1, 1, 2, 2, 3]),
+                rng.choice([1, 1, 1, 2]),
+            )
+        )
+    database.insert("neighbors", neighbor_rows)
+
+    line_rows = []
+    for idx in range(n_lines):
+        line_rows.append(
+            (
+                5_000_000 + idx,
+                rng.choice(spec_ids),
+                gen.skewed_choice(rng, list(LINE_NAMES)),
+                gen.bounded_float(rng, 3800.0, 9200.0, 2),
+                gen.bounded_float(rng, 0.01, 2.0, 3),
+                gen.gauss_float(rng, 12.0, 18.0, 3),
+                gen.bounded_float(rng, 0.1, 4.0, 3),
+                gen.bounded_float(rng, 1.0, 80.0, 2),
+                gen.bounded_float(rng, 0.5, 6.0, 3),
+            )
+        )
+    database.insert("speclineall", line_rows)
+
+
+def build_lexicon() -> DomainLexicon:
+    """Astrophysics phrasing used by domain experts."""
+    lex = DomainLexicon(name="sdss")
+    lex.add_table("photoobj", "photometric objects", "photometrically observed objects")
+    lex.add_table("specobj", "spectroscopic objects", "spectroscopically observed objects")
+    lex.add_table("neighbors", "nearest neighbor objects", "neighbor pairs")
+    lex.add_table("speclineall", "spectral lines", "emission lines")
+    lex.add_table("platex", "plates", "spectroscopic plates")
+
+    lex.add_column("specobj", "z", "redshift")
+    lex.add_column("specobj", "ra", "right ascension")
+    lex.add_column("specobj", "dec", "declination")
+    lex.add_column("specobj", "class", "spectroscopic class", "class")
+    lex.add_column("specobj", "subclass", "spectroscopic subclass", "subclass")
+    lex.add_column("specobj", "bestobjid", "best object id")
+    lex.add_column("specobj", "veldisp", "velocity dispersion")
+    lex.add_column("specobj", "sn_median", "median signal to noise")
+    lex.add_column("photoobj", "ra", "right ascension")
+    lex.add_column("photoobj", "dec", "declination")
+    lex.add_column("photoobj", "u", "magnitude u", "ultraviolet magnitude")
+    lex.add_column("photoobj", "g", "magnitude g", "green magnitude")
+    lex.add_column("photoobj", "r", "magnitude r", "infrared magnitude")
+    lex.add_column("photoobj", "i", "magnitude i")
+    lex.add_column("photoobj", "z", "magnitude z")
+    lex.add_column("photoobj", "objid", "object id")
+    lex.add_column("neighbors", "distance", "distance", "angular distance")
+    lex.add_column("neighbors", "neighbormode", "neighbor mode")
+    lex.add_column("speclineall", "ew", "equivalent width")
+    lex.add_column("speclineall", "wave", "wavelength")
+    lex.add_column("speclineall", "linename", "spectral line name", "line name")
+
+    lex.add_value("specobj", "class", "GALAXY", "galaxies", "galaxy")
+    lex.add_value("specobj", "class", "STAR", "stars", "star")
+    lex.add_value("specobj", "class", "QSO", "quasars", "QSO")
+    lex.add_value("specobj", "subclass", "STARBURST", "Starburst galaxies", "starburst")
+    lex.add_value("specobj", "subclass", "AGN", "active galactic nuclei", "AGN")
+    lex.add_value("specobj", "subclass", "STARFORMING", "star-forming galaxies")
+    lex.add_value("specobj", "subclass", "BROADLINE", "broadline objects")
+    return lex
+
+
+def _question_programs() -> list[Program]:
+    """The expert question catalogue for SDSS (seed + dev)."""
+    return [
+        Program(
+            nl=(
+                "Find all {name} objects.",
+                "Return the spectroscopic objects that lie in the {name} subclass.",
+            ),
+            sql="SELECT specobjid FROM specobj WHERE subclass = '{subclass}'",
+            params={
+                "subclass": ("STARBURST", "AGN", "STARFORMING", "BROADLINE"),
+                "name": ("Starburst", "AGN", "star-forming", "broadline"),
+            },
+        ),
+        Program(
+            nl=(
+                "What is the object id, right ascension, declination and redshift of spectroscopically observed {name} with redshift greater than {lo} but less than {hi}?",
+                "Show the best object id, right ascension, declination and redshift of {name} whose redshift lies above {lo} and below {hi}.",
+            ),
+            sql=(
+                "SELECT bestobjid, ra, dec, z FROM specobj "
+                "WHERE class = '{cls}' AND z > {lo} AND z < {hi}"
+            ),
+            params={
+                "cls": ("GALAXY", "QSO", "GALAXY", "QSO"),
+                "name": ("galaxies", "quasars", "galaxies", "quasars"),
+                "lo": (0.5, 1.0, 0.2, 2.0),
+                "hi": (1, 2, 0.4, 3),
+            },
+        ),
+        Program(
+            nl=(
+                "Find the photometric objects with object ids and spectroscopic object id whose spectroscopic class is {name}, with the difference of magnitude u and magnitude r less than {hi} and greater than {lo}.",
+                "List object id and spectroscopic object id for photometric objects of class {name} where magnitude u minus magnitude r is below {hi} and above {lo}.",
+            ),
+            sql=(
+                "SELECT T1.objid, T2.specobjid FROM photoobj AS T1 "
+                "JOIN specobj AS T2 ON T2.bestobjid = T1.objid "
+                "WHERE T2.class = '{cls}' AND T1.u - T1.r < {hi} AND T1.u - T1.r > {lo}"
+            ),
+            params={
+                "cls": ("GALAXY", "STAR", "GALAXY", "QSO"),
+                "name": ("GALAXY", "STAR", "GALAXY", "QSO"),
+                "hi": (2.22, 1.8, 3.0, 2.0),
+                "lo": (1, 0.5, 2, 0.8),
+            },
+        ),
+        Program(
+            nl=(
+                "Find the count of spectroscopic objects grouped by their corresponding class.",
+                "How many spectroscopic objects are there for each spectroscopic class?",
+            ),
+            sql="SELECT COUNT(*), class FROM specobj GROUP BY class",
+            params={},
+        ),
+        Program(
+            nl=(
+                "How many {name} have been observed spectroscopically?",
+                "Count the spectroscopic objects whose class is {cls}.",
+            ),
+            sql="SELECT COUNT(*) FROM specobj WHERE class = '{cls}'",
+            params={
+                "cls": ("GALAXY", "STAR", "QSO", "GALAXY"),
+                "name": ("galaxies", "stars", "quasars", "galaxies"),
+            },
+        ),
+        Program(
+            nl=(
+                "What is the average redshift of {name}?",
+                "Compute the mean redshift over all spectroscopic objects of class {cls}.",
+            ),
+            sql="SELECT AVG(z) FROM specobj WHERE class = '{cls}'",
+            params={
+                "cls": ("GALAXY", "QSO", "STAR", "GALAXY"),
+                "name": ("galaxies", "quasars", "stars", "galaxies"),
+            },
+        ),
+        Program(
+            nl=(
+                "Find the spectroscopic object with the highest redshift.",
+                "Which spectroscopic object has the largest redshift?",
+            ),
+            sql="SELECT specobjid FROM specobj ORDER BY z DESC LIMIT 1",
+            params={},
+            only="seed",
+        ),
+        Program(
+            nl=(
+                "List the {k} spectroscopic objects with the highest velocity dispersion.",
+                "Return the top {k} spectroscopic objects by velocity dispersion.",
+            ),
+            sql="SELECT specobjid FROM specobj ORDER BY veldisp DESC LIMIT {k}",
+            params={"k": (5, 10, 3, 20)},
+        ),
+        Program(
+            nl=(
+                "Find the right ascension and declination of photometric objects with clean photometry flag {flag}.",
+                "Show right ascension and declination for photometric objects whose clean flag equals {flag}.",
+            ),
+            sql="SELECT ra, dec FROM photoobj WHERE clean = {flag}",
+            params={"flag": (1, 0, 1, 0)},
+        ),
+        Program(
+            nl=(
+                "Find the object ids of nearest neighbor objects with neighbor mode {mode}.",
+                "Which object ids appear in the neighbors table with neighbor mode {mode}?",
+            ),
+            sql="SELECT objid FROM neighbors WHERE neighbormode = {mode}",
+            params={"mode": (2, 1, 3, 2)},
+        ),
+        Program(
+            nl=(
+                "What is the average distance of nearest neighbor objects of neighbor type {t}?",
+                "Compute the mean angular distance of neighbor pairs whose neighbor type equals {t}.",
+            ),
+            sql="SELECT AVG(distance) FROM neighbors WHERE neighbortype = {t}",
+            params={"t": (3, 6, 0, 3)},
+        ),
+        Program(
+            nl=(
+                "Find spectroscopic objects whose redshift is greater than the average redshift of all spectroscopic objects.",
+                "Which spectroscopic objects have a redshift above the mean redshift?",
+            ),
+            sql="SELECT specobjid FROM specobj WHERE z > (SELECT AVG(z) FROM specobj)",
+            params={},
+        ),
+        Program(
+            nl=(
+                "Find the photometric objects whose object id appears among the best object ids of {name}.",
+                "List photometric objects matched to spectroscopic objects of class {cls}.",
+            ),
+            sql=(
+                "SELECT objid FROM photoobj WHERE objid IN "
+                "(SELECT bestobjid FROM specobj WHERE class = '{cls}')"
+            ),
+            params={
+                "cls": ("GALAXY", "STAR", "QSO", "GALAXY"),
+                "name": ("galaxies", "stars", "quasars", "galaxies"),
+            },
+        ),
+        Program(
+            nl=(
+                "Count the spectroscopic objects for each survey name.",
+                "How many spectroscopic objects were taken in each survey?",
+            ),
+            sql="SELECT COUNT(*), survey FROM specobj GROUP BY survey",
+            params={},
+        ),
+        Program(
+            nl=(
+                "Find the survey names with more than {n} spectroscopic objects.",
+                "Which surveys contain over {n} spectroscopic objects?",
+            ),
+            sql="SELECT survey FROM specobj GROUP BY survey HAVING COUNT(*) > {n}",
+            params={"n": (50, 100, 20, 200)},
+        ),
+        Program(
+            nl=(
+                "What is the maximum equivalent width measured for the spectral line {line}?",
+                "Find the largest equivalent width among spectral lines named {line}.",
+            ),
+            sql="SELECT MAX(ew) FROM speclineall WHERE linename = '{line}'",
+            params={"line": ("H_alpha", "OIII", "H_beta", "MgII")},
+        ),
+        Program(
+            nl=(
+                "Find the spectral line names and their average wavelength for each spectral line name.",
+                "What is the mean wavelength per spectral line name?",
+            ),
+            sql="SELECT linename, AVG(wave) FROM speclineall GROUP BY linename",
+            params={},
+        ),
+        Program(
+            nl=(
+                "Find the redshift of spectroscopic objects whose spectral lines have equivalent width greater than {w}.",
+                "Show the redshift for spectroscopic objects with an emission line whose equivalent width is above {w}.",
+            ),
+            sql=(
+                "SELECT T1.z FROM specobj AS T1 JOIN speclineall AS T2 "
+                "ON T2.specobjid = T1.specobjid WHERE T2.ew > {w}"
+            ),
+            params={"w": (40, 25, 55, 10)},
+        ),
+        Program(
+            nl=(
+                "Find the right ascension and declination of {name} with redshift between {lo} and {hi}.",
+                "Give right ascension and declination of spectroscopic objects of class {cls} whose redshift lies between {lo} and {hi}.",
+            ),
+            sql=(
+                "SELECT ra, dec FROM specobj WHERE class = '{cls}' "
+                "AND z BETWEEN {lo} AND {hi}"
+            ),
+            params={
+                "cls": ("GALAXY", "QSO", "GALAXY", "QSO"),
+                "name": ("galaxies", "quasars", "galaxies", "quasars"),
+                "lo": (0.1, 1.5, 0.3, 0.8),
+                "hi": (0.4, 2.5, 0.7, 1.6),
+            },
+        ),
+        Program(
+            nl=(
+                "Count the photometric objects for each photometric type value.",
+                "How many photometric objects are there per photometric type?",
+            ),
+            sql="SELECT COUNT(*), type FROM photoobj GROUP BY type",
+            params={},
+        ),
+        Program(
+            nl=(
+                "Find the plate quality of plates from the survey {survey}.",
+                "List the quality of spectroscopic plates belonging to survey {survey}.",
+            ),
+            sql="SELECT quality FROM platex WHERE survey = '{survey}'",
+            params={"survey": ("sdss", "boss", "eboss", "segue1")},
+        ),
+        # -- dev-only harder programs (drive the Dev hardness skew) -----------
+        Program(
+            nl=(
+                "",
+                "Find object id and spectroscopic object id of {name} whose difference of magnitude u and magnitude r is greater than {lo}, sorted by redshift in descending order.",
+            ),
+            sql=(
+                "SELECT T1.objid, T2.specobjid FROM photoobj AS T1 "
+                "JOIN specobj AS T2 ON T2.bestobjid = T1.objid "
+                "WHERE T2.class = '{cls}' AND T1.u - T1.r > {lo} "
+                "ORDER BY T2.z DESC"
+            ),
+            params={
+                "cls": ("GALAXY", "QSO", "GALAXY"),
+                "name": ("galaxies", "quasars", "galaxies"),
+                "lo": (2.2, 1.5, 2.8),
+            },
+            only="dev",
+        ),
+        Program(
+            nl=(
+                "",
+                "What are the spectroscopic classes whose average redshift exceeds {z}, together with the number of objects in each class?",
+            ),
+            sql=(
+                "SELECT class, COUNT(*) FROM specobj GROUP BY class "
+                "HAVING AVG(z) > {z}"
+            ),
+            params={"z": (0.3, 0.5, 0.8)},
+            only="dev",
+        ),
+        Program(
+            nl=(
+                "",
+                "Find the redshift and velocity dispersion of {name} whose median signal to noise is above {sn} and velocity dispersion is greater than {vd}.",
+            ),
+            sql=(
+                "SELECT z, veldisp FROM specobj WHERE class = '{cls}' "
+                "AND sn_median > {sn} AND veldisp > {vd}"
+            ),
+            params={
+                "cls": ("GALAXY", "QSO", "STAR"),
+                "name": ("galaxies", "quasars", "stars"),
+                "sn": (10, 5, 20),
+                "vd": (150, 100, 200),
+            },
+            only="dev",
+        ),
+        Program(
+            nl=(
+                "",
+                "Which photometric objects appear as neighbor object ids with angular distance below {d} but do not appear among the best object ids of spectroscopic objects?",
+            ),
+            sql=(
+                "SELECT neighborobjid FROM neighbors WHERE distance < {d} "
+                "EXCEPT SELECT bestobjid FROM specobj"
+            ),
+            params={"d": (0.05, 0.1, 0.02)},
+            only="dev",
+        ),
+        Program(
+            nl=(
+                "",
+                "Find the spectroscopic object ids of {name} whose equivalent width of the line {line} is larger than the average equivalent width of all spectral lines.",
+            ),
+            sql=(
+                "SELECT T1.specobjid FROM specobj AS T1 JOIN speclineall AS T2 "
+                "ON T2.specobjid = T1.specobjid WHERE T1.class = '{cls}' "
+                "AND T2.linename = '{line}' "
+                "AND T2.ew > (SELECT AVG(ew) FROM speclineall)"
+            ),
+            params={
+                "cls": ("GALAXY", "QSO", "GALAXY"),
+                "name": ("galaxies", "quasars", "galaxies"),
+                "line": ("H_alpha", "MgII", "OIII"),
+            },
+            only="dev",
+        ),
+        Program(
+            nl=(
+                "Find the number of spectroscopic objects per program name.",
+                "",
+            ),
+            sql="SELECT COUNT(*), programname FROM specobj GROUP BY programname",
+            params={},
+            only="seed",
+        ),
+        Program(
+            nl=(
+                "Find the minimum magnitude r of photometric objects of type {t}.",
+                "",
+            ),
+            sql="SELECT MIN(r) FROM photoobj WHERE type = {t}",
+            params={"t": (3, 6)},
+            only="seed",
+        ),
+        Program(
+            nl=(
+                "List the distinct survey names of the spectroscopic objects.",
+                "",
+            ),
+            sql="SELECT DISTINCT survey FROM specobj",
+            params={},
+            only="seed",
+        ),
+        # -- shared medium programs (bulk of both splits) ----------------------
+        Program(
+            nl=(
+                "Find the redshift and redshift error of {name}.",
+                "Show redshift together with its error for spectroscopic objects of class {cls}.",
+            ),
+            sql="SELECT z, zerr FROM specobj WHERE class = '{cls}'",
+            params={
+                "cls": ("GALAXY", "STAR", "QSO", "GALAXY", "QSO", "STAR"),
+                "name": ("galaxies", "stars", "quasars", "galaxies", "quasars", "stars"),
+            },
+        ),
+        Program(
+            nl=(
+                "Find the right ascension, declination and magnitude r of photometric objects with magnitude r less than {m}.",
+                "List right ascension, declination and infrared magnitude for photometric objects brighter than magnitude r {m}.",
+            ),
+            sql="SELECT ra, dec, r FROM photoobj WHERE r < {m}",
+            params={"m": (17.0, 18.5, 16.0, 19.0, 17.5, 20.0)},
+        ),
+        Program(
+            nl=(
+                "Find the wavelength and equivalent width of spectral lines named {line}.",
+                "Give the wavelength and equivalent width for every spectral line called {line}.",
+            ),
+            sql="SELECT wave, ew FROM speclineall WHERE linename = '{line}'",
+            params={"line": ("H_alpha", "OIII", "H_beta", "NII", "MgII", "CIV")},
+        ),
+        Program(
+            nl=(
+                "List the fiber id and plate id of spectroscopic objects from the survey {s}.",
+                "Show fiber id and plate id of spectroscopic objects belonging to the {s} survey.",
+            ),
+            sql="SELECT fiberid, plate_id FROM specobj WHERE survey = '{s}'",
+            params={"s": ("sdss", "boss", "eboss", "segue1")},
+        ),
+        Program(
+            nl=(
+                "What is the average velocity dispersion of {name}?",
+                "Find the mean velocity dispersion among spectroscopic objects of class {cls}.",
+            ),
+            sql="SELECT AVG(veldisp) FROM specobj WHERE class = '{cls}'",
+            params={
+                "cls": ("GALAXY", "QSO", "STAR", "GALAXY"),
+                "name": ("galaxies", "quasars", "stars", "galaxies"),
+            },
+        ),
+        Program(
+            nl=(
+                "How many nearest neighbor objects of neighbor type {t} are there for each neighbor mode?",
+                "Count the neighbor pairs with neighbor type {t}, grouped by neighbor mode.",
+            ),
+            sql=(
+                "SELECT COUNT(*), neighbormode FROM neighbors "
+                "WHERE neighbortype = {t} GROUP BY neighbormode"
+            ),
+            params={"t": (3, 6, 0, 3)},
+        ),
+        Program(
+            nl=(
+                "Find the maximum and minimum redshift of {name}.",
+                "What are the largest and smallest redshift values for class {cls}?",
+            ),
+            sql="SELECT MAX(z), MIN(z) FROM specobj WHERE class = '{cls}'",
+            params={
+                "cls": ("GALAXY", "QSO", "STAR", "GALAXY"),
+                "name": ("galaxies", "quasars", "stars", "galaxies"),
+            },
+        ),
+        Program(
+            nl=(
+                "What is the total number of exposures over plates with plate quality {q}?",
+                "Sum the exposures of all plates whose quality is {q}.",
+            ),
+            sql="SELECT SUM(nexp) FROM platex WHERE quality = '{q}'",
+            params={"q": ("good", "marginal", "bad", "good")},
+        ),
+        Program(
+            nl=(
+                "Find the median signal to noise and redshift of spectroscopic objects on plate id {p}.",
+                "Show the signal to noise together with redshift for objects observed on plate {p}.",
+            ),
+            sql="SELECT sn_median, z FROM specobj WHERE plate_id = {p}",
+            params={"p": (1, 5, 9, 3, 7, 11)},
+        ),
+        # -- seed-only extra-hard programs (Seed has 24% extra in Table 2) -----
+        Program(
+            nl=(
+                "Find the object id and magnitude u of photometric {name} whose difference of magnitude g and magnitude r is greater than {lo} and magnitude r is less than {m}.",
+                "",
+            ),
+            sql=(
+                "SELECT T1.objid, T1.u FROM photoobj AS T1 "
+                "JOIN specobj AS T2 ON T2.bestobjid = T1.objid "
+                "WHERE T2.class = '{cls}' AND T1.g - T1.r > {lo} AND T1.r < {m}"
+            ),
+            params={
+                "cls": ("GALAXY", "STAR", "QSO", "GALAXY"),
+                "name": ("galaxies", "stars", "quasars", "galaxies"),
+                "lo": (0.5, 0.2, 0.8, 1.0),
+                "m": (19.0, 18.0, 20.0, 17.5),
+            },
+            only="seed",
+        ),
+        Program(
+            nl=(
+                "Find the redshift and subclass of {name} whose velocity dispersion is above the average velocity dispersion and redshift is greater than {z}.",
+                "",
+            ),
+            sql=(
+                "SELECT z, subclass FROM specobj WHERE class = '{cls}' "
+                "AND veldisp > (SELECT AVG(veldisp) FROM specobj) AND z > {z}"
+            ),
+            params={
+                "cls": ("GALAXY", "QSO", "GALAXY", "QSO"),
+                "name": ("galaxies", "quasars", "galaxies", "quasars"),
+                "z": (0.2, 1.0, 0.5, 1.5),
+            },
+            only="seed",
+        ),
+        Program(
+            nl=(
+                "For each spectroscopic class, find the class and average redshift of objects with median signal to noise above {sn}, keeping classes with more than {n} such objects, ordered by the average redshift in descending order.",
+                "",
+            ),
+            sql=(
+                "SELECT class, AVG(z) FROM specobj WHERE sn_median > {sn} "
+                "GROUP BY class HAVING COUNT(*) > {n} ORDER BY AVG(z) DESC"
+            ),
+            params={"sn": (5, 10, 2, 15), "n": (10, 20, 5, 30)},
+            only="seed",
+        ),
+        Program(
+            nl=(
+                "Find the object ids and angular distance of nearest neighbor objects of neighbor type {t} whose angular distance is smaller than {d}, sorted by distance, limited to the {k} closest pairs.",
+                "",
+            ),
+            sql=(
+                "SELECT objid, distance FROM neighbors WHERE neighbortype = {t} "
+                "AND distance < {d} ORDER BY distance ASC LIMIT {k}"
+            ),
+            params={"t": (3, 6, 0, 3), "d": (0.1, 0.2, 0.05, 0.3), "k": (5, 10, 3, 8)},
+            only="seed",
+        ),
+        Program(
+            nl=(
+                "Find the spectroscopic object ids of {name} together with the stars, by listing objects whose subclass is {s1} as well as objects whose redshift exceeds {z}.",
+                "",
+            ),
+            sql=(
+                "SELECT specobjid FROM specobj WHERE subclass = '{s1}' "
+                "UNION SELECT specobjid FROM specobj WHERE z > {z}"
+            ),
+            params={
+                "s1": ("STARBURST", "AGN", "OB", "STARFORMING"),
+                "name": ("starburst galaxies", "active galactic nuclei", "OB stars", "star-forming galaxies"),
+                "z": (2.0, 1.5, 2.5, 1.0),
+            },
+            only="seed",
+        ),
+        # -- dev-only hard/extra programs (Dev skews hard in Table 2) ----------
+        Program(
+            nl=(
+                "",
+                "List the right ascension and declination of photometric objects that are best objects of {name} and have magnitude r below {m}.",
+            ),
+            sql=(
+                "SELECT ra, dec FROM photoobj WHERE objid IN "
+                "(SELECT bestobjid FROM specobj WHERE class = '{cls}') AND r < {m}"
+            ),
+            params={
+                "cls": ("GALAXY", "QSO", "STAR", "GALAXY"),
+                "name": ("galaxies", "quasars", "stars", "galaxies"),
+                "m": (18.0, 19.0, 17.0, 20.0),
+            },
+            only="dev",
+        ),
+        Program(
+            nl=(
+                "",
+                "Return the spectroscopic objects whose subclass is {s1} as well as those whose redshift is above {z}.",
+            ),
+            sql=(
+                "SELECT specobjid FROM specobj WHERE subclass = '{s1}' "
+                "UNION SELECT specobjid FROM specobj WHERE z > {z}"
+            ),
+            params={
+                "s1": ("STARBURST", "AGN", "BROADLINE", "STARFORMING"),
+                "z": (1.8, 2.2, 1.2, 2.8),
+            },
+            only="dev",
+        ),
+        Program(
+            nl=(
+                "",
+                "Find the neighbor mode and spectroscopic class for nearest neighbor objects joined through their photometric object, where the redshift is above {z} and the angular distance is below {d}.",
+            ),
+            sql=(
+                "SELECT T1.neighbormode, T3.class FROM neighbors AS T1 "
+                "JOIN photoobj AS T2 ON T1.objid = T2.objid "
+                "JOIN specobj AS T3 ON T3.bestobjid = T2.objid "
+                "WHERE T3.z > {z} AND T1.distance < {d}"
+            ),
+            params={"z": (0.5, 0.2, 1.0, 0.8), "d": (0.2, 0.4, 0.1, 0.3)},
+            only="dev",
+        ),
+        Program(
+            nl=(
+                "",
+                "For spectroscopic objects with redshift above {z}, report each class and its object count, keeping classes with more than {n} objects, ordered by the count in descending order, limited to {k} classes.",
+            ),
+            sql=(
+                "SELECT class, COUNT(*) FROM specobj WHERE z > {z} GROUP BY class "
+                "HAVING COUNT(*) > {n} ORDER BY COUNT(*) DESC LIMIT {k}"
+            ),
+            params={"z": (0.1, 0.3, 0.5, 0.05), "n": (5, 10, 2, 20), "k": (2, 3, 1, 2)},
+            only="dev",
+        ),
+        Program(
+            nl=(
+                "",
+                "Find spectroscopic objects of class {cls} whose velocity dispersion is above the average velocity dispersion of all spectroscopic objects and whose median signal to noise exceeds {sn}.",
+            ),
+            sql=(
+                "SELECT specobjid FROM specobj WHERE class = '{cls}' "
+                "AND veldisp > (SELECT AVG(veldisp) FROM specobj) AND sn_median > {sn}"
+            ),
+            params={"cls": ("GALAXY", "QSO", "STAR", "GALAXY"), "sn": (5, 10, 15, 8)},
+            only="dev",
+        ),
+        Program(
+            nl=(
+                "",
+                "List object id and the difference of magnitude u and magnitude r for photometric objects where that difference is above {x}, ordered by magnitude r, limited to {k} rows.",
+            ),
+            sql=(
+                "SELECT objid, u - r FROM photoobj WHERE u - r > {x} "
+                "ORDER BY r ASC LIMIT {k}"
+            ),
+            params={"x": (2.0, 1.5, 2.5, 3.0), "k": (10, 5, 20, 8)},
+            only="dev",
+        ),
+        Program(
+            nl=(
+                "",
+                "Find the redshift and equivalent width of {name} joined with their spectral lines named {line}, where the equivalent width is greater than {w} and the redshift is below {z}.",
+            ),
+            sql=(
+                "SELECT T1.z, T2.ew FROM specobj AS T1 "
+                "JOIN speclineall AS T2 ON T2.specobjid = T1.specobjid "
+                "WHERE T1.class = '{cls}' AND T2.linename = '{line}' "
+                "AND T2.ew > {w} AND T1.z < {z}"
+            ),
+            params={
+                "cls": ("GALAXY", "QSO", "GALAXY", "QSO"),
+                "name": ("galaxies", "quasars", "galaxies", "quasars"),
+                "line": ("H_alpha", "MgII", "OIII", "CIV"),
+                "w": (10, 5, 20, 15),
+                "z": (0.8, 2.0, 0.5, 2.5),
+            },
+            only="dev",
+        ),
+        Program(
+            nl=(
+                "",
+                "Which spectroscopic objects of class {cls} appear among the spectroscopic object ids that have a spectral line named {line}?",
+            ),
+            sql=(
+                "SELECT specobjid FROM specobj WHERE class = '{cls}' "
+                "AND specobjid IN (SELECT specobjid FROM speclineall "
+                "WHERE linename = '{line}')"
+            ),
+            params={
+                "cls": ("GALAXY", "QSO", "STAR", "GALAXY"),
+                "line": ("H_alpha", "MgII", "OIII", "H_beta"),
+            },
+            only="dev",
+        ),
+    ]
+
+
+def build(scale: float = 1.0, seed: int = 13) -> BenchmarkDomain:
+    """Construct the full SDSS benchmark domain."""
+    rng = random.Random(seed)
+    schema = build_schema()
+    database = create_database(schema)
+    populate(database, scale, rng)
+
+    enhanced = profile_database(database)
+    _refine_enhanced(enhanced)
+    lexicon = build_lexicon()
+
+    seed_pairs, dev_pairs = expand_programs(_question_programs(), db_id="sdss")
+    return BenchmarkDomain(
+        name="sdss",
+        database=database,
+        enhanced=enhanced,
+        lexicon=lexicon,
+        seed=Split(name="sdss-seed", pairs=seed_pairs),
+        dev=Split(name="sdss-dev", pairs=dev_pairs),
+        nominal_stats=dict(NOMINAL_STATS),
+    )
+
+
+def _refine_enhanced(enhanced: EnhancedSchema) -> None:
+    """The domain experts' one-shot manual refinement (Section 3.3.2)."""
+    enhanced.mark_math_group("photoobj", "photoobj:magnitude", "u", "g", "r", "i", "z")
+    enhanced.mark_non_aggregatable(
+        "photoobj", "run", "rerun", "camcol", "field", "type", "mode"
+    )
+    enhanced.mark_non_aggregatable("specobj", "plate_id", "mjd", "fiberid")
+    enhanced.mark_non_aggregatable("neighbors", "neighbortype", "neighbormode", "mode")
+    enhanced.mark_categorical("photoobj", "type", "mode", "clean")
+    enhanced.mark_categorical("specobj", "class", "subclass", "survey", "programname")
+    enhanced.mark_categorical("neighbors", "neighbortype", "neighbormode")
+    enhanced.mark_categorical("speclineall", "linename")
+    enhanced.mark_categorical("platex", "survey", "programname", "quality")

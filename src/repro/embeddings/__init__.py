@@ -1,0 +1,24 @@
+"""Deterministic sentence embeddings (the SentenceBERT stand-in).
+
+The paper uses SentenceBERT twice: as an automatic SQL-to-NL quality metric
+(Table 3) and inside the Phase-4 discriminator, which picks the candidate
+question closest to the geometric median of all candidates (Eq. 1).  Both
+uses only require an embedding space in which paraphrases land close together
+and unrelated sentences far apart.  We build such a space offline and
+deterministically from hashed word/character n-gram features.
+"""
+
+from repro.embeddings.hashing import SentenceEmbedder, embed
+from repro.embeddings.similarity import (
+    cosine_similarity,
+    geometric_median_ranking,
+    select_top_k,
+)
+
+__all__ = [
+    "SentenceEmbedder",
+    "embed",
+    "cosine_similarity",
+    "geometric_median_ranking",
+    "select_top_k",
+]

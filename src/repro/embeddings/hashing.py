@@ -1,0 +1,86 @@
+"""Hashed n-gram sentence embeddings.
+
+Features per sentence: lower-cased word unigrams and bigrams plus character
+trigrams inside each word.  Each feature is hashed with CRC-32 (stable across
+processes — Python's builtin ``hash`` is salted and therefore unusable) onto
+a fixed-dimension sign-hashed vector, TF-weighted and L2-normalised.
+
+The construction gives the two properties the pipeline needs:
+
+* paraphrases share most content words → high cosine similarity;
+* sentences about different columns/values share few features → low cosine.
+"""
+
+from __future__ import annotations
+
+import re
+import zlib
+
+import numpy as np
+
+#: Default embedding dimensionality; 512 keeps collisions negligible for
+#: benchmark-sized vocabularies while staying cheap.
+DEFAULT_DIM = 512
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+(?:\.[0-9]+)?")
+
+#: Words carrying almost no content; down-weighted rather than removed so
+#: "greater than" vs "less than" still differ.
+_STOPWORDS = frozenset(
+    "the a an of for and or to in on with that which are is was were "
+    "all any each by from as at be this those these there".split()
+)
+
+
+def _tokens(text: str) -> list[str]:
+    return _TOKEN_RE.findall(text.lower())
+
+
+class SentenceEmbedder:
+    """Embeds sentences into a fixed-dimension hashed feature space."""
+
+    def __init__(self, dim: int = DEFAULT_DIM) -> None:
+        if dim <= 0:
+            raise ValueError("embedding dimension must be positive")
+        self.dim = dim
+
+    def embed(self, text: str) -> np.ndarray:
+        """Embed one sentence as a unit-norm vector (zeros if no tokens)."""
+        vector = np.zeros(self.dim, dtype=np.float64)
+        tokens = _tokens(text)
+        if not tokens:
+            return vector
+        for feature, weight in self._features(tokens):
+            digest = zlib.crc32(feature.encode("utf-8"))
+            index = digest % self.dim
+            sign = 1.0 if (digest >> 16) & 1 else -1.0
+            vector[index] += sign * weight
+        norm = np.linalg.norm(vector)
+        if norm > 0:
+            vector /= norm
+        return vector
+
+    def embed_all(self, texts: list[str]) -> np.ndarray:
+        """Embed a batch of sentences into an ``(n, dim)`` matrix."""
+        if not texts:
+            return np.zeros((0, self.dim), dtype=np.float64)
+        return np.stack([self.embed(t) for t in texts])
+
+    def _features(self, tokens: list[str]):
+        for token in tokens:
+            weight = 0.25 if token in _STOPWORDS else 1.0
+            yield f"w:{token}", weight
+            if len(token) > 3 and token not in _STOPWORDS:
+                padded = f"^{token}$"
+                for i in range(len(padded) - 2):
+                    yield f"c:{padded[i:i + 3]}", 0.3
+        for left, right in zip(tokens, tokens[1:]):
+            yield f"b:{left}_{right}", 0.5
+
+
+_DEFAULT_EMBEDDER = SentenceEmbedder()
+
+
+def embed(text: str) -> np.ndarray:
+    """Embed with the module-level default embedder."""
+    return _DEFAULT_EMBEDDER.embed(text)

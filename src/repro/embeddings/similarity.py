@@ -1,0 +1,63 @@
+"""Cosine similarity and the geometric-median candidate selection of Eq. 1.
+
+Phase 4 of the pipeline (the *discriminative phase*) scores every candidate
+NL question by the sum of its cosine similarities to all candidates and picks
+the maximiser — the embedding closest to the centroid / geometric median.
+The process repeats on the remaining set until ``k`` candidates are chosen.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine similarity of two vectors; 0.0 when either is all-zero."""
+    norm_a = np.linalg.norm(a)
+    norm_b = np.linalg.norm(b)
+    if norm_a == 0 or norm_b == 0:
+        return 0.0
+    return float(np.dot(a, b) / (norm_a * norm_b))
+
+
+def geometric_median_ranking(embeddings: np.ndarray) -> list[int]:
+    """Indices of candidates ranked by Eq. 1's objective, best first.
+
+    The score of candidate ``y`` is ``sum_i CosSim(x_i, y)``; ties broken by
+    original index so the ranking is fully deterministic.
+    """
+    n = embeddings.shape[0]
+    if n == 0:
+        return []
+    norms = np.linalg.norm(embeddings, axis=1)
+    safe = np.where(norms == 0, 1.0, norms)
+    unit = embeddings / safe[:, None]
+    similarity = unit @ unit.T
+    remaining = list(range(n))
+    ranking: list[int] = []
+    while remaining:
+        scores = [
+            (float(sum(similarity[i][j] for j in remaining)), i) for i in remaining
+        ]
+        best_score, best_index = max(scores, key=lambda pair: (pair[0], -pair[1]))
+        ranking.append(best_index)
+        remaining.remove(best_index)
+    return ranking
+
+
+def select_top_k(candidates: list[str], k: int, embedder=None) -> list[str]:
+    """The paper's candidate-selection step: top-``k`` by Eq. 1.
+
+    ``k`` is 1 or 2 in the paper; any positive value is accepted.
+    """
+    from repro.embeddings.hashing import SentenceEmbedder
+
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if embedder is None:
+        embedder = SentenceEmbedder()
+    if len(candidates) <= k:
+        return list(candidates)
+    matrix = embedder.embed_all(candidates)
+    ranking = geometric_median_ranking(matrix)
+    return [candidates[i] for i in ranking[:k]]

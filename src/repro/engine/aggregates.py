@@ -1,0 +1,88 @@
+"""SQL aggregate functions with standard NULL semantics.
+
+Each aggregate takes the list of values of its argument expression over the
+rows of one group (``count(*)`` is special-cased by the executor) and returns
+a scalar.  NULLs are skipped; an empty input yields NULL for everything but
+COUNT, which yields 0 — matching SQLite/PostgreSQL behaviour, which matters
+for execution-accuracy comparisons of aggregate queries over empty groups.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.errors import ExecutionError
+
+
+def agg_count(values: Sequence, distinct: bool = False) -> int:
+    """COUNT(expr): non-NULL values (optionally distinct)."""
+    present = [v for v in values if v is not None]
+    if distinct:
+        return len(set(present))
+    return len(present)
+
+
+def agg_sum(values: Sequence, distinct: bool = False):
+    """SUM over non-NULL numeric values; NULL when the input is empty."""
+    present = _numeric(values, "SUM")
+    if distinct:
+        present = list(dict.fromkeys(present))
+    if not present:
+        return None
+    total = sum(present)
+    return total
+
+
+def agg_avg(values: Sequence, distinct: bool = False):
+    """AVG over non-NULL numeric values; NULL when the input is empty."""
+    present = _numeric(values, "AVG")
+    if distinct:
+        present = list(dict.fromkeys(present))
+    if not present:
+        return None
+    return sum(present) / len(present)
+
+
+def agg_min(values: Sequence, distinct: bool = False):
+    """MIN over non-NULL values; NULL when the input is empty."""
+    present = [v for v in values if v is not None]
+    if not present:
+        return None
+    return min(present, key=_order_key)
+
+
+def agg_max(values: Sequence, distinct: bool = False):
+    """MAX over non-NULL values; NULL when the input is empty."""
+    present = [v for v in values if v is not None]
+    if not present:
+        return None
+    return max(present, key=_order_key)
+
+
+def _numeric(values: Sequence, func: str) -> list:
+    present = []
+    for v in values:
+        if v is None:
+            continue
+        if isinstance(v, bool) or not isinstance(v, (int, float)):
+            raise ExecutionError(f"{func} over non-numeric value {v!r}")
+        present.append(v)
+    return present
+
+
+def _order_key(value):
+    """Total order over mixed-type values: numbers < text < bool."""
+    if isinstance(value, bool):
+        return (2, value)
+    if isinstance(value, (int, float)):
+        return (0, value)
+    return (1, str(value))
+
+
+AGGREGATES: dict[str, Callable] = {
+    "count": agg_count,
+    "sum": agg_sum,
+    "avg": agg_avg,
+    "min": agg_min,
+    "max": agg_max,
+}

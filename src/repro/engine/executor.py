@@ -1,0 +1,412 @@
+"""Query evaluation: SQL ASTs against an in-memory database.
+
+The executor implements the subset of SQL that the benchmark's queries use:
+projections with aggregates and arithmetic, inner joins (hash-join for
+equi-conditions), WHERE/GROUP BY/HAVING/ORDER BY/LIMIT, DISTINCT, IN/scalar/
+EXISTS subqueries (uncorrelated), derived tables and single set operations.
+
+Execution accuracy — the paper's headline metric — compares the
+:class:`Result` of a predicted query with the gold query's result, so the
+engine's semantics (NULL handling, aggregate-over-empty-group behaviour, set
+semantics of UNION/INTERSECT/EXCEPT) follow SQLite, the engine Spider uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ExecutionError
+from repro.sql import ast
+from repro.sql.printer import to_sql
+from repro.engine.aggregates import AGGREGATES, _order_key
+from repro.engine.expressions import Compiler, Scope
+
+#: Hard ceiling on intermediate join sizes, protecting benchmark runs from
+#: accidental cartesian blow-ups in generated queries.
+MAX_INTERMEDIATE_ROWS = 2_000_000
+
+
+@dataclass
+class Result:
+    """A query result: ordered column labels and row tuples."""
+
+    columns: list[str]
+    rows: list[tuple]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def first_column(self) -> list:
+        return [row[0] for row in self.rows]
+
+    def to_multiset(self) -> dict:
+        """Row multiset (order-insensitive) used for execution accuracy."""
+        counts: dict = {}
+        for row in self.rows:
+            key = tuple(_canonical(v) for v in row)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+
+def _canonical(value):
+    """Normalise a value for result comparison (ints/floats unify, text
+    compares case-insensitively — mirroring the Spider execution matcher)."""
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, float):
+        if value.is_integer():
+            return int(value)
+        return round(value, 6)
+    if isinstance(value, str):
+        return value.lower()
+    return value
+
+
+class Executor:
+    """Evaluates queries against one database."""
+
+    def __init__(self, database) -> None:
+        self.database = database
+
+    # -- entry points -----------------------------------------------------------
+
+    def execute(self, query: ast.Query) -> Result:
+        left = self._execute_select(query.select)
+        if query.set_op is None:
+            return left
+        right = self.execute(query.right)
+        if len(left.columns) != len(right.columns):
+            raise ExecutionError("set operation arms have different arities")
+        return _apply_set_op(query.set_op, left, right, query.set_all)
+
+    # -- select core -------------------------------------------------------------
+
+    def _execute_select(self, select: ast.Select) -> Result:
+        scope, rows = self._evaluate_from(select)
+        compiler = Compiler(scope, self.execute)
+
+        if select.where is not None:
+            predicate = compiler.compile_predicate(select.where)
+            rows = [row for row in rows if predicate(row, None)]
+
+        if select.group_by or _has_aggregate(select):
+            return self._execute_aggregate(select, scope, compiler, rows)
+        return self._execute_plain(select, scope, compiler, rows)
+
+    # -- FROM evaluation -----------------------------------------------------------
+
+    def _evaluate_from(self, select: ast.Select) -> tuple[Scope, list[tuple]]:
+        scope = Scope()
+        sources: list[tuple[str, list[str], list[tuple]]] = []
+
+        if not select.from_tables:
+            # SELECT without FROM: one empty pseudo-row.
+            return scope, [()]
+
+        for source in select.from_tables:
+            binding, columns, source_rows = self._load_source(source)
+            scope.add(binding, columns)
+            sources.append((binding, columns, source_rows))
+
+        join_specs = []
+        for join in select.joins:
+            binding, columns, source_rows = self._load_source(join.table)
+            scope.add(binding, columns)
+            join_specs.append((binding, columns, source_rows, join.condition))
+
+        # Base product over comma-separated FROM sources.
+        rows: list[tuple] = [()]
+        for _, _, source_rows in sources:
+            rows = _cross(rows, source_rows)
+
+        # JOIN ... ON clauses, hash-joined when the condition allows it.
+        compiler = Compiler(scope, self.execute)
+        width_so_far = sum(len(cols) for _, cols, _ in sources)
+        for binding, columns, source_rows, condition in join_specs:
+            rows = self._join(
+                rows, width_so_far, binding, columns, source_rows, condition, scope
+            )
+            width_so_far += len(columns)
+        return scope, rows
+
+    def _load_source(self, source) -> tuple[str, list[str], list[tuple]]:
+        if isinstance(source, ast.SubqueryRef):
+            result = self.execute(source.query)
+            return source.binding, result.columns, result.rows
+        table = self.database.table(source.name)
+        return source.binding, table.columns, table.rows
+
+    def _join(
+        self,
+        rows: list[tuple],
+        width: int,
+        binding: str,
+        columns: list[str],
+        source_rows: list[tuple],
+        condition: ast.Expr | None,
+        scope: Scope,
+    ) -> list[tuple]:
+        equalities, residual = _split_join_condition(condition)
+        offset = scope.offset_of(binding)
+        hash_keys: list[tuple[int, int]] = []  # (left slot, right local slot)
+        for left_ref, right_ref in equalities:
+            li = scope.resolve(left_ref.table, left_ref.column)
+            ri = scope.resolve(right_ref.table, right_ref.column)
+            if li >= offset and ri < offset:
+                li, ri = ri, li
+            if li < offset <= ri:
+                hash_keys.append((li, ri - offset))
+            else:
+                residual = _conjoin(residual, ast.Comparison("=", left_ref, right_ref))
+
+        if hash_keys:
+            index: dict[tuple, list[tuple]] = {}
+            for srow in source_rows:
+                key = tuple(srow[ri] for _, ri in hash_keys)
+                if any(v is None for v in key):
+                    continue
+                index.setdefault(key, []).append(srow)
+            combined = []
+            for row in rows:
+                key = tuple(row[li] for li, _ in hash_keys)
+                for srow in index.get(key, ()):
+                    combined.append(row + srow)
+                    if len(combined) > MAX_INTERMEDIATE_ROWS:
+                        raise ExecutionError("join result too large")
+        else:
+            combined = _cross(rows, source_rows)
+
+        if residual is not None:
+            compiler = Compiler(scope, self.execute)
+            # Residual predicates only reference already-joined tables, so the
+            # full-width compilation is safe on the combined rows.
+            predicate = compiler.compile_predicate(residual)
+            combined = [row for row in combined if predicate(row, None)]
+        return combined
+
+    # -- plain (non-aggregate) path --------------------------------------------------
+
+    def _execute_plain(
+        self, select: ast.Select, scope: Scope, compiler: Compiler, rows: list[tuple]
+    ) -> Result:
+        labels, getters = self._projection(select, scope, compiler)
+
+        if select.order_by:
+            rows = self._sorted(rows, select.order_by, compiler, None)
+
+        projected = [tuple(g(row, None) for g in getters) for row in rows]
+
+        if select.distinct:
+            projected = _dedupe(projected)
+        if select.limit is not None:
+            projected = projected[: select.limit]
+        return Result(columns=labels, rows=projected)
+
+    # -- aggregate path ------------------------------------------------------------------
+
+    def _execute_aggregate(
+        self, select: ast.Select, scope: Scope, compiler: Compiler, rows: list[tuple]
+    ) -> Result:
+        group_fns = [compiler.compile(e) for e in select.group_by]
+
+        groups: dict[tuple, list[tuple]] = {}
+        if group_fns:
+            for row in rows:
+                key = tuple(_canonical(fn(row, None)) for fn in group_fns)
+                groups.setdefault(key, []).append(row)
+        else:
+            groups[()] = rows  # single implicit group (possibly empty)
+
+        agg_nodes = _collect_aggregates(select)
+        agg_arg_fns: dict[ast.FuncCall, object] = {}
+        for node in agg_nodes:
+            if node.args and not isinstance(node.args[0], ast.Star):
+                agg_arg_fns[node] = compiler.compile(node.args[0])
+
+        group_rows: list[tuple[tuple, dict]] = []
+        for key, members in groups.items():
+            aggs: dict[ast.FuncCall, object] = {}
+            for node in agg_nodes:
+                name = node.name.lower()
+                if node.args and isinstance(node.args[0], ast.Star):
+                    if name != "count":
+                        raise ExecutionError(f"{name.upper()}(*) is not valid")
+                    aggs[node] = len(members)
+                    continue
+                arg_fn = agg_arg_fns[node]
+                values = [arg_fn(row, None) for row in members]
+                aggs[node] = AGGREGATES[name](values, distinct=node.distinct)
+            representative = members[0] if members else tuple([None] * scope.width)
+            group_rows.append((representative, aggs))
+
+        if select.having is not None:
+            having = compiler.compile_predicate(select.having)
+            group_rows = [(rep, aggs) for rep, aggs in group_rows if having(rep, aggs)]
+
+        labels, getters = self._projection(select, scope, compiler)
+
+        if select.order_by:
+            order_fns = [(compiler.compile(o.expr), o.desc) for o in select.order_by]
+            group_rows = _sort_pairs(group_rows, order_fns)
+
+        projected = [
+            tuple(g(rep, aggs) for g in getters) for rep, aggs in group_rows
+        ]
+        if select.distinct:
+            projected = _dedupe(projected)
+        if select.limit is not None:
+            projected = projected[: select.limit]
+        return Result(columns=labels, rows=projected)
+
+    # -- shared helpers ---------------------------------------------------------------
+
+    def _projection(self, select: ast.Select, scope: Scope, compiler: Compiler):
+        labels: list[str] = []
+        getters = []
+        for item in select.items:
+            if isinstance(item.expr, ast.Star):
+                star = item.expr
+                bindings = [star.table.lower()] if star.table else scope.bindings()
+                for binding in bindings:
+                    offset = scope.offset_of(binding)
+                    for i, column in enumerate(scope.columns_of(binding)):
+                        labels.append(column)
+                        getters.append(_slot_getter(offset + i))
+                continue
+            labels.append(item.alias or to_sql(item.expr))
+            getters.append(compiler.compile(item.expr))
+        return labels, getters
+
+    def _sorted(self, rows, order_by, compiler: Compiler, aggs):
+        order_fns = [(compiler.compile(o.expr), o.desc) for o in order_by]
+        decorated = [(row, aggs) for row in rows]
+        decorated = _sort_pairs(decorated, order_fns)
+        return [row for row, _ in decorated]
+
+
+def _slot_getter(index: int):
+    return lambda row, aggs: row[index]
+
+
+def _cross(rows: list[tuple], source_rows: list[tuple]) -> list[tuple]:
+    if len(rows) * max(len(source_rows), 1) > MAX_INTERMEDIATE_ROWS:
+        raise ExecutionError("cartesian product too large")
+    return [row + srow for row in rows for srow in source_rows]
+
+
+def _split_join_condition(condition: ast.Expr | None):
+    """Split an ON condition into hashable equality pairs and a residual."""
+    if condition is None:
+        return [], None
+    conjuncts: list[ast.Expr]
+    if isinstance(condition, ast.BoolOp) and condition.op == "and":
+        conjuncts = list(condition.operands)
+    else:
+        conjuncts = [condition]
+    equalities = []
+    residual: ast.Expr | None = None
+    for conjunct in conjuncts:
+        if (
+            isinstance(conjunct, ast.Comparison)
+            and conjunct.op == "="
+            and isinstance(conjunct.left, ast.ColumnRef)
+            and isinstance(conjunct.right, ast.ColumnRef)
+        ):
+            equalities.append((conjunct.left, conjunct.right))
+        else:
+            residual = _conjoin(residual, conjunct)
+    return equalities, residual
+
+
+def _conjoin(left: ast.Expr | None, right: ast.Expr) -> ast.Expr:
+    if left is None:
+        return right
+    return ast.BoolOp(op="and", operands=(left, right))
+
+
+def _has_aggregate(select: ast.Select) -> bool:
+    roots: list[ast.Node] = [item.expr for item in select.items]
+    if select.having is not None:
+        roots.append(select.having)
+    roots.extend(o.expr for o in select.order_by)
+    for root in roots:
+        for node in root.walk():
+            if isinstance(node, ast.FuncCall) and node.name.lower() in ast.AGGREGATE_FUNCTIONS:
+                return True
+    return False
+
+
+def _collect_aggregates(select: ast.Select) -> list[ast.FuncCall]:
+    roots: list[ast.Node] = [item.expr for item in select.items]
+    if select.having is not None:
+        roots.append(select.having)
+    roots.extend(o.expr for o in select.order_by)
+    seen: dict[ast.FuncCall, None] = {}
+    for root in roots:
+        for node in root.walk():
+            if isinstance(node, ast.FuncCall) and node.name.lower() in ast.AGGREGATE_FUNCTIONS:
+                seen[node] = None
+    return list(seen)
+
+
+def _sort_pairs(pairs, order_fns):
+    def key(pair):
+        row, aggs = pair
+        parts = []
+        for fn, desc in order_fns:
+            value = fn(row, aggs)
+            parts.append(_sort_component(value, desc))
+        return tuple(parts)
+
+    return sorted(pairs, key=key)
+
+
+class _Reversed:
+    """Wrapper inverting comparison order for DESC sort keys."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key) -> None:
+        self.key = key
+
+    def __lt__(self, other: "_Reversed") -> bool:
+        return other.key < self.key
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, _Reversed) and other.key == self.key
+
+
+def _sort_component(value, desc: bool):
+    # NULLs sort first ascending (SQLite behaviour), last descending.
+    null_rank = 0 if value is None else 1
+    key = (null_rank, _order_key(value) if value is not None else (0, 0))
+    return _Reversed(key) if desc else key
+
+
+def _dedupe(rows: list[tuple]) -> list[tuple]:
+    seen = set()
+    result = []
+    for row in rows:
+        key = tuple(_canonical(v) for v in row)
+        if key in seen:
+            continue
+        seen.add(key)
+        result.append(row)
+    return result
+
+
+def _apply_set_op(op: str, left: Result, right: Result, set_all: bool) -> Result:
+    left_keys = [tuple(_canonical(v) for v in row) for row in left.rows]
+    right_keys = {tuple(_canonical(v) for v in row) for row in right.rows}
+    if op == "union":
+        if set_all:
+            return Result(columns=left.columns, rows=left.rows + right.rows)
+        rows = _dedupe(left.rows + right.rows)
+        return Result(columns=left.columns, rows=rows)
+    if op == "intersect":
+        rows = [row for row, key in zip(left.rows, left_keys) if key in right_keys]
+        return Result(columns=left.columns, rows=_dedupe(rows))
+    if op == "except":
+        rows = [row for row, key in zip(left.rows, left_keys) if key not in right_keys]
+        return Result(columns=left.columns, rows=_dedupe(rows))
+    raise ExecutionError(f"unknown set operation {op!r}")

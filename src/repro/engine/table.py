@@ -1,0 +1,119 @@
+"""In-memory relation storage.
+
+A :class:`Table` is the physical counterpart of a
+:class:`~repro.schema.model.TableDef`: ordered column names plus a list of
+row tuples.  Values are plain Python scalars (int/float/str/bool/None); the
+engine's NULL is Python ``None``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.errors import ExecutionError
+from repro.schema.model import ColumnType, TableDef
+
+#: Python types accepted for each logical column type on insert.
+_ACCEPTED: dict[ColumnType, tuple[type, ...]] = {
+    ColumnType.INTEGER: (int,),
+    ColumnType.REAL: (int, float),
+    ColumnType.TEXT: (str,),
+    ColumnType.BOOLEAN: (bool,),
+    ColumnType.DATE: (str,),
+}
+
+
+class Table:
+    """A named relation with typed columns and tuple rows."""
+
+    def __init__(self, definition: TableDef, rows: Iterable[tuple] | None = None) -> None:
+        self.definition = definition
+        self.name = definition.name
+        self.columns = [c.name for c in definition.columns]
+        self._index = {name.lower(): i for i, name in enumerate(self.columns)}
+        self.rows: list[tuple] = []
+        if rows is not None:
+            self.insert_many(rows)
+
+    # -- mutation -------------------------------------------------------------
+
+    def insert(self, row: tuple | list) -> None:
+        """Insert one row, validating arity and value types."""
+        if len(row) != len(self.columns):
+            raise ExecutionError(
+                f"table {self.name!r} expects {len(self.columns)} values, "
+                f"got {len(row)}"
+            )
+        coerced = []
+        for value, column in zip(row, self.definition.columns):
+            if value is None:
+                coerced.append(None)
+                continue
+            accepted = _ACCEPTED[column.type]
+            if isinstance(value, bool) and column.type is not ColumnType.BOOLEAN:
+                raise ExecutionError(
+                    f"boolean value in non-boolean column {self.name}.{column.name}"
+                )
+            if not isinstance(value, accepted):
+                raise ExecutionError(
+                    f"value {value!r} is not valid for "
+                    f"{column.type.value} column {self.name}.{column.name}"
+                )
+            if column.type is ColumnType.REAL and isinstance(value, int):
+                value = float(value)
+            coerced.append(value)
+        self.rows.append(tuple(coerced))
+
+    def insert_many(self, rows: Iterable[tuple | list]) -> None:
+        for row in rows:
+            self.insert(row)
+
+    # -- access ---------------------------------------------------------------
+
+    def column_index(self, name: str) -> int:
+        try:
+            return self._index[name.lower()]
+        except KeyError:
+            raise ExecutionError(f"no column {name!r} in table {self.name!r}") from None
+
+    def column_values(self, name: str) -> list:
+        """All values of one column, in row order (NULLs included)."""
+        idx = self.column_index(name)
+        return [row[idx] for row in self.rows]
+
+    def distinct_values(self, name: str) -> list:
+        """Distinct non-NULL values of one column, in first-seen order."""
+        seen: dict = {}
+        for value in self.column_values(name):
+            if value is not None and value not in seen:
+                seen[value] = None
+        return list(seen)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Table({self.name!r}, {len(self.rows)} rows)"
+
+    def estimated_bytes(self) -> int:
+        """Rough storage footprint, used for the Table-1 size column."""
+        if not self.rows:
+            return 0
+        sample = self.rows[: min(100, len(self.rows))]
+        per_row = sum(_value_bytes(v) for row in sample for v in row) / len(sample)
+        return int(per_row * len(self.rows))
+
+
+def _value_bytes(value) -> int:
+    if value is None:
+        return 1
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return 8
+    if isinstance(value, float):
+        return 8
+    return len(str(value)) + 1

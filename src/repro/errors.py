@@ -1,0 +1,54 @@
+"""Exception hierarchy for the ScienceBenchmark reproduction.
+
+Every error raised by this package derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors such as
+``TypeError`` or ``KeyError`` raised by genuine bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SqlSyntaxError(ReproError):
+    """Raised when a SQL string cannot be tokenized or parsed.
+
+    Carries the character ``position`` of the offending token when known so
+    that callers (for example the NL-to-SQL systems, which must reject their
+    own malformed beam candidates) can report precise diagnostics.
+    """
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class SchemaError(ReproError):
+    """Raised for schema violations: unknown tables/columns, bad foreign keys,
+    duplicate definitions, or enhanced-schema annotations that reference
+    elements missing from the base schema."""
+
+
+class ExecutionError(ReproError):
+    """Raised when a syntactically valid query cannot be executed, e.g. a
+    type mismatch in an expression, an aggregate in an illegal position, or a
+    scalar subquery returning more than one row."""
+
+
+class SemQLError(ReproError):
+    """Raised when SQL cannot be represented in the supported SemQL subset or
+    when a SemQL tree cannot be lowered back to SQL."""
+
+
+class GenerationError(ReproError):
+    """Raised by the synthesis pipeline when a template cannot be instantiated
+    under the enhanced-schema constraints (e.g. no compatible column exists)."""
+
+
+class TrainingError(ReproError):
+    """Raised by NL-to-SQL systems when asked to predict before training or
+    when trained on unusable data."""

@@ -1,0 +1,44 @@
+"""Plain-text rendering of experiment results, in the paper's table shapes."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    note: str | None = None,
+) -> str:
+    """A fixed-width text table with a title line."""
+    columns = [[str(h)] for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            columns[i].append(_format(cell))
+    widths = [max(len(v) for v in col) for col in columns]
+
+    def line(values):
+        return "  ".join(v.ljust(w) for v, w in zip(values, widths)).rstrip()
+
+    parts = [title, "=" * len(title), line(headers), line("-" * w for w in widths)]
+    for row_index in range(len(rows)):
+        parts.append(line(col[row_index + 1] for col in columns))
+    if note:
+        parts.append("")
+        parts.append(note)
+    return "\n".join(parts)
+
+
+def _format(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}" if abs(cell) < 10 else f"{cell:,.1f}"
+    if isinstance(cell, int):
+        return f"{cell:,}"
+    return str(cell)
+
+
+def percentage(count: int, total: int) -> str:
+    if total == 0:
+        return "0 (0%)"
+    return f"{count} ({100.0 * count / total:.1f}%)"

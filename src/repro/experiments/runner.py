@@ -1,0 +1,168 @@
+"""The benchmark suite: lazy, cached construction of every shared artifact.
+
+Tables 1–5 all consume the same underlying objects — the three domain
+databases, the MiniSpider corpus, the synthetic splits, trained systems.
+:class:`BenchmarkSuite` builds each exactly once per configuration;
+``get_suite()`` returns a process-wide instance so the individual benchmark
+modules do not re-build the world.
+"""
+
+from __future__ import annotations
+
+import random
+from functools import lru_cache
+
+from repro.datasets import cordis, oncomx, sdss
+from repro.datasets.records import BenchmarkDomain, NLSQLPair, Split
+from repro.experiments.config import ExperimentConfig, quick
+from repro.llm.models import GPT3_PROFILE, make_model
+from repro.nl2sql import SmBoP, T5Seq2Seq, ValueNet
+from repro.spider.corpus import SpiderCorpus, build_corpus
+from repro.synthesis import AugmentationPipeline, PipelineConfig
+
+DOMAIN_BUILDERS = {"cordis": cordis.build, "sdss": sdss.build, "oncomx": oncomx.build}
+
+SYSTEM_CLASSES = {
+    "valuenet": ValueNet,
+    "t5-large": T5Seq2Seq,
+    "smbop": SmBoP,
+}
+
+
+class BenchmarkSuite:
+    """Cached builder of all experiment inputs."""
+
+    def __init__(self, config: ExperimentConfig | None = None) -> None:
+        self.config = config or quick()
+        self._domains: dict[str, BenchmarkDomain] = {}
+        self._corpus: SpiderCorpus | None = None
+        self._synth_spider: Split | None = None
+
+    # -- shared artifacts -----------------------------------------------------
+
+    def domain(self, name: str) -> BenchmarkDomain:
+        """One ScienceBenchmark domain, with its Synth split materialised."""
+        if name not in self._domains:
+            builder = DOMAIN_BUILDERS[name]
+            domain = builder(scale=self.config.domain_scale)
+            pipeline = AugmentationPipeline(
+                domain,
+                model=make_model(GPT3_PROFILE, seed=self.config.seed),
+                config=PipelineConfig(
+                    target_queries=self.config.synth_targets.get(name, 300),
+                    seed=self.config.seed,
+                ),
+            )
+            pipeline.run()
+            self._domains[name] = domain
+        return self._domains[name]
+
+    def domains(self) -> dict[str, BenchmarkDomain]:
+        return {name: self.domain(name) for name in DOMAIN_BUILDERS}
+
+    @property
+    def corpus(self) -> SpiderCorpus:
+        if self._corpus is None:
+            self._corpus = build_corpus(
+                train_per_db=self.config.spider_train_per_db,
+                dev_per_db=self.config.spider_dev_per_db,
+                seed=self.config.seed,
+            )
+        return self._corpus
+
+    @property
+    def synth_spider(self) -> Split:
+        """Synthetic Spider data (the 'Synth Spider' control of Table 5):
+        the pipeline applied to each MiniSpider database, seeded with that
+        database's own training pairs."""
+        if self._synth_spider is None:
+            corpus = self.corpus
+            pairs: list[NLSQLPair] = []
+            for db_id, database in corpus.databases.items():
+                db_train = [p for p in corpus.train.pairs if p.db_id == db_id]
+                pseudo_domain = BenchmarkDomain(
+                    name=db_id,
+                    database=database,
+                    enhanced=corpus.enhanced[db_id],
+                    lexicon=None,
+                    seed=Split(name=f"{db_id}-seed", pairs=db_train),
+                    dev=Split(name=f"{db_id}-dev", pairs=[]),
+                )
+                pipeline = AugmentationPipeline(
+                    pseudo_domain,
+                    model=make_model(GPT3_PROFILE, seed=self.config.seed),
+                    config=PipelineConfig(
+                        target_queries=self.config.synth_spider_per_db,
+                        seed=self.config.seed,
+                    ),
+                )
+                report = pipeline.run()
+                pairs.extend(report.split.pairs)
+            self._synth_spider = Split(name="spider-synth", pairs=pairs)
+        return self._synth_spider
+
+    # -- trained systems --------------------------------------------------------
+
+    def make_system(self, system_name: str, include_domains=True):
+        """A fresh system with all databases registered (untrained)."""
+        system = SYSTEM_CLASSES[system_name]()
+        for db_id, database in self.corpus.databases.items():
+            system.register_database(db_id, database, self.corpus.enhanced[db_id])
+        if include_domains:
+            for name in DOMAIN_BUILDERS:
+                domain = self.domain(name)
+                system.register_database(name, domain.database, domain.enhanced)
+        return system
+
+    def train_regime(self, system_name: str, domain_name: str | None, regime: str):
+        """Train a system under one Table-5 regime.
+
+        Regimes: ``zero`` (Spider train only), ``seed``, ``synth``, ``both``
+        (Spider + the respective domain splits); for the Spider control rows,
+        ``domain_name`` is None and regimes are ``zero`` / ``plus-synth`` /
+        ``synth-only``.
+        """
+        system = self.make_system(system_name, include_domains=domain_name is not None)
+        pairs = list(self.corpus.train.pairs)
+        if domain_name is None:
+            if regime == "plus-synth":
+                pairs = pairs + list(self.synth_spider.pairs)
+            elif regime == "synth-only":
+                pairs = list(self.synth_spider.pairs)
+            elif regime != "zero":
+                raise ValueError(f"unknown Spider regime {regime!r}")
+        else:
+            domain = self.domain(domain_name)
+            if regime in ("seed", "both"):
+                pairs += list(domain.seed.pairs)
+            if regime in ("synth", "both"):
+                pairs += list(domain.synth.pairs)
+            if regime not in ("zero", "seed", "synth", "both"):
+                raise ValueError(f"unknown regime {regime!r}")
+        system.train(pairs)
+        return system
+
+    def dev_pairs(self, domain_name: str | None):
+        """The evaluation split for one domain (or the Spider control)."""
+        if domain_name is None:
+            pairs = self.corpus.dev.pairs
+        else:
+            pairs = self.domain(domain_name).dev.pairs
+        limit = self.config.dev_limit
+        return pairs[:limit] if limit else list(pairs)
+
+    def rng(self, salt: str) -> random.Random:
+        return random.Random(f"{self.config.seed}:{salt}")
+
+
+@lru_cache(maxsize=2)
+def _suite_for(name: str) -> BenchmarkSuite:
+    from repro.experiments import config as config_module
+
+    factory = getattr(config_module, name)
+    return BenchmarkSuite(factory())
+
+
+def get_suite(preset: str = "quick") -> BenchmarkSuite:
+    """Process-wide shared suite (presets: ``quick`` or ``full``)."""
+    return _suite_for(preset)

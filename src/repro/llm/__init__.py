@@ -1,0 +1,25 @@
+"""Simulated large language models for SQL-to-NL translation."""
+
+from repro.llm.base import FineTuneRecord, LLMProfile, SqlToNlModel
+from repro.llm.models import (
+    ALL_PROFILES,
+    GPT2_PROFILE,
+    GPT3_PROFILE,
+    GPT3_ZERO_PROFILE,
+    T5_PROFILE,
+    default_generator,
+    make_model,
+)
+
+__all__ = [
+    "LLMProfile",
+    "SqlToNlModel",
+    "FineTuneRecord",
+    "ALL_PROFILES",
+    "GPT2_PROFILE",
+    "GPT3_PROFILE",
+    "GPT3_ZERO_PROFILE",
+    "T5_PROFILE",
+    "make_model",
+    "default_generator",
+]

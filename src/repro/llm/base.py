@@ -1,0 +1,178 @@
+"""Simulated large language models for SQL-to-NL translation.
+
+The paper's Phase 3 calls GPT-3 (after comparing GPT-2, zero-shot GPT-3,
+fine-tuned GPT-3 and T5 — Table 3).  Offline, we replace the API with
+simulated models that preserve the three properties the pipeline depends on:
+
+1. **Generation**: given a SQL query, a model emits *n* fluent candidate
+   questions (the paper uses 8) with linguistic diversity.
+2. **Model-dependent quality**: each model has a *style* (which surface
+   vocabulary it prefers — separating BLEU scores) and an *error rate* (the
+   probability a candidate is semantically corrupted — separating the human
+   expert scores).  Error grows with query complexity, which is why SDSS
+   translations score lower than CORDIS in §4.1.2 here as in the paper.
+3. **Fine-tuning**: registering a domain's seed pairs gives the model access
+   to that domain's phrase lexicon and the canonical style, and lowers its
+   error rate — the offline counterpart of fine-tuning GPT-3 on seed
+   NL/SQL pairs.
+
+All generation is deterministic: the RNG is keyed by (model seed, SQL text).
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.nlgen.lexicon import DomainLexicon
+from repro.nlgen.noise import corrupt
+from repro.nlgen.realizer import CANONICAL_STYLE, Realizer, StyleProfile
+from repro.schema.enhanced import EnhancedSchema
+from repro.semql import nodes as sq_nodes
+from repro.semql.from_sql import sql_to_semql
+from repro.sql import parse
+
+
+@dataclass(frozen=True)
+class LLMProfile:
+    """Static characteristics of one simulated model."""
+
+    name: str
+    style: StyleProfile
+    base_error_rate: float
+    per_condition_error: float = 0.04
+    finetune_error_discount: float = 0.75
+    adopts_canonical_style_on_finetune: bool = False
+    max_error_rate: float = 0.85
+
+
+@dataclass
+class FineTuneRecord:
+    """What the model learned from one fine-tuning dataset."""
+
+    domain: str
+    lexicon: DomainLexicon | None
+    n_pairs: int
+
+
+class SqlToNlModel:
+    """A simulated SQL-to-NL language model."""
+
+    def __init__(self, profile: LLMProfile, seed: int = 0) -> None:
+        self.profile = profile
+        self.seed = seed
+        self._tuned: dict[str, FineTuneRecord] = {}
+
+    # -- fine-tuning ---------------------------------------------------------
+
+    def fine_tune(
+        self,
+        pairs,
+        domain: str,
+        lexicon: DomainLexicon | None = None,
+        epochs: int = 4,
+    ) -> None:
+        """Register fine-tuning on NL/SQL ``pairs`` from ``domain``.
+
+        ``epochs`` is accepted for interface fidelity with the paper's setup
+        (GPT-3 was tuned for 4 epochs); only its positivity matters here.
+        """
+        if epochs <= 0:
+            raise ValueError("epochs must be positive")
+        pair_list = list(pairs)
+        record = self._tuned.get(domain)
+        n_pairs = len(pair_list) + (record.n_pairs if record else 0)
+        merged_lexicon = lexicon
+        if record is not None and record.lexicon is not None and lexicon is not None:
+            merged_lexicon = record.lexicon.merge(lexicon)
+        elif record is not None and lexicon is None:
+            merged_lexicon = record.lexicon
+        self._tuned[domain] = FineTuneRecord(
+            domain=domain, lexicon=merged_lexicon, n_pairs=n_pairs
+        )
+
+    def is_tuned_for(self, domain: str) -> bool:
+        return domain in self._tuned
+
+    # -- generation -------------------------------------------------------------
+
+    def translate(
+        self,
+        sql: str,
+        enhanced: EnhancedSchema,
+        n_candidates: int = 8,
+        domain: str | None = None,
+    ) -> list[str]:
+        """Generate ``n_candidates`` NL questions for ``sql``.
+
+        ``domain`` selects which fine-tuning record (lexicon + discount) to
+        apply; it defaults to the schema name.
+        """
+        if n_candidates <= 0:
+            raise ValueError("n_candidates must be positive")
+        domain = domain or enhanced.schema.name
+        record = self._tuned.get(domain)
+
+        style = self.profile.style
+        lexicon = None
+        error_rate_scale = 1.0
+        if record is not None:
+            lexicon = record.lexicon
+            error_rate_scale = self.profile.finetune_error_discount
+            if self.profile.adopts_canonical_style_on_finetune:
+                style = CANONICAL_STYLE
+
+        realizer = Realizer(enhanced, lexicon=lexicon, style=style)
+        rng = self._rng_for(sql)
+        try:
+            z = sql_to_semql(parse(sql), enhanced.schema)
+        except ReproError:
+            # Outside the grammar: emit a degenerate but non-empty question,
+            # like a real LM would babble something.
+            return [f"show the results of the query over {enhanced.schema.name}"] * n_candidates
+
+        # Complexity drives error: every structural element is a chance to
+        # misread the query, and math expressions (the SDSS colour cuts) are
+        # especially slippery — this is what makes SDSS the hardest domain to
+        # verbalise (§4.1.2: 53% vs CORDIS's 82%).
+        n_nodes = len(list(z.walk()))
+        n_math = sum(isinstance(n, sq_nodes.MathExpr) for n in z.walk())
+        complexity = max(n_nodes // 6, 0) + 2 * n_math
+        error_rate = min(
+            self.profile.max_error_rate,
+            (self.profile.base_error_rate + self.profile.per_condition_error * complexity)
+            * error_rate_scale,
+        )
+
+        # Two failure modes, as with real models:
+        # * a *systematic* misreading of the query corrupts the base tree —
+        #   every candidate inherits it, so the Phase-4 discriminator cannot
+        #   vote it away (this is why silver-standard quality tops out around
+        #   75–85% in Table 4 despite candidate selection);
+        # * additional *per-candidate* slips, which the discriminator does
+        #   filter because they are outliers among the candidates.
+        base_tree = z
+        if rng.random() < error_rate * 0.75:
+            base_tree, _ = corrupt(base_tree, enhanced.schema, rng)
+
+        candidates: list[str] = []
+        for _ in range(n_candidates):
+            tree = base_tree
+            if rng.random() < error_rate * 0.5:
+                tree, _ = corrupt(tree, enhanced.schema, rng)
+            candidates.append(realizer.realize(tree, rng))
+        return candidates
+
+    def translate_best(
+        self, sql: str, enhanced: EnhancedSchema, domain: str | None = None
+    ) -> str:
+        """Single-candidate convenience used by the Table-3 evaluation."""
+        return self.translate(sql, enhanced, n_candidates=1, domain=domain)[0]
+
+    # -- internals ---------------------------------------------------------------
+
+    def _rng_for(self, sql: str) -> random.Random:
+        digest = zlib.crc32(f"{self.profile.name}:{self.seed}:{sql}".encode("utf-8"))
+        return random.Random(digest)

@@ -1,0 +1,62 @@
+"""The four simulated LLM configurations evaluated in Table 3.
+
+Profiles are calibrated so the *ranking* the paper reports reproduces:
+
+* fine-tuned **GPT-3** adopts the canonical reference style → best SacreBLEU
+  and embedding scores, low error rate;
+* **GPT-3-zero** is semantically the most careful model (best human-expert
+  rate in the paper: 0.765) but keeps its own verbose style → lower BLEU;
+* **T5** sits in the middle;
+* **GPT-2** has both an off-canonical style and the highest error rate →
+  worst everywhere.
+"""
+
+from __future__ import annotations
+
+from repro.llm.base import LLMProfile, SqlToNlModel
+from repro.nlgen.realizer import StyleProfile
+
+GPT2_PROFILE = LLMProfile(
+    name="gpt2-large-ft",
+    style=StyleProfile(name="gpt2", canonical_bias=0.25, offset=2),
+    base_error_rate=0.30,
+    per_condition_error=0.05,
+    finetune_error_discount=0.95,
+)
+
+GPT3_ZERO_PROFILE = LLMProfile(
+    name="gpt3-davinci-zero",
+    style=StyleProfile(name="gpt3-zero", canonical_bias=0.35, offset=1),
+    base_error_rate=0.16,
+    per_condition_error=0.035,
+    finetune_error_discount=1.0,  # zero-shot: fine-tuning is never applied
+)
+
+GPT3_PROFILE = LLMProfile(
+    name="gpt3-davinci-ft",
+    style=StyleProfile(name="gpt3", canonical_bias=0.45, offset=1),
+    base_error_rate=0.19,
+    per_condition_error=0.07,
+    finetune_error_discount=0.80,
+    adopts_canonical_style_on_finetune=True,
+)
+
+T5_PROFILE = LLMProfile(
+    name="t5-base-ft",
+    style=StyleProfile(name="t5", canonical_bias=0.30, offset=3),
+    base_error_rate=0.27,
+    per_condition_error=0.05,
+    finetune_error_discount=0.90,
+)
+
+ALL_PROFILES = (GPT2_PROFILE, GPT3_ZERO_PROFILE, GPT3_PROFILE, T5_PROFILE)
+
+
+def make_model(profile: LLMProfile, seed: int = 0) -> SqlToNlModel:
+    """Instantiate one simulated model."""
+    return SqlToNlModel(profile=profile, seed=seed)
+
+
+def default_generator(seed: int = 0) -> SqlToNlModel:
+    """The model the pipeline uses in production: fine-tuned GPT-3."""
+    return make_model(GPT3_PROFILE, seed=seed)

@@ -1,0 +1,28 @@
+"""Evaluation metrics: BLEU, embedding similarity, execution accuracy,
+component exact-match and the semantic-equivalence judge."""
+
+from repro.metrics.bleu import BleuScore, corpus_bleu, sentence_bleu
+from repro.metrics.embedding_score import embedding_score, pairwise_similarity
+from repro.metrics.equivalence import Anchor, EquivalenceJudge, Verdict
+from repro.metrics.exact_match import exact_match, query_signature
+from repro.metrics.execution import (
+    ExecutionAccuracy,
+    execution_match,
+    results_match,
+)
+
+__all__ = [
+    "BleuScore",
+    "corpus_bleu",
+    "sentence_bleu",
+    "embedding_score",
+    "pairwise_similarity",
+    "EquivalenceJudge",
+    "Verdict",
+    "Anchor",
+    "exact_match",
+    "query_signature",
+    "ExecutionAccuracy",
+    "execution_match",
+    "results_match",
+]

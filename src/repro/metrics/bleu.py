@@ -1,0 +1,141 @@
+"""Corpus-level BLEU in the SacreBLEU configuration.
+
+The paper reports SacreBLEU for the SQL-to-NL models (Table 3).  We
+re-implement the metric's default configuration: 4-gram precisions with
+exponential smoothing of zero counts, brevity penalty, and a 13a-style
+tokenizer (punctuation split from words).  Scores are on the usual 0–100
+scale.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from collections import Counter
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+_MAX_ORDER = 4
+
+_PUNCT_RE = re.compile(r"([^\w\s])")
+_SPACE_RE = re.compile(r"\s+")
+
+
+def tokenize_13a(text: str) -> list[str]:
+    """A compact approximation of SacreBLEU's default ``13a`` tokenizer."""
+    text = _PUNCT_RE.sub(r" \1 ", text)
+    text = _SPACE_RE.sub(" ", text).strip()
+    return text.split(" ") if text else []
+
+
+@dataclass(frozen=True)
+class BleuScore:
+    """BLEU score with its component statistics."""
+
+    score: float
+    precisions: tuple[float, ...]
+    brevity_penalty: float
+    hypothesis_length: int
+    reference_length: int
+
+
+def corpus_bleu(
+    hypotheses: Sequence[str],
+    references: Sequence[Sequence[str]],
+    max_order: int = _MAX_ORDER,
+    smooth: bool = True,
+) -> BleuScore:
+    """Corpus BLEU over parallel hypothesis/reference-set lists.
+
+    ``references[i]`` is the list of acceptable references for
+    ``hypotheses[i]`` (Spider-style data can have several NL questions per
+    SQL query).
+    """
+    if len(hypotheses) != len(references):
+        raise ValueError("hypotheses and references must be parallel")
+    if not hypotheses:
+        return BleuScore(0.0, tuple([0.0] * max_order), 0.0, 0, 0)
+
+    matches = [0] * max_order
+    totals = [0] * max_order
+    hyp_length = 0
+    ref_length = 0
+
+    for hypothesis, refs in zip(hypotheses, references):
+        hyp_tokens = tokenize_13a(hypothesis)
+        ref_token_lists = [tokenize_13a(r) for r in refs]
+        hyp_length += len(hyp_tokens)
+        ref_length += _closest_length(len(hyp_tokens), ref_token_lists)
+        for order in range(1, max_order + 1):
+            hyp_ngrams = _ngrams(hyp_tokens, order)
+            totals[order - 1] += max(len(hyp_tokens) - order + 1, 0)
+            if not hyp_ngrams:
+                continue
+            best_match: Counter = Counter()
+            for ref_tokens in ref_token_lists:
+                ref_ngrams = _ngrams(ref_tokens, order)
+                for ngram, count in hyp_ngrams.items():
+                    clipped = min(count, ref_ngrams.get(ngram, 0))
+                    if clipped > best_match.get(ngram, 0):
+                        best_match[ngram] = clipped
+            matches[order - 1] += sum(best_match.values())
+
+    precisions = []
+    effective: list[float] = []
+    smooth_value = 1.0
+    for order in range(max_order):
+        if totals[order] == 0:
+            # The corpus has no n-grams of this order at all (hypotheses
+            # shorter than n): exclude the order from the geometric mean,
+            # as SacreBLEU's effective-order handling does.
+            precisions.append(0.0)
+            continue
+        if matches[order] == 0:
+            if smooth:
+                # SacreBLEU's "exp" smoothing: successive zero counts are
+                # replaced by exponentially shrinking pseudo-precisions.
+                smooth_value *= 2.0
+                precision = 100.0 / (smooth_value * totals[order])
+            else:
+                precision = 0.0
+        else:
+            precision = 100.0 * matches[order] / totals[order]
+        precisions.append(precision)
+        effective.append(precision)
+
+    if effective and min(effective) > 0.0:
+        log_mean = sum(math.log(p) for p in effective) / len(effective)
+        geo_mean = math.exp(log_mean)
+    else:
+        geo_mean = 0.0
+
+    if hyp_length == 0:
+        brevity_penalty = 0.0
+    elif hyp_length >= ref_length:
+        brevity_penalty = 1.0
+    else:
+        brevity_penalty = math.exp(1.0 - ref_length / hyp_length)
+
+    return BleuScore(
+        score=geo_mean * brevity_penalty,
+        precisions=tuple(precisions),
+        brevity_penalty=brevity_penalty,
+        hypothesis_length=hyp_length,
+        reference_length=ref_length,
+    )
+
+
+def sentence_bleu(hypothesis: str, references: Sequence[str]) -> float:
+    """Single-sentence BLEU (smoothed), on the 0–100 scale."""
+    return corpus_bleu([hypothesis], [list(references)]).score
+
+
+def _ngrams(tokens: list[str], order: int) -> Counter:
+    return Counter(
+        tuple(tokens[i : i + order]) for i in range(len(tokens) - order + 1)
+    )
+
+
+def _closest_length(hyp_len: int, ref_token_lists: list[list[str]]) -> int:
+    lengths = [len(r) for r in ref_token_lists] or [0]
+    return min(lengths, key=lambda l: (abs(l - hyp_len), l))

@@ -1,0 +1,227 @@
+"""Automatic semantic-equivalence judgement of NL/SQL pairs.
+
+The paper uses human SQL experts to decide whether a generated natural
+language question means the same thing as its SQL query (Table 3's "Human
+Expert" row, Table 4's silver-standard evaluation, §4.1.2's per-domain
+rates).  We replay that judgement mechanically: the judge derives a set of
+*content anchors* from the SQL query — which values, columns, aggregation
+words and comparison directions a faithful question must mention — using the
+same :class:`~repro.nlgen.lexicon.PhraseBook` the realizer draws from, and
+verifies the question against them.
+
+The judge is deliberately strict in the same direction as the paper's
+experts: questions for more complex queries carry more anchors and therefore
+fail more often, which is why SDSS (whose dev queries are the hardest) scores
+lowest in §4.1.2 — both in the paper and here.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.nlgen.lexicon import DomainLexicon, PhraseBook, render_value
+from repro.schema.enhanced import EnhancedSchema
+from repro.semql import nodes as sq
+from repro.semql.from_sql import sql_to_semql
+from repro.sql import parse
+
+_GT_WORDS = ("greater", "more than", "above", "larger", "higher", "over", "exceed")
+_LT_WORDS = ("less", "smaller", "below", "lower", "under", "fewer")
+_AGG_WORDS = {
+    "max": ("maximum", "highest", "largest", "top", "most"),
+    "min": ("minimum", "lowest", "smallest", "least"),
+    "avg": ("average", "mean"),
+    "sum": ("total", "sum"),
+    "count": ("number of", "count", "how many"),
+}
+_ORDER_DESC = ("descending", "highest", "largest", "top", "decreasing")
+_ORDER_ASC = ("ascending", "lowest", "smallest", "increasing")
+_GROUP_WORDS = ("for each", "per ", "for every", "grouped by", "by each")
+
+
+@dataclass(frozen=True)
+class Anchor:
+    """One piece of content the question must express."""
+
+    kind: str
+    description: str
+    variants: tuple[str, ...]
+
+
+@dataclass
+class Verdict:
+    """The judge's decision for one NL/SQL pair."""
+
+    equivalent: bool
+    anchors: list[Anchor] = field(default_factory=list)
+    missing: list[Anchor] = field(default_factory=list)
+
+    @property
+    def coverage(self) -> float:
+        if not self.anchors:
+            return 1.0
+        return 1.0 - len(self.missing) / len(self.anchors)
+
+
+class EquivalenceJudge:
+    """Judges NL questions against SQL queries over one database schema."""
+
+    def __init__(
+        self, enhanced: EnhancedSchema, lexicon: DomainLexicon | None = None
+    ) -> None:
+        self.enhanced = enhanced
+        self.phrases = PhraseBook(enhanced=enhanced, lexicon=lexicon)
+
+    def judge(self, question: str, sql: str) -> Verdict:
+        """Return the verdict for one pair; parse errors yield non-equivalent."""
+        try:
+            z = sql_to_semql(parse(sql), self.enhanced.schema)
+        except ReproError:
+            return Verdict(equivalent=False)
+        anchors = self.anchors(z)
+        normalized = _normalize(question)
+        missing = [a for a in anchors if not _matches(a, normalized)]
+        return Verdict(equivalent=not missing, anchors=anchors, missing=missing)
+
+    def judge_rate(self, pairs: list[tuple[str, str]]) -> float:
+        """Fraction of (question, sql) pairs judged semantically equivalent."""
+        if not pairs:
+            return 0.0
+        verdicts = [self.judge(q, s) for q, s in pairs]
+        return sum(v.equivalent for v in verdicts) / len(pairs)
+
+    # -- anchor derivation -------------------------------------------------------
+
+    def anchors(self, z: sq.Z) -> list[Anchor]:
+        anchors: list[Anchor] = []
+        for r in (z.left, z.right):
+            if r is None:
+                continue
+            self._select_anchors(r.select, anchors)
+            if r.filter is not None:
+                self._filter_anchors(r.filter, anchors)
+            if r.order is not None:
+                self._order_anchors(r.order, anchors)
+        return anchors
+
+    def _select_anchors(self, select: sq.SemSelect, anchors: list[Anchor]) -> None:
+        for attribute in select.attributes:
+            self._attribute_anchors(attribute, anchors, projected=True)
+        group = select.group
+        if group is None:
+            aggregated = any(a.is_aggregated for a in select.attributes)
+            plain = any(not a.is_aggregated for a in select.attributes)
+            group = tuple() if not (aggregated and plain) else tuple(
+                a.column for a in select.attributes if not a.is_aggregated
+            )
+        if group:
+            anchors.append(
+                Anchor(kind="group", description="grouping", variants=_GROUP_WORDS)
+            )
+
+    def _attribute_anchors(
+        self, attribute: sq.A, anchors: list[Anchor], projected: bool
+    ) -> None:
+        if attribute.agg != "none":
+            anchors.append(
+                Anchor(
+                    kind="aggregate",
+                    description=f"aggregate {attribute.agg}",
+                    variants=_AGG_WORDS[attribute.agg],
+                )
+            )
+        if projected and isinstance(attribute.column, sq.ColumnLeaf):
+            anchors.append(self._column_anchor(attribute.column))
+        if isinstance(attribute.column, sq.MathExpr):
+            anchors.append(self._column_anchor(attribute.column.left))
+            anchors.append(self._column_anchor(attribute.column.right))
+
+    def _column_anchor(self, column: sq.ColumnLeaf) -> Anchor:
+        table = column.table.name if isinstance(column.table, sq.TableLeaf) else ""
+        variants = tuple(
+            _normalize(p) for p in self.phrases.column_phrases(table, column.name)
+        )
+        return Anchor(
+            kind="column", description=f"column {table}.{column.name}", variants=variants
+        )
+
+    def _filter_anchors(self, node, anchors: list[Anchor]) -> None:
+        if isinstance(node, sq.FilterNode):
+            self._filter_anchors(node.left, anchors)
+            self._filter_anchors(node.right, anchors)
+            return
+        condition: sq.Condition = node
+        attribute = condition.attribute
+        self._attribute_anchors(attribute, anchors, projected=False)
+
+        if condition.subquery is not None:
+            # The subquery's own select/filter anchors apply.
+            self._select_anchors(condition.subquery.select, anchors)
+            if condition.subquery.filter is not None:
+                self._filter_anchors(condition.subquery.filter, anchors)
+        elif condition.value is not None:
+            anchors.append(self._value_anchor(attribute, condition.value))
+            if condition.op == "between" and condition.value2 is not None:
+                anchors.append(self._value_anchor(attribute, condition.value2))
+
+        if condition.op in (">", ">="):
+            anchors.append(
+                Anchor(kind="direction", description="greater-than", variants=_GT_WORDS + ("at least",))
+            )
+        elif condition.op in ("<", "<="):
+            anchors.append(
+                Anchor(kind="direction", description="less-than", variants=_LT_WORDS + ("at most", "between"))
+            )
+
+    def _value_anchor(self, attribute: sq.A, value) -> Anchor:
+        raw = value.value if isinstance(value, sq.ValueLeaf) else value
+        variants = [_normalize(render_value(raw))]
+        if isinstance(attribute.column, sq.ColumnLeaf):
+            column = attribute.column
+            table = column.table.name if isinstance(column.table, sq.TableLeaf) else ""
+            variants.extend(
+                _normalize(p)
+                for p in self.phrases.value_phrases(table, column.name, raw)
+            )
+        if isinstance(raw, str) and "%" in raw:
+            variants.append(_normalize(raw.replace("%", " ")))
+        return Anchor(
+            kind="value", description=f"value {raw!r}", variants=tuple(dict.fromkeys(variants))
+        )
+
+    def _order_anchors(self, order: sq.Order, anchors: list[Anchor]) -> None:
+        variants = _ORDER_DESC if order.direction == "desc" else _ORDER_ASC
+        anchors.append(
+            Anchor(kind="order", description=f"order {order.direction}", variants=variants)
+        )
+        if isinstance(order.attribute.column, sq.ColumnLeaf):
+            anchors.append(self._column_anchor(order.attribute.column))
+        if order.limit is not None and order.limit > 1:
+            anchors.append(
+                Anchor(
+                    kind="limit",
+                    description=f"limit {order.limit}",
+                    variants=(str(order.limit),),
+                )
+            )
+
+
+_NORM_RE = re.compile(r"[^a-z0-9.]+")
+
+
+def _normalize(text: str) -> str:
+    collapsed = _NORM_RE.sub(" ", text.lower()).strip()
+    # Dots are kept only when interior to a token ("2.22"); leading/trailing
+    # sentence punctuation must not block exact value matches.
+    tokens = [token.strip(".") for token in collapsed.split(" ") if token.strip(".")]
+    return f" {' '.join(tokens)} "
+
+
+def _matches(anchor: Anchor, normalized_question: str) -> bool:
+    for variant in anchor.variants:
+        needle = variant if variant.startswith(" ") else _normalize(variant)
+        if needle.strip() and needle in normalized_question:
+            return True
+    return False

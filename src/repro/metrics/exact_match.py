@@ -1,0 +1,151 @@
+"""Spider-style component exact-match.
+
+A secondary metric (Spider's "Exact Set Match"): the predicted query's
+clauses are compared to the gold query's component-by-component as *sets*,
+with literal values ignored — so two queries that differ only in constants
+or in clause ordering still match.  Used in ablations and tests; the paper's
+headline numbers use execution accuracy (:mod:`repro.metrics.execution`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sql import ast, parse
+from repro.sql.printer import to_sql
+
+
+@dataclass(frozen=True)
+class QuerySignature:
+    """Canonical, value-free fingerprint of one query."""
+
+    select: frozenset
+    tables: frozenset
+    where: frozenset
+    group_by: frozenset
+    having: frozenset
+    order_by: tuple
+    limit: bool
+    distinct: bool
+    set_op: str | None
+
+
+def query_signature(query: ast.Query | str) -> QuerySignature:
+    if isinstance(query, str):
+        query = parse(query)
+    select = query.select
+    alias_map = _alias_map(select)
+
+    return QuerySignature(
+        select=frozenset(_item_sig(i.expr, alias_map) for i in select.items),
+        tables=frozenset(r.name.lower() for r in select.table_refs()),
+        where=frozenset(_condition_sigs(select.where, alias_map)),
+        group_by=frozenset(_expr_sig(e, alias_map) for e in select.group_by),
+        having=frozenset(_condition_sigs(select.having, alias_map)),
+        order_by=tuple(
+            (_expr_sig(o.expr, alias_map), o.desc) for o in select.order_by
+        ),
+        limit=select.limit is not None,
+        distinct=select.distinct,
+        set_op=query.set_op,
+    )
+
+
+def exact_match(gold: ast.Query | str, predicted: ast.Query | str) -> bool:
+    """True iff the two queries have identical component signatures."""
+    try:
+        return query_signature(gold) == query_signature(predicted)
+    except Exception:
+        return False
+
+
+def _alias_map(select: ast.Select) -> dict[str, str]:
+    mapping = {}
+    for ref in select.table_refs():
+        mapping[ref.binding.lower()] = ref.name.lower()
+    return mapping
+
+
+def _resolve(table: str | None, alias_map: dict[str, str]) -> str:
+    if table is None:
+        return "?"
+    return alias_map.get(table.lower(), table.lower())
+
+
+def _expr_sig(expr: ast.Expr, alias_map: dict[str, str]) -> str:
+    if isinstance(expr, ast.ColumnRef):
+        return f"{_resolve(expr.table, alias_map)}.{expr.column.lower()}"
+    if isinstance(expr, ast.Star):
+        return "*"
+    if isinstance(expr, ast.FuncCall):
+        inner = ",".join(_expr_sig(a, alias_map) for a in expr.args)
+        distinct = "distinct " if expr.distinct else ""
+        return f"{expr.name.lower()}({distinct}{inner})"
+    if isinstance(expr, ast.BinaryOp):
+        return (
+            f"({_expr_sig(expr.left, alias_map)}{expr.op}"
+            f"{_expr_sig(expr.right, alias_map)})"
+        )
+    if isinstance(expr, ast.Literal):
+        return "<v>"
+    if isinstance(expr, ast.UnaryMinus):
+        return f"-{_expr_sig(expr.operand, alias_map)}"
+    return to_sql(expr)
+
+
+def _item_sig(expr: ast.Expr, alias_map: dict[str, str]) -> str:
+    return _expr_sig(expr, alias_map)
+
+
+def _condition_sigs(expr: ast.Expr | None, alias_map: dict[str, str]):
+    """Leaf predicate signatures (values blanked, subqueries fingerprinted)."""
+    if expr is None:
+        return
+    if isinstance(expr, ast.BoolOp):
+        for operand in expr.operands:
+            yield from _condition_sigs(operand, alias_map)
+        return
+    if isinstance(expr, ast.Not):
+        for sig in _condition_sigs(expr.operand, alias_map):
+            yield f"not({sig})"
+        return
+    if isinstance(expr, ast.Comparison):
+        right = (
+            f"sub:{_subquery_sig(expr.right.query)}"
+            if isinstance(expr.right, ast.ScalarSubquery)
+            else "<v>"
+        )
+        # Join conditions (column = column) are excluded from the WHERE
+        # signature: SemQL-lowered queries put them in ON clauses instead.
+        if isinstance(expr.right, ast.ColumnRef) and expr.op == "=":
+            return
+        yield f"{_expr_sig(expr.left, alias_map)} {expr.op} {right}"
+        return
+    if isinstance(expr, ast.Between):
+        yield f"{_expr_sig(expr.expr, alias_map)} between"
+        return
+    if isinstance(expr, ast.InList):
+        word = "not_in" if expr.negated else "in"
+        yield f"{_expr_sig(expr.expr, alias_map)} {word} <list>"
+        return
+    if isinstance(expr, ast.InSubquery):
+        word = "not_in" if expr.negated else "in"
+        yield f"{_expr_sig(expr.expr, alias_map)} {word} sub:{_subquery_sig(expr.query)}"
+        return
+    if isinstance(expr, ast.IsNull):
+        word = "is_not_null" if expr.negated else "is_null"
+        yield f"{_expr_sig(expr.expr, alias_map)} {word}"
+        return
+    if isinstance(expr, ast.Exists):
+        word = "not_exists" if expr.negated else "exists"
+        yield f"{word} sub:{_subquery_sig(expr.query)}"
+        return
+    yield to_sql(expr)
+
+
+def _subquery_sig(query: ast.Query) -> str:
+    sig = query_signature(query)
+    return (
+        f"[{sorted(sig.select)}|{sorted(sig.tables)}|{sorted(sig.where)}"
+        f"|{sorted(sig.group_by)}|{sig.order_by}|{sig.limit}]"
+    )

@@ -1,0 +1,105 @@
+"""Common infrastructure of the trainable NL-to-SQL systems.
+
+A system is trained on NL/SQL pairs spanning any number of databases (the
+Table 5 regimes mix MiniSpider with domain seed/synth splits) and is asked
+to predict SQL for questions over a *registered* database, which supplies
+schema, content index and enhanced metadata — mirroring how the paper's
+systems receive the target database and its NL column labels at inference.
+
+Training populates two stores per system:
+
+* a per-database :class:`~repro.nl2sql.lexicon.LearnedLexicon` — domain
+  phrasing only helps on the domain it was learned from;
+* a global :class:`~repro.nl2sql.templates_store.TemplateStore` — query
+  *structure* transfers across databases, which is why Spider-trained
+  systems produce plausible-but-wrong SQL on scientific domains rather than
+  nothing at all.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.datasets.records import NLSQLPair
+from repro.engine.database import Database
+from repro.errors import TrainingError
+from repro.nl2sql.lexicon import LearnedLexicon
+from repro.nl2sql.linking import Links, SchemaLinker
+from repro.nl2sql.templates_store import TemplateStore
+from repro.schema.enhanced import EnhancedSchema
+
+
+@dataclass
+class DomainContext:
+    """Everything a system may consult about one registered database."""
+
+    db_id: str
+    database: Database
+    enhanced: EnhancedSchema
+
+
+class NLToSQLSystem(abc.ABC):
+    """Base class: registration, training bookkeeping, linking."""
+
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self._contexts: dict[str, DomainContext] = {}
+        self._linkers: dict[str, SchemaLinker] = {}
+        self._lexicons: dict[str, LearnedLexicon] = {}
+        self.templates = TemplateStore()
+        self._trained = False
+
+    # -- registration -------------------------------------------------------------
+
+    def register_database(
+        self, db_id: str, database: Database, enhanced: EnhancedSchema
+    ) -> None:
+        """Make a database available for training and prediction."""
+        context = DomainContext(db_id=db_id, database=database, enhanced=enhanced)
+        self._contexts[db_id] = context
+        self._linkers[db_id] = SchemaLinker(database, enhanced)
+        self._lexicons.setdefault(db_id, LearnedLexicon(db_id=db_id))
+
+    def context(self, db_id: str) -> DomainContext:
+        try:
+            return self._contexts[db_id]
+        except KeyError:
+            raise TrainingError(f"database {db_id!r} was never registered") from None
+
+    # -- training -------------------------------------------------------------------
+
+    def train(self, pairs: list[NLSQLPair]) -> None:
+        """Train on NL/SQL pairs (all referenced databases must be registered)."""
+        if not pairs:
+            raise TrainingError("no training pairs supplied")
+        for pair in pairs:
+            context = self.context(pair.db_id)
+            lexicon = self._lexicons[pair.db_id]
+            lexicon.observe(pair.question, pair.sql, context.database.schema)
+            self.templates.observe(pair.question, pair.sql, context.database.schema)
+            self._observe(pair, context)
+        self._trained = True
+
+    def _observe(self, pair: NLSQLPair, context: DomainContext) -> None:
+        """Hook for system-specific training statistics."""
+
+    # -- prediction -------------------------------------------------------------------
+
+    def link(self, question: str, db_id: str) -> Links:
+        lexicon = self._lexicons.get(db_id)
+        return self._linkers[db_id].link(question, learned=lexicon)
+
+    def predict(self, question: str, db_id: str) -> str | None:
+        """Predict SQL for a question over a registered database."""
+        if not self._trained:
+            raise TrainingError(f"{self.name} must be trained before predicting")
+        return self._predict(question, self.context(db_id))
+
+    @abc.abstractmethod
+    def _predict(self, question: str, context: DomainContext) -> str | None:
+        """System-specific decoding."""
+
+    def predict_all(self, pairs: list[NLSQLPair]) -> list[str | None]:
+        return [self.predict(p.question, p.db_id) for p in pairs]

@@ -1,0 +1,238 @@
+"""Question feature extraction shared by the NL-to-SQL systems.
+
+A fixed, interpretable feature vector summarises the *structural intent* of
+a question: does it ask for a count, an average, a comparison, a grouping, a
+superlative, a set operation, column arithmetic?  Template retrieval and
+bottom-up assembly both key off these features, and because the vector is
+fixed the learned statistics transfer across databases — which is what lets
+systems trained on MiniSpider produce *something* on an unseen scientific
+domain (the nonzero zero-shot rows of Table 5).
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+#: Feature names in vector order.
+FEATURE_NAMES = (
+    "count", "avg", "sum", "max", "min",
+    "greater", "less", "between", "equals_hint", "negation",
+    "group_by", "superlative", "order", "limit_k",
+    "union_hint", "except_hint", "math_diff", "math_ratio",
+    "distinct", "n_numbers", "n_quoted", "length",
+    "subquery_avg", "membership",
+)
+
+_PATTERNS: dict[str, tuple[str, ...]] = {
+    "count": ("how many", "number of", "count"),
+    "avg": ("average", "mean"),
+    "sum": ("total", "sum", "summed"),
+    "max": ("maximum", "highest", "largest", "most", "top"),
+    "min": ("minimum", "lowest", "smallest", "least"),
+    "greater": ("greater than", "more than", "above", "over", "larger than",
+                "higher than", "exceeds", "at least", "after"),
+    "less": ("less than", "smaller than", "below", "under", "lower than",
+             "at most", "fewer", "before", "brighter"),
+    "between": ("between", "in the range"),
+    "equals_hint": (" is ", " equals ", " exactly ", " named ", " called "),
+    "negation": ("not ", "excluding", "except", "without", "other than", "do not"),
+    "group_by": ("for each", " per ", "for every", "grouped by", "by each", "each"),
+    "superlative": ("highest", "lowest", "largest", "smallest", "top", "closest",
+                    "best", "worst", "most", "least"),
+    "order": ("sorted", "ordered", "ascending", "descending", "order"),
+    "union_hint": ("as well as", "together with", " plus ", "also include"),
+    "except_hint": ("excluding", "but not", "do not appear", "leaving out"),
+    "math_diff": ("difference", "minus"),
+    "math_ratio": ("ratio", "divided", "product", "sum of"),
+    "distinct": ("distinct", "different", "unique"),
+    "subquery_avg": ("than the average", "than the mean", "above the average",
+                     "below the average", "average of all", "mean of all",
+                     "over the mean", "over the average", "under the average",
+                     "under the mean"),
+    "membership": ("appear among", "appears among", "are among", "linked to",
+                   "associated with", "belong"),
+}
+
+#: Numeric literal: not inside a word/decimal on the left, and on the right
+#: neither a word character nor the continuation of a decimal — a trailing
+#: sentence period ("… than 66.") must not block the match.
+_NUMBER_RE = re.compile(r"(?<![\w.])\d+(?:\.\d+)?(?!\w|\.\d)")
+_LIMIT_RE = re.compile(r"\btop (\d+)\b|\bfirst (\d+)\b|\b(\d+) (?:closest|largest|smallest|highest|lowest|best)\b")
+
+
+def question_features(question: str) -> np.ndarray:
+    """The fixed feature vector of one question."""
+    lowered = f" {question.lower()} "
+    vector = np.zeros(len(FEATURE_NAMES), dtype=np.float64)
+    for i, name in enumerate(FEATURE_NAMES):
+        patterns = _PATTERNS.get(name)
+        if patterns is None:
+            continue
+        vector[i] = 1.0 if any(p in lowered for p in patterns) else 0.0
+    numbers = extract_numbers(question)
+    vector[FEATURE_NAMES.index("n_numbers")] = min(len(numbers), 4) / 4.0
+    vector[FEATURE_NAMES.index("n_quoted")] = min(question.count("'") // 2, 3) / 3.0
+    vector[FEATURE_NAMES.index("length")] = min(len(question.split()), 40) / 40.0
+    vector[FEATURE_NAMES.index("limit_k")] = 1.0 if _LIMIT_RE.search(lowered) else 0.0
+    return vector
+
+
+def extract_numbers(question: str) -> list[float]:
+    """All numeric literals mentioned in the question, in order."""
+    return [float(m) for m in _NUMBER_RE.findall(question)]
+
+
+def extract_limit(question: str) -> int | None:
+    """An explicit top-k if one is phrased (``top 5``, ``3 closest`` …)."""
+    match = _LIMIT_RE.search(question.lower())
+    if match is None:
+        return None
+    for group in match.groups():
+        if group is not None:
+            return int(group)
+    return None
+
+
+def feature_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Similarity in [0, 1] between two feature vectors (1 - scaled L1)."""
+    return 1.0 - float(np.abs(a - b).sum()) / len(FEATURE_NAMES)
+
+
+_SUPERLATIVE_PHRASE_RE = re.compile(
+    r"with the (highest|lowest|largest|smallest|top|most|least|best|worst|closest)"
+)
+
+_PROJECTION_BOUNDARY_RE = re.compile(
+    r"\bwhose\b|\bwith\b|\bthat\b|\bwhere\b|\bsorted\b|\bordered\b|\bfor each\b"
+)
+
+
+#: Ordered comparator phrases (longest alternatives first so the scanner is
+#: greedy) mapped to SQL operators.
+_COMPARATOR_RE = re.compile(
+    r"greater than or equal to|less than or equal to|no less than|no more than"
+    r"|at least|at most"
+    r"|greater than|more than|larger than|higher than|exceeds|above|over"
+    r"|less than|smaller than|lower than|fewer than|below|under"
+    r"|between"
+    r"|not equal to|other than|different from"
+    r"|is exactly|equal to|equals"
+)
+
+_COMPARATOR_OPS = {
+    "greater than or equal to": ">=", "no less than": ">=", "at least": ">=",
+    "less than or equal to": "<=", "no more than": "<=", "at most": "<=",
+    "greater than": ">", "more than": ">", "larger than": ">",
+    "higher than": ">", "exceeds": ">", "above": ">", "over": ">",
+    "less than": "<", "smaller than": "<", "lower than": "<",
+    "fewer than": "<", "below": "<", "under": "<",
+    "between": "between",
+    "not equal to": "!=", "other than": "!=", "different from": "!=",
+    "is exactly": "=", "equal to": "=", "equals": "=",
+}
+
+
+def comparator_intents(question: str) -> list[str]:
+    """The comparison operators the question expresses, in textual order.
+
+    The realizer verbalises conditions in SQL order, so aligning this list
+    positionally with a template's conditions recovers the intended operator
+    even when the retrieved template used a different one.
+    """
+    lowered = question.lower()
+    return [_COMPARATOR_OPS[m.group(0)] for m in _COMPARATOR_RE.finditer(lowered)]
+
+
+_HAVING_HINT_RE = re.compile(
+    r"(number|count|total|average|mean|maximum|minimum) of [\w ]{1,40}?"
+    r"(is|are) (greater|less|more|fewer|smaller|larger|at least|at most|above|below|over|under)"
+)
+
+
+def having_hint(question: str) -> bool:
+    """True when the question compares an *aggregate* against a threshold —
+    the phrasing signature of a HAVING clause ("whose number of records is
+    greater than 10")."""
+    lowered = question.lower()
+    if _HAVING_HINT_RE.search(lowered):
+        return True
+    return bool(re.search(r"with (more|fewer|less) than \d+ ", lowered))
+
+
+def _select_arity_hint(question: str) -> int:
+    """Estimate the number of projected attributes from the question's
+    pre-filter segment ("the X, the Y and the Z of ...")."""
+    lowered = question.lower()
+    boundary = _PROJECTION_BOUNDARY_RE.search(lowered)
+    segment = lowered[: boundary.start()] if boundary else lowered
+    return 1 + segment.count(" and ") + segment.count(", ")
+
+
+def question_structure(question: str, n_value_links: int = 0) -> dict:
+    """Structural intent summary used for template compatibility scoring.
+
+    Unlike :func:`question_features` (a dense vector for learned centroids),
+    this is a symbolic digest matched against a template's own structure:
+    how many numbers / grounded values the question supplies, which
+    aggregates, grouping, ordering, set operations and subqueries it asks
+    for.
+    """
+    lowered = f" {question.lower()} "
+    features = question_features(question)
+    index = {name: i for i, name in enumerate(FEATURE_NAMES)}
+
+    superlative_phrase = bool(_SUPERLATIVE_PHRASE_RE.search(lowered))
+    # "at most"/"at least" are comparators, not MAX/MIN aggregates — strip
+    # them before reading aggregate words.
+    sanitized = lowered
+    for noise in ("at most", "at least", "no more than", "no less than"):
+        sanitized = sanitized.replace(noise, " ")
+    aggs = set()
+    if any(p in sanitized for p in _PATTERNS["count"]):
+        aggs.add("count")
+    if any(p in sanitized for p in _PATTERNS["avg"]):
+        aggs.add("avg")
+    if any(p in sanitized for p in _PATTERNS["sum"]):
+        aggs.add("sum")
+    # "highest/lowest" may signal a superlative (ORDER BY ... LIMIT 1)
+    # instead of MAX()/MIN(); only read them as aggregates otherwise.
+    has_max_word = any(p in sanitized for p in _PATTERNS["max"])
+    has_min_word = any(p in sanitized for p in _PATTERNS["min"])
+    if ("maximum" in sanitized) or (has_max_word and not superlative_phrase):
+        aggs.add("max")
+    if ("minimum" in sanitized) or (has_min_word and not superlative_phrase):
+        aggs.add("min")
+    # "top 20 X by Y" is an ORDER BY ... LIMIT, never a MAX()/MIN().
+    if extract_limit(question) is not None:
+        if "maximum" not in sanitized:
+            aggs.discard("max")
+        if "minimum" not in sanitized:
+            aggs.discard("min")
+
+    intents = comparator_intents(question)
+    n_range_intents = sum(
+        2 if op == "between" else 1 for op in intents if op in (">", "<", ">=", "<=", "between")
+    )
+
+    return {
+        "n_numbers": len(extract_numbers(question)),
+        "n_value_links": n_value_links,
+        "n_range_intents": n_range_intents,
+        "n_select_hint": _select_arity_hint(question),
+        "aggs": aggs,
+        "group": bool(features[index["group_by"]]),
+        "order": bool(features[index["order"]]),
+        "superlative": superlative_phrase,
+        "limit_k": extract_limit(question),
+        "union": bool(features[index["union_hint"]]),
+        "except": bool(features[index["except_hint"]]),
+        "subquery": bool(features[index["subquery_avg"]]) or bool(features[index["membership"]]),
+        "math": bool(features[index["math_diff"]]) or ("ratio" in lowered) or ("divided" in lowered),
+        "between": bool(features[index["between"]]),
+        "greater": bool(features[index["greater"]]),
+        "less": bool(features[index["less"]]),
+        "distinct": bool(features[index["distinct"]]),
+        "having": having_hint(question),
+    }

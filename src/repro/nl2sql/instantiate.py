@@ -1,0 +1,360 @@
+"""Link-guided template instantiation.
+
+Where the pipeline's Phase 2 fills template slots by *random* constrained
+sampling, an NL-to-SQL system must fill them with the elements the question
+actually mentions.  The :class:`GuidedInstantiator` resolves each slot
+deterministically from the question's :class:`~repro.nl2sql.linking.Links`:
+best-linked table, best context-compatible linked column, linked value or
+question number — falling back to schema priors when evidence is missing
+(which is exactly when predictions go wrong, as they should).
+"""
+
+from __future__ import annotations
+
+from repro.engine.database import Database
+from repro.errors import GenerationError
+from repro.nl2sql.features import comparator_intents, extract_limit
+from repro.nl2sql.linking import Links
+from repro.schema.enhanced import EnhancedSchema
+from repro.schema.model import Column, ColumnType
+from repro.semql import nodes as sq
+from repro.semql.templates import Template
+from repro.synthesis.generation import _agg_context, _filter_context, column_pool
+
+_RANGE_OPS = {">", "<", ">=", "<=", "between"}
+
+
+class GuidedInstantiator:
+    """Fills templates using question links (deterministic)."""
+
+    def __init__(self, database: Database, enhanced: EnhancedSchema) -> None:
+        self.database = database
+        self.enhanced = enhanced
+        self.schema = enhanced.schema
+
+    def instantiate(self, template: Template, links: Links, question: str) -> sq.Z:
+        """One concrete SemQL tree; raises GenerationError when unfillable."""
+        tables: dict[int, str] = {}
+        columns: dict[int, sq.ColumnLeaf] = {}
+        values: dict[int, sq.ValueLeaf] = {}
+        used_columns: set[tuple[str, str]] = set()
+        used_values: set[str] = set()
+        numbers = list(links.numbers)
+        explicit_limit = extract_limit(question)
+        if explicit_limit is not None and explicit_limit in [int(n) for n in numbers if float(n).is_integer()]:
+            numbers.remove(float(explicit_limit))
+
+        linked_tables = links.best_tables(k=6)
+        # Template column positions are assigned in pre-order, and the
+        # realizer verbalises attributes/conditions in the same order — so a
+        # queue of question mentions aligns slots to what was actually said.
+        mention_queue = list(links.mention_order())
+        # Comparator phrases, in question order: conditions are resolved in
+        # the same order, so each condition may adopt its intended operator.
+        intents = comparator_intents(question)
+
+        def resolve_table(slot) -> sq.TableLeaf:
+            if isinstance(slot, sq.TableLeaf):
+                return slot
+            if slot.position not in tables:
+                index = slot.position
+                if index < len(linked_tables):
+                    tables[slot.position] = self.schema.table(linked_tables[index]).name
+                elif linked_tables:
+                    tables[slot.position] = self.schema.table(linked_tables[0]).name
+                else:
+                    raise GenerationError("no table evidence")
+            return sq.TableLeaf(tables[slot.position])
+
+        def resolve_column(slot, context: str) -> sq.ColumnLeaf:
+            if isinstance(slot, sq.ColumnLeaf):
+                return slot
+            if slot.position not in columns:
+                table = resolve_table(slot.table)
+                column = self._next_mention(
+                    table.name, context, mention_queue, used_columns
+                )
+                if column is None:
+                    column = self._pick_column(table.name, context, links, used_columns)
+                used_columns.add((table.name.lower(), column.name.lower()))
+                columns[slot.position] = sq.ColumnLeaf(table=table, name=column.name)
+            return columns[slot.position]
+
+        def resolve_math(expr: sq.MathExpr) -> sq.MathExpr:
+            anchor = expr.left.table if isinstance(expr.left, sq.ColumnSlot) else None
+            table = resolve_table(anchor) if anchor is not None else None
+            if table is None and isinstance(expr.left, sq.ColumnLeaf):
+                return expr
+            pool_table = table.name if table else (linked_tables[0] if linked_tables else None)
+            if pool_table is None:
+                raise GenerationError("no table for math expression")
+            groups = self.enhanced.math_groups(pool_table)
+            if not groups:
+                raise GenerationError("no math group available")
+            # Prefer the group containing the best-linked math column.
+            ranked = links.columns_of(pool_table)
+            chosen_pair: tuple[Column, Column] | None = None
+            for group in groups:
+                pool = self.enhanced.math_columns(pool_table, group)
+                if len(pool) < 2:
+                    continue
+                by_link = sorted(
+                    pool,
+                    key=lambda c: -dict(ranked).get(c.name.lower(), 0.0),
+                )
+                chosen_pair = (by_link[0], by_link[1])
+                if dict(ranked).get(by_link[0].name.lower(), 0.0) > 0:
+                    break
+            if chosen_pair is None:
+                raise GenerationError("math group too small")
+            owner = sq.TableLeaf(pool_table)
+
+            def leaf(slot, column: Column) -> sq.ColumnLeaf:
+                if isinstance(slot, sq.ColumnLeaf):
+                    return slot
+                if slot.position not in columns:
+                    columns[slot.position] = sq.ColumnLeaf(table=owner, name=column.name)
+                return columns[slot.position]
+
+            return sq.MathExpr(
+                op=expr.op, left=leaf(expr.left, chosen_pair[0]), right=leaf(expr.right, chosen_pair[1])
+            )
+
+        def resolve_attribute(a: sq.A, context: str | None = None) -> sq.A:
+            if isinstance(a.column, sq.StarLeaf):
+                return a
+            if isinstance(a.column, sq.MathExpr):
+                return sq.A(agg=a.agg, column=resolve_math(a.column), distinct=a.distinct)
+            return sq.A(
+                agg=a.agg,
+                column=resolve_column(a.column, context or _agg_context(a.agg)),
+                distinct=a.distinct,
+            )
+
+        def resolve_value(slot, attribute: sq.A, op: str) -> sq.ValueLeaf:
+            if isinstance(slot, sq.ValueLeaf):
+                return slot
+            if slot.position not in values:
+                values[slot.position] = self._pick_value(
+                    attribute, op, links, numbers, used_values
+                )
+            return values[slot.position]
+
+        def resolve_filter(node):
+            if isinstance(node, sq.FilterNode):
+                return sq.FilterNode(
+                    op=node.op,
+                    left=resolve_filter(node.left),
+                    right=resolve_filter(node.right),
+                )
+            condition: sq.Condition = node
+            context = _filter_context(condition.op, condition.attribute.agg)
+            # Value evidence beats column-name evidence: when an equality
+            # condition's column is still unresolved and the question links a
+            # literal value, bind the slot to that value's column by
+            # pre-seeding the position hash map.
+            slot = condition.attribute.column
+            if (
+                isinstance(slot, sq.ColumnSlot)
+                and slot.position not in columns
+                and condition.attribute.agg == "none"
+                and condition.op in ("=", "!=", "like", "not_like")
+            ):
+                for link in links.values:
+                    if str(link.value).lower() in used_values:
+                        continue
+                    try:
+                        column_def = self.schema.column(link.table, link.column)
+                        owner = self.schema.table(link.table).name
+                    except Exception:
+                        continue
+                    if isinstance(slot.table, sq.TableSlot):
+                        if slot.table.position in tables and tables[
+                            slot.table.position
+                        ].lower() != link.table:
+                            continue
+                        tables.setdefault(slot.table.position, owner)
+                    columns[slot.position] = sq.ColumnLeaf(
+                        table=sq.TableLeaf(owner), name=column_def.name
+                    )
+                    break
+            # Subquery first — its aggregate slot may share the outer
+            # column's position and carries the stricter constraint.
+            subquery = resolve_r(condition.subquery) if condition.subquery else None
+            attribute = resolve_attribute(condition.attribute, context)
+            op = self._intended_op(condition.op, intents)
+            value = value2 = None
+            if condition.value is not None:
+                value = resolve_value(condition.value, attribute, op)
+            if condition.value2 is not None:
+                value2 = resolve_value(condition.value2, attribute, op)
+                if (
+                    isinstance(value.value, (int, float))
+                    and isinstance(value2.value, (int, float))
+                    and value.value > value2.value
+                ):
+                    value, value2 = value2, value
+            return sq.Condition(
+                op=op,
+                attribute=attribute,
+                value=value,
+                value2=value2,
+                subquery=subquery,
+            )
+
+        def resolve_r(r: sq.R) -> sq.R:
+            from_table = resolve_table(r.from_table) if r.from_table is not None else None
+            # Projections are resolved last: their "anything goes" context
+            # must not lock a shared position that a GROUP BY key or typed
+            # filter also needs (see the generator's identical ordering).
+            group = None
+            if r.select.group is not None:
+                group = tuple(
+                    resolve_column(c, "group") if isinstance(c, sq.ColumnSlot) else c
+                    for c in r.select.group
+                )
+            attributes = tuple(resolve_attribute(a) for a in r.select.attributes)
+            filter_node = resolve_filter(r.filter) if r.filter is not None else None
+            order = None
+            if r.order is not None:
+                limit = r.order.limit
+                if limit is not None and explicit_limit is not None:
+                    limit = explicit_limit
+                order = sq.Order(
+                    direction=r.order.direction,
+                    attribute=resolve_attribute(r.order.attribute, "order"),
+                    limit=limit,
+                )
+            return sq.R(
+                select=sq.SemSelect(
+                    attributes=attributes, distinct=r.select.distinct, group=group
+                ),
+                filter=filter_node,
+                order=order,
+                from_table=from_table,
+            )
+
+        left = resolve_r(template.tree.left)
+        right = resolve_r(template.tree.right) if template.tree.right is not None else None
+        return sq.Z(left=left, set_op=template.tree.set_op, right=right)
+
+    # -- slot resolution ------------------------------------------------------------
+
+    _RANGE_FAMILY = frozenset({">", "<", ">=", "<="})
+    _EQ_FAMILY = frozenset({"=", "!="})
+
+    def _intended_op(self, template_op: str, intents: list[str]) -> str:
+        """Adopt the question's comparator when it agrees in kind.
+
+        Intents are consumed front-to-front; an operator is only overridden
+        within its own family (range↔range, equality↔equality) so a mis-
+        retrieved template does not get silently repaired into a different
+        query shape.
+        """
+        if not intents:
+            return template_op
+        if template_op in self._RANGE_FAMILY and intents[0] in self._RANGE_FAMILY:
+            return intents.pop(0)
+        if template_op in self._EQ_FAMILY and intents[0] in self._EQ_FAMILY:
+            return intents.pop(0)
+        if template_op == "between" and intents[0] == "between":
+            intents.pop(0)
+            return template_op
+        if intents[0] == "=" and template_op in self._RANGE_FAMILY:
+            # "is exactly 5" against a range template: trust the question.
+            intents.pop(0)
+            return "="
+        return template_op
+
+    def _next_mention(
+        self,
+        table: str,
+        context: str,
+        mention_queue: list[tuple[str, str]],
+        used: set[tuple[str, str]],
+    ):
+        """The earliest unused question mention compatible with this slot."""
+        pool_names = {c.name.lower() for c in column_pool(self.enhanced, table, context)}
+        lowered = table.lower()
+        for key in mention_queue:
+            mention_table, mention_column = key
+            if mention_table != lowered or key in used:
+                continue
+            if mention_column not in pool_names:
+                continue
+            mention_queue.remove(key)
+            return self.schema.column(table, mention_column)
+        return None
+
+    def _pick_column(
+        self, table: str, context: str, links: Links, used: set[tuple[str, str]]
+    ) -> Column:
+        pool = column_pool(self.enhanced, table, context)
+        if not pool:
+            raise GenerationError(f"no {context!r}-compatible column in {table!r}")
+        ranked = dict(links.columns_of(table))
+        pk = (self.schema.table(table).primary_key or "").lower()
+
+        def prior(column: Column) -> int:
+            """Unlinked-projection prior: name/title columns describe the
+            entity best, then the primary key, then whatever comes first."""
+            lowered = column.name.lower()
+            if "name" in lowered or "title" in lowered:
+                return 0
+            if lowered == pk:
+                return 1
+            return 2
+
+        def sort_key(column: Column):
+            linked = ranked.get(column.name.lower(), 0.0)
+            fresh = (table.lower(), column.name.lower()) not in used
+            return (-linked, not fresh, prior(column) if context == "projection" else 2, column.name)
+
+        ordered = sorted(pool, key=sort_key)
+        return ordered[0]
+
+    def _pick_value(
+        self,
+        attribute: sq.A,
+        op: str,
+        links: Links,
+        numbers: list[float],
+        used_values: set[str],
+    ) -> sq.ValueLeaf:
+        column = attribute.column
+        if isinstance(column, sq.MathExpr) or isinstance(column, sq.StarLeaf) or (
+            attribute.agg in ("count", "sum", "avg")
+        ):
+            # Aggregate/math thresholds (HAVING COUNT(*) > V, u - r < V) can
+            # only come from the question's numbers.
+            if numbers:
+                return sq.ValueLeaf(value=numbers.pop(0))
+            raise GenerationError("no number for aggregate/math threshold")
+        if not isinstance(column, sq.ColumnLeaf) or not isinstance(column.table, sq.TableLeaf):
+            raise GenerationError("value slot without concrete column")
+        table_name = column.table.name
+        column_def = self.schema.column(table_name, column.name)
+
+        if column_def.type.is_numeric and op in _RANGE_OPS | {"=", "!="}:
+            if numbers:
+                number = numbers.pop(0)
+                if column_def.type is ColumnType.INTEGER and float(number).is_integer():
+                    return sq.ValueLeaf(value=int(number))
+                return sq.ValueLeaf(value=number)
+
+        candidates = links.values_for(table_name, column.name)
+        for link in candidates:
+            key = str(link.value).lower()
+            if key in used_values:
+                continue
+            used_values.add(key)
+            return sq.ValueLeaf(value=link.value)
+
+        # No grounded value for this slot: refuse rather than hallucinate a
+        # filter the question never asked for.  The beam falls back to a
+        # template without the unfillable condition — which is also how the
+        # real grammar-constrained systems degrade when value extraction
+        # fails.
+        raise GenerationError(
+            f"no grounded value for {table_name}.{column.name} ({op})"
+        )

@@ -1,0 +1,389 @@
+"""Schema linking: grounding question phrases in one database.
+
+Three evidence sources are combined:
+
+1. **static schema matching** — readable table/column names (the paper's
+   added "natural language labels for abbreviated columns") appearing in the
+   question;
+2. **database content matching** — text values from the database appearing
+   verbatim in the question (ValueNet's signature capability), plus numeric
+   literals extracted from the question;
+3. **learned associations** — the :class:`~repro.nl2sql.lexicon.
+   LearnedLexicon` trained from NL/SQL pairs, which covers domain phrasing
+   the schema surface cannot ("quasars" → ``class = 'QSO'``).
+
+The output :class:`Links` object is consumed by all three NL-to-SQL systems.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.engine.database import Database
+from repro.nl2sql.features import extract_numbers
+from repro.nl2sql.lexicon import LearnedLexicon
+from repro.schema.enhanced import EnhancedSchema
+from repro.schema.model import ColumnType
+
+#: Do not index text columns with more distinct values than this — matching
+#: free-text columns (project objectives, descriptions) produces noise.
+MAX_INDEXED_VALUES = 2000
+
+_NORM_RE = re.compile(r"[^a-z0-9.]+")
+
+
+def _normalize(text: str) -> str:
+    collapsed = _NORM_RE.sub(" ", text.lower()).strip()
+    tokens = [t.strip(".") for t in collapsed.split(" ") if t.strip(".")]
+    return f" {' '.join(tokens)} "
+
+
+@dataclass(frozen=True)
+class ValueLink:
+    """One grounded literal candidate."""
+
+    table: str
+    column: str
+    value: object
+    score: float
+
+
+@dataclass
+class Links:
+    """All grounding evidence for one question."""
+
+    tables: Counter = field(default_factory=Counter)
+    columns: Counter = field(default_factory=Counter)
+    values: list[ValueLink] = field(default_factory=list)
+    numbers: list[float] = field(default_factory=list)
+    #: Earliest character position of each linked column's mention in the
+    #: question — the instantiator aligns template slots to mention order.
+    column_positions: dict[tuple[str, str], int] = field(default_factory=dict)
+    #: Tables whose name (or plural) literally occurs in the question, with
+    #: the position of the first mention.
+    table_mentions: set[str] = field(default_factory=set)
+    table_positions: dict[str, int] = field(default_factory=dict)
+
+    def mention_order(self) -> list[tuple[str, str]]:
+        """Linked columns in order of first mention."""
+        return [
+            key
+            for key, _ in sorted(self.column_positions.items(), key=lambda kv: kv[1])
+        ]
+
+    def evidence_tables(self) -> set[str]:
+        """Tables the question demonstrably touches: literal mentions, the
+        (best-link) tables of distinct grounded values, and tables owning an
+        *unambiguous* column mention."""
+        tables = set(self.table_mentions)
+        seen_texts: set[str] = set()
+        for link in self.values:
+            if link.score < 1.0:
+                continue
+            text = str(link.value).lower()
+            if text in seen_texts:
+                continue
+            seen_texts.add(text)
+            tables.add(link.table)
+        position_owners: dict[int, set[str]] = {}
+        for (t, _), pos in self.column_positions.items():
+            position_owners.setdefault(pos, set()).add(t)
+        for (t, _), pos in self.column_positions.items():
+            if len(position_owners[pos]) == 1:
+                tables.add(t)
+        return tables
+
+    def best_tables(self, k: int = 3) -> list[str]:
+        """Candidate tables ordered by earliest evidence in the question.
+
+        Template table positions follow first-occurrence order of the
+        query's *columns*, so a table's rank is the earliest position of any
+        of its column mentions (or of the table mention itself); literal
+        table mentions break ties, evidence mass breaks the rest.
+        """
+        infinity = 1_000_000
+
+        # A column phrase shared by several tables ("name") yields the same
+        # mention position for all of them — such ambiguous evidence must
+        # not influence table ordering.
+        position_owners: dict[int, set[str]] = {}
+        for (t, _), pos in self.column_positions.items():
+            position_owners.setdefault(pos, set()).add(t)
+
+        def evidence_position(table: str) -> int:
+            positions = [
+                pos
+                for (t, _), pos in self.column_positions.items()
+                if t == table and len(position_owners[pos]) == 1
+            ]
+            positions.append(self.table_positions.get(table, infinity))
+            return min(positions)
+
+        ranked = sorted(
+            self.tables.items(),
+            key=lambda kv: (
+                evidence_position(kv[0]),
+                kv[0] not in self.table_mentions,
+                -kv[1],
+                kv[0],
+            ),
+        )
+        return [t for t, _ in ranked[:k]]
+
+    def columns_of(self, table: str) -> list[tuple[str, float]]:
+        lowered = table.lower()
+        return sorted(
+            (
+                (column, score)
+                for (t, column), score in self.columns.items()
+                if t == lowered
+            ),
+            key=lambda pair: -pair[1],
+        )
+
+    def values_for(self, table: str, column: str) -> list[ValueLink]:
+        return sorted(
+            (
+                v
+                for v in self.values
+                if v.table == table.lower() and v.column == column.lower()
+            ),
+            key=lambda v: -v.score,
+        )
+
+
+class SchemaLinker:
+    """Links questions against one database."""
+
+    def __init__(self, database: Database, enhanced: EnhancedSchema) -> None:
+        self.database = database
+        self.enhanced = enhanced
+        self.schema = enhanced.schema
+        self._value_index: dict[str, list[tuple[str, str, object]]] = {}
+        self._build_value_index()
+
+    def _build_value_index(self) -> None:
+        for table_def in self.schema.tables:
+            table = self.database.table(table_def.name)
+            for column in table_def.columns:
+                if column.type is not ColumnType.TEXT:
+                    continue
+                values = table.distinct_values(column.name)
+                if len(values) > MAX_INDEXED_VALUES:
+                    continue
+                for value in values:
+                    text = _normalize(str(value)).strip()
+                    if len(text) < 2:
+                        continue
+                    self._value_index.setdefault(text, []).append(
+                        (table_def.name.lower(), column.name.lower(), value)
+                    )
+
+    # -- linking -------------------------------------------------------------------
+
+    def link(self, question: str, learned: LearnedLexicon | None = None) -> Links:
+        links = Links()
+        normalized = _normalize(question)
+
+        # 1. Static schema-name matching (singular and plural forms).
+        from repro.nlgen.lexicon import _pluralise
+
+        mention_phrases: dict[str, str] = {}
+        column_phrases: dict[tuple[str, str], str] = {}
+        for table_def in self.schema.tables:
+            t_phrase = _normalize(table_def.readable).strip()
+            t_plural = _normalize(_pluralise(table_def.readable)).strip()
+            score = max(
+                _phrase_match(normalized, t_phrase),
+                _phrase_match(normalized, t_plural),
+            )
+            if score:
+                # An explicit table mention is the strongest structural cue.
+                key = table_def.name.lower()
+                links.tables[key] += 2.0 * score
+                links.table_mentions.add(key)
+                positions = [
+                    (normalized.find(f" {p} "), p) for p in (t_phrase, t_plural)
+                ]
+                positions = [(pos, p) for pos, p in positions if pos >= 0]
+                if positions:
+                    pos, phrase = min(positions)
+                    links.table_positions[key] = pos
+                    mention_phrases[key] = phrase
+            for column in table_def.columns:
+                c_phrase = _normalize(column.readable).strip()
+                c_plural = _normalize(_pluralise(column.readable)).strip()
+                c_score = max(
+                    _phrase_match(normalized, c_phrase),
+                    _phrase_match(normalized, c_plural),
+                )
+                if c_score:
+                    key = (table_def.name.lower(), column.name.lower())
+                    links.columns[key] += c_score
+                    links.tables[table_def.name.lower()] += 0.3 * c_score
+                    hits = [
+                        (normalized.find(f" {p} "), p) for p in (c_phrase, c_plural)
+                    ]
+                    hits = [(pos, p) for pos, p in hits if pos >= 0]
+                    position, hit_phrase = min(hits)
+                    if key not in links.column_positions or position < links.column_positions[key]:
+                        links.column_positions[key] = position
+                        column_phrases[key] = hit_phrase
+
+        # Suppress shadowed table mentions: when "pet" only occurs inside the
+        # longer mention "pet ownership" — or inside a column phrase like
+        # "pet id" — at the same position, the short match is an artefact
+        # and must not compete for the main-table slot.
+        for short, short_phrase in list(mention_phrases.items()):
+            shadowed = False
+            for long, long_phrase in mention_phrases.items():
+                if short == long or short_phrase == long_phrase:
+                    continue
+                if (
+                    short_phrase in long_phrase
+                    and links.table_positions.get(short) == links.table_positions.get(long)
+                ):
+                    shadowed = True
+                    break
+            if not shadowed:
+                for c_key, c_phrase in column_phrases.items():
+                    same_position = links.table_positions.get(short) == links.column_positions.get(c_key)
+                    if not same_position:
+                        continue
+                    if short_phrase != c_phrase and short_phrase in c_phrase:
+                        shadowed = True
+                        break
+                    # "funding scheme" is both the funding_schemes table and
+                    # a projects column; when the column's own table is also
+                    # mentioned, the phrase refers to the column.
+                    if (
+                        short_phrase == c_phrase
+                        and c_key[0] != short
+                        and c_key[0] in mention_phrases
+                    ):
+                        shadowed = True
+                        break
+            if shadowed:
+                links.table_mentions.discard(short)
+                links.table_positions.pop(short, None)
+                links.tables[short] -= 2.0
+
+        # 2. Database content matching.
+        for text, entries in self._value_index.items():
+            if f" {text} " not in normalized:
+                continue
+            weight = 2.0 + 0.4 * text.count(" ")
+            for table, column, value in entries:
+                links.values.append(
+                    ValueLink(table=table, column=column, value=value, score=weight)
+                )
+                links.tables[table] += 0.5
+                links.columns[(table, column)] += 0.5
+        links.numbers = extract_numbers(question)
+
+        # Boolean literals ("is male is false") ground against every boolean
+        # column of the schema; the instantiator narrows them by column.
+        for word, boolean in ((" true ", True), (" false ", False)):
+            if word not in normalized:
+                continue
+            for table_def in self.schema.tables:
+                for column in table_def.columns:
+                    if column.type is ColumnType.BOOLEAN:
+                        links.values.append(
+                            ValueLink(
+                                table=table_def.name.lower(),
+                                column=column.name.lower(),
+                                value=boolean,
+                                score=1.2,
+                            )
+                        )
+
+        # 3. Learned associations.
+        if learned is not None:
+            lowered = question.lower()
+            for key, score in learned.column_scores(question).items():
+                links.columns[key] += score
+                links.tables[key[0]] += 0.3 * score
+            # Mention positions only from *distinctive* n-grams.
+            for ngram, key in learned.concentrated_column_ngrams(question).items():
+                position = lowered.find(ngram)
+                if position < 0:
+                    continue
+                if key not in links.column_positions or position < links.column_positions[key]:
+                    links.column_positions[key] = position
+            for table, score in learned.table_scores(question).items():
+                links.tables[table] += score
+            for (table, column, literal), score in learned.value_scores(question).items():
+                value = self._coerce(table, column, literal)
+                if value is None:
+                    continue
+                links.values.append(
+                    ValueLink(table=table, column=column, value=value, score=score)
+                )
+                links.tables[table] += 0.3 * score
+                links.columns[(table, column)] += 0.3 * score
+
+        # A "value" that is literally a mentioned table or column phrase is
+        # not a value mention — "gene" in "the TP53 gene" names the table,
+        # even though some biomarker_type cell also contains "gene".
+        phrase_texts = set(mention_phrases.values()) | set(column_phrases.values())
+        links.values = [
+            v
+            for v in links.values
+            if _normalize(str(v.value)).strip() not in phrase_texts
+        ]
+
+        # De-duplicate value links, keeping the highest score per key; order
+        # by score with a preference for explicitly mentioned tables (the
+        # same literal often matches both endpoints of a foreign key, e.g.
+        # ``projects.ec_fund_scheme`` and ``funding_schemes.code``).
+        best: dict[tuple[str, str, str], ValueLink] = {}
+        for link in links.values:
+            key = (link.table, link.column, str(link.value).lower())
+            if key not in best or best[key].score < link.score:
+                best[key] = link
+        links.values = sorted(
+            best.values(),
+            key=lambda v: (
+                -v.score,
+                v.table not in links.table_mentions,
+                v.table,
+                v.column,
+            ),
+        )
+        return links
+
+    def _coerce(self, table: str, column: str, literal: str):
+        """Turn a learned literal string back into a typed value."""
+        try:
+            column_def = self.schema.column(table, column)
+        except Exception:
+            return None
+        if column_def.type.is_numeric:
+            try:
+                number = float(literal)
+            except ValueError:
+                return None
+            if column_def.type is ColumnType.INTEGER:
+                return int(number)
+            return number
+        if column_def.type is ColumnType.BOOLEAN:
+            return literal.lower() == "true"
+        return self._match_text_value(table, column, literal)
+
+    def _match_text_value(self, table: str, column: str, literal: str):
+        values = self.database.table(table).distinct_values(column)
+        lowered = literal.lower()
+        for value in values:
+            if str(value).lower() == lowered:
+                return value
+        return literal
+
+
+def _phrase_match(normalized_question: str, phrase: str) -> float:
+    """Score a phrase occurrence (longer phrases are stronger evidence)."""
+    if not phrase or f" {phrase} " not in normalized_question:
+        return 0.0
+    return 1.0 + 0.5 * phrase.count(" ")

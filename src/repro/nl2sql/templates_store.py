@@ -1,0 +1,98 @@
+"""The template memory of the grammar-based NL-to-SQL systems.
+
+Training pairs are lifted to SemQL, anonymized into templates (the same
+machinery as the pipeline's seeding phase) and stored with the centroid of
+the question feature vectors that produced them.  Prediction retrieves the
+templates whose feature centroid best matches the new question — so a
+"how many X per Y" question retrieves GROUP-BY-count templates, a
+"difference of u and r" question retrieves math templates, and — decisive
+for Table 5 — math/nested templates exist in the store *only if the system
+saw such pairs during training*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.nl2sql.features import feature_similarity, question_features, question_structure
+from repro.nl2sql.structure import TemplateStructure, compatibility, template_structure
+from repro.schema.model import Schema
+from repro.semql.from_sql import sql_to_semql
+from repro.semql.templates import Template, extract_template
+from repro.sql import parse
+
+
+@dataclass
+class TemplateEntry:
+    """One stored template with usage statistics."""
+
+    template: Template
+    centroid: np.ndarray
+    structure: TemplateStructure
+    count: int = 1
+
+    def update(self, features: np.ndarray) -> None:
+        self.centroid = (self.centroid * self.count + features) / (self.count + 1)
+        self.count += 1
+
+
+@dataclass
+class TemplateStore:
+    """Signature-keyed template memory."""
+
+    entries: dict[str, TemplateEntry] = field(default_factory=dict)
+
+    def observe(self, question: str, sql: str, schema: Schema) -> bool:
+        """Learn the template of one training pair; False if out of grammar."""
+        try:
+            z = sql_to_semql(parse(sql), schema)
+            template = extract_template(z, source_sql=sql)
+        except ReproError:
+            return False
+        features = question_features(question)
+        entry = self.entries.get(template.signature)
+        if entry is None:
+            self.entries[template.signature] = TemplateEntry(
+                template=template,
+                centroid=features,
+                structure=template_structure(template),
+            )
+        else:
+            entry.update(features)
+        return True
+
+    def retrieve(
+        self,
+        question: str,
+        k: int = 5,
+        n_value_links: int = 0,
+        n_table_links: int = 1,
+    ) -> list[TemplateEntry]:
+        """Top-k templates for a question.
+
+        Ranking combines (most important first) the structural compatibility
+        of the template with the question's digest, the learned feature
+        centroid, and a frequency prior.
+        """
+        if not self.entries:
+            return []
+        features = question_features(question)
+        q_struct = question_structure(question, n_value_links=n_value_links)
+        scored = [
+            (
+                2.0 * compatibility(q_struct, entry.structure, n_table_links)
+                + feature_similarity(features, entry.centroid)
+                + 0.05 * np.log1p(entry.count),
+                signature,
+                entry,
+            )
+            for signature, entry in self.entries.items()
+        ]
+        scored.sort(key=lambda item: (-item[0], item[1]))
+        return [entry for _, _, entry in scored[:k]]
+
+    def __len__(self) -> int:
+        return len(self.entries)

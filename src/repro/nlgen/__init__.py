@@ -1,0 +1,15 @@
+"""SQL-to-NL surface realization: lexicons, the realizer and noise models."""
+
+from repro.nlgen.lexicon import DomainLexicon, PhraseBook, render_value
+from repro.nlgen.noise import corrupt
+from repro.nlgen.realizer import CANONICAL_STYLE, Realizer, StyleProfile
+
+__all__ = [
+    "DomainLexicon",
+    "PhraseBook",
+    "Realizer",
+    "StyleProfile",
+    "CANONICAL_STYLE",
+    "corrupt",
+    "render_value",
+]

@@ -1,0 +1,139 @@
+"""DBPal-style natural-language augmentation (the paper's footnote 9).
+
+The paper's pipeline generates *new* questions with a language model; DBPal
+(Weir et al., SIGMOD 2020) instead multiplies existing NL by rule-based
+transformation — synonym substitution, random deletions, prefix rewriting.
+The authors note DBPal "can easily be integrated in our pipeline to further
+extend ScienceBenchmark with additional training data"; this module is that
+integration point, and the ablation benchmark compares the two augmentation
+styles.
+
+All transformations are *meaning-preserving by construction* (they never
+touch numbers, quoted values or domain terms outside the synonym bank), so
+augmented pairs keep their gold SQL.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+
+from repro.datasets.records import NLSQLPair
+
+#: Conservative synonym bank: only words whose swap cannot change the SQL.
+SYNONYMS: dict[str, tuple[str, ...]] = {
+    "find": ("show", "list", "return", "retrieve"),
+    "show": ("find", "display", "list"),
+    "list": ("show", "enumerate", "find"),
+    "return": ("give", "find"),
+    "count": ("tally",),
+    "number": ("count", "amount"),
+    "greater": ("larger", "higher", "bigger"),
+    "smaller": ("lower", "lesser"),
+    "above": ("over", "beyond"),
+    "below": ("under",),
+    "whose": ("where the", "for which the"),
+    "each": ("every",),
+    "average": ("mean",),
+    "total": ("overall",),
+}
+
+#: Imperative/question prefixes that are mutually interchangeable.
+PREFIXES = (
+    "find", "show", "list", "return", "give me", "retrieve",
+    "what is", "what are",
+)
+
+_REPLACEMENT_PREFIXES = (
+    "Find", "Show", "List", "Return", "Give me", "Retrieve",
+    "Could you find", "Please show", "I need", "Tell me",
+)
+
+#: Words that may be deleted without changing meaning.
+_DELETABLE = frozenset("the a an please all of".split())
+
+_TOKEN_RE = re.compile(r"[A-Za-z]+|[0-9.]+|'[^']*'|\S")
+
+
+def substitute_synonyms(question: str, rng: random.Random, max_swaps: int = 2) -> str:
+    """Swap up to ``max_swaps`` content words for bank synonyms."""
+    tokens = question.split(" ")
+    candidates = [
+        i for i, token in enumerate(tokens) if token.lower().strip(".,?") in SYNONYMS
+    ]
+    rng.shuffle(candidates)
+    for index in candidates[:max_swaps]:
+        word = tokens[index]
+        bare = word.lower().strip(".,?")
+        replacement = rng.choice(SYNONYMS[bare])
+        if word[0].isupper():
+            replacement = replacement.capitalize()
+        suffix = word[len(bare):] if word.lower().startswith(bare) else ""
+        tokens[index] = replacement + suffix
+    return " ".join(tokens)
+
+
+def delete_random_word(question: str, rng: random.Random) -> str:
+    """Drop one deletable filler word (DBPal's random-deletion op)."""
+    tokens = question.split(" ")
+    candidates = [i for i, t in enumerate(tokens) if t.lower() in _DELETABLE]
+    if not candidates:
+        return question
+    index = rng.choice(candidates)
+    return " ".join(tokens[:index] + tokens[index + 1:])
+
+
+def rewrite_prefix(question: str, rng: random.Random) -> str:
+    """Replace the leading verb phrase with an interchangeable one."""
+    lowered = question.lower()
+    for prefix in sorted(PREFIXES, key=len, reverse=True):
+        if lowered.startswith(prefix):
+            rest = question[len(prefix):]
+            replacement = rng.choice(
+                [p for p in _REPLACEMENT_PREFIXES if p.lower() != prefix]
+            )
+            return replacement + rest
+    return question
+
+
+_OPERATIONS = (substitute_synonyms, delete_random_word, rewrite_prefix)
+
+
+def augment_question(question: str, rng: random.Random, n_ops: int = 2) -> str:
+    """Apply ``n_ops`` randomly chosen transformations."""
+    result = question
+    operations = list(_OPERATIONS)
+    rng.shuffle(operations)
+    for operation in operations[:n_ops]:
+        result = operation(result, rng)
+    return result
+
+
+def augment_pairs(
+    pairs, factor: int = 1, seed: int = 0, n_ops: int = 2
+) -> list[NLSQLPair]:
+    """Produce ``factor`` augmented copies of every pair (SQL untouched).
+
+    Copies whose question did not actually change are skipped, so the output
+    size is at most ``factor * len(pairs)``.
+    """
+    if factor < 1:
+        raise ValueError("factor must be >= 1")
+    rng = random.Random(seed)
+    augmented: list[NLSQLPair] = []
+    for pair in pairs:
+        seen = {pair.question}
+        for _ in range(factor):
+            question = augment_question(pair.question, rng, n_ops=n_ops)
+            if question in seen:
+                continue
+            seen.add(question)
+            augmented.append(
+                NLSQLPair(
+                    question=question,
+                    sql=pair.sql,
+                    db_id=pair.db_id,
+                    source=f"{pair.source}+dbpal",
+                )
+            )
+    return augmented

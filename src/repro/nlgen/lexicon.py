@@ -1,0 +1,152 @@
+"""Domain lexicons: how schema elements are verbalised in natural language.
+
+Every dataset ships a :class:`DomainLexicon` mapping tables, columns and
+selected values to the phrases its domain experts actually use ("specobj" →
+"spectroscopically observed objects", ``subclass = 'STARBURST'`` → "Starburst
+galaxies").  The realizer consults the lexicon when available and falls back
+to the enhanced schema's readable aliases, then to the raw identifier — the
+same information hierarchy the paper describes for its SQL-to-NL phase.
+
+Lexicons are also what the *fine-tuning* of the simulated LLMs transfers: a
+model fine-tuned on a domain's seed pairs gains access to that domain's
+lexicon, exactly as GPT-3 picks up domain phrasing from seed NL/SQL pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.schema.enhanced import EnhancedSchema
+
+
+@dataclass
+class DomainLexicon:
+    """Phrase inventory for one database domain.
+
+    All keys are lower-cased identifiers; all phrase lists are ordered from
+    most to least canonical (the realizer's default picks the first, the
+    paraphrase sampler draws from the whole list).
+    """
+
+    name: str = "generic"
+    table_phrases: dict[str, list[str]] = field(default_factory=dict)
+    column_phrases: dict[tuple[str, str], list[str]] = field(default_factory=dict)
+    value_phrases: dict[tuple[str, str, str], list[str]] = field(default_factory=dict)
+
+    # -- construction helpers -------------------------------------------------
+
+    def add_table(self, table: str, *phrases: str) -> None:
+        self.table_phrases.setdefault(table.lower(), []).extend(phrases)
+
+    def add_column(self, table: str, column: str, *phrases: str) -> None:
+        key = (table.lower(), column.lower())
+        self.column_phrases.setdefault(key, []).extend(phrases)
+
+    def add_value(self, table: str, column: str, value, *phrases: str) -> None:
+        key = (table.lower(), column.lower(), str(value).lower())
+        self.value_phrases.setdefault(key, []).extend(phrases)
+
+    def merge(self, other: "DomainLexicon") -> "DomainLexicon":
+        """A new lexicon with ``other``'s phrases appended to this one's."""
+        merged = DomainLexicon(name=f"{self.name}+{other.name}")
+        for source in (self, other):
+            for table, phrases in source.table_phrases.items():
+                merged.table_phrases.setdefault(table, []).extend(phrases)
+            for key, phrases in source.column_phrases.items():
+                merged.column_phrases.setdefault(key, []).extend(phrases)
+            for key, phrases in source.value_phrases.items():
+                merged.value_phrases.setdefault(key, []).extend(phrases)
+        return merged
+
+    # -- phrase lookup -----------------------------------------------------------
+
+    def tables(self, table: str) -> list[str]:
+        return list(self.table_phrases.get(table.lower(), ()))
+
+    def columns(self, table: str, column: str) -> list[str]:
+        return list(self.column_phrases.get((table.lower(), column.lower()), ()))
+
+    def values(self, table: str, column: str, value) -> list[str]:
+        key = (table.lower(), column.lower(), str(value).lower())
+        return list(self.value_phrases.get(key, ()))
+
+
+@dataclass
+class PhraseBook:
+    """Resolved phrase lookup: lexicon first, enhanced schema second, raw name
+    last.  This is the single surface the realizer and the equivalence judge
+    share, which is what makes the judge a faithful reviewer of the
+    realizer's output space."""
+
+    enhanced: EnhancedSchema
+    lexicon: DomainLexicon | None = None
+
+    def table_phrases(self, table: str) -> list[str]:
+        phrases: list[str] = []
+        if self.lexicon is not None:
+            phrases.extend(self.lexicon.tables(table))
+        readable = self.enhanced.readable_table(table)
+        if readable not in phrases:
+            phrases.append(readable)
+        plural = _pluralise(readable)
+        if plural not in phrases:
+            phrases.append(plural)
+        return phrases
+
+    def column_phrases(self, table: str, column: str) -> list[str]:
+        phrases: list[str] = []
+        if self.lexicon is not None:
+            phrases.extend(self.lexicon.columns(table, column))
+        readable = self.enhanced.readable_column(table, column)
+        if readable not in phrases:
+            phrases.append(readable)
+        return phrases
+
+    def value_phrases(self, table: str, column: str, value) -> list[str]:
+        phrases: list[str] = []
+        if self.lexicon is not None:
+            phrases.extend(self.lexicon.values(table, column, value))
+        phrases.append(render_value(value))
+        return phrases
+
+
+def render_value(value) -> str:
+    """Default textual rendering of a literal value inside a question."""
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        if value.is_integer():
+            return str(int(value))
+        return f"{value:g}"
+    return str(value)
+
+
+_IRREGULAR_PLURALS = {
+    "person": "people",
+    "child": "children",
+    "category": "categories",
+    "country": "countries",
+    "city": "cities",
+    "company": "companies",
+    "galaxy": "galaxies",
+    "study": "studies",
+    "entity": "entities",
+    "activity": "activities",
+    "subsidy": "subsidies",
+}
+
+
+def _pluralise(phrase: str) -> str:
+    words = phrase.split(" ")
+    last = words[-1]
+    if last in _IRREGULAR_PLURALS:
+        words[-1] = _IRREGULAR_PLURALS[last]
+    elif last.endswith(("s", "x", "ch", "sh")):
+        words[-1] = last + "es"
+    elif last.endswith("y") and len(last) > 1 and last[-2] not in "aeiou":
+        words[-1] = last[:-1] + "ies"
+    else:
+        words[-1] = last + "s"
+    return " ".join(words)

@@ -1,0 +1,154 @@
+"""Semantic corruption of SemQL trees — the error model of simulated LLMs.
+
+A real sequence-to-sequence SQL-to-NL model makes *fluent but wrong*
+mistakes: it flips a comparison direction, drops a filter, verbalises the
+wrong column, garbles a value.  We reproduce that failure mode by corrupting
+the SemQL tree *before* realization, so the resulting question is perfectly
+grammatical English that no longer means the SQL query — exactly the kind of
+sample the paper's human experts reject in Tables 3 and 4.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace as dc_replace
+
+from repro.schema.model import Schema
+from repro.semql import nodes as sq
+
+_FLIP = {">": "<", "<": ">", ">=": "<=", "<=": ">=", "=": "!=", "!=": "="}
+_AGG_SWAP = {"max": "min", "min": "max", "avg": "sum", "sum": "avg", "count": "sum"}
+
+
+def corrupt(z: sq.Z, schema: Schema, rng: random.Random) -> tuple[sq.Z, str]:
+    """Apply one applicable corruption; returns (corrupted tree, kind).
+
+    If no corruption applies (degenerate query), the tree is returned
+    unchanged with kind ``"none"``.
+    """
+    operations = [
+        ("flip_comparator", _flip_comparator),
+        ("drop_condition", _drop_condition),
+        ("swap_column", _swap_column),
+        ("perturb_value", _perturb_value),
+        ("wrong_aggregate", _wrong_aggregate),
+        ("flip_order", _flip_order),
+        ("drop_projection", _drop_projection),
+    ]
+    rng.shuffle(operations)
+    for kind, operation in operations:
+        corrupted = operation(z, schema, rng)
+        if corrupted is not None:
+            return corrupted, kind
+    return z, "none"
+
+
+# ---------------------------------------------------------------------------
+# Individual corruption operators (each returns None when not applicable)
+# ---------------------------------------------------------------------------
+
+
+def _flip_comparator(z: sq.Z, schema: Schema, rng: random.Random) -> sq.Z | None:
+    conditions = [c for c in sq.conditions_of(z) if c.op in _FLIP]
+    if not conditions:
+        return None
+    target = rng.choice(conditions)
+    flipped = dc_replace(target, op=_FLIP[target.op])
+    return _replace_node(z, target, flipped)
+
+
+def _drop_condition(z: sq.Z, schema: Schema, rng: random.Random) -> sq.Z | None:
+    """Drop one arm of a binary filter node (needs at least two conditions)."""
+    filter_nodes = [n for n in z.walk() if isinstance(n, sq.FilterNode)]
+    if not filter_nodes:
+        return None
+    target = rng.choice(filter_nodes)
+    keep = target.left if rng.random() < 0.5 else target.right
+    return _replace_node(z, target, keep)
+
+
+def _swap_column(z: sq.Z, schema: Schema, rng: random.Random) -> sq.Z | None:
+    leaves = [
+        n
+        for n in z.walk()
+        if isinstance(n, sq.ColumnLeaf) and isinstance(n.table, sq.TableLeaf)
+    ]
+    rng.shuffle(leaves)
+    for leaf in leaves:
+        table = schema.table(leaf.table.name)
+        alternatives = [
+            c.name for c in table.columns if c.name.lower() != leaf.name.lower()
+        ]
+        if not alternatives:
+            continue
+        swapped = sq.ColumnLeaf(table=leaf.table, name=rng.choice(alternatives))
+        return _replace_node(z, leaf, swapped)
+    return None
+
+
+def _perturb_value(z: sq.Z, schema: Schema, rng: random.Random) -> sq.Z | None:
+    values = [n for n in z.walk() if isinstance(n, sq.ValueLeaf) and n.value is not None]
+    if not values:
+        return None
+    target = rng.choice(values)
+    value = target.value
+    if isinstance(value, bool):
+        perturbed: object = not value
+    elif isinstance(value, int):
+        perturbed = value + rng.choice([-10, -3, -1, 1, 3, 10]) or value + 1
+    elif isinstance(value, float):
+        perturbed = round(value * rng.choice([0.5, 2.0, 10.0]) + 0.1, 4)
+    else:
+        text = str(value)
+        perturbed = text[: max(1, len(text) // 2)] if len(text) > 3 else text + "x"
+    return _replace_node(z, target, sq.ValueLeaf(value=perturbed))
+
+
+def _wrong_aggregate(z: sq.Z, schema: Schema, rng: random.Random) -> sq.Z | None:
+    attributes = [a for a in sq.attributes_of(z) if a.agg in _AGG_SWAP]
+    if not attributes:
+        return None
+    target = rng.choice(attributes)
+    swapped = dc_replace(target, agg=_AGG_SWAP[target.agg])
+    return _replace_node(z, target, swapped)
+
+
+def _flip_order(z: sq.Z, schema: Schema, rng: random.Random) -> sq.Z | None:
+    orders = [n for n in z.walk() if isinstance(n, sq.Order)]
+    if not orders:
+        return None
+    target = orders[0]
+    flipped = dc_replace(
+        target, direction="asc" if target.direction == "desc" else "desc"
+    )
+    return _replace_node(z, target, flipped)
+
+
+def _drop_projection(z: sq.Z, schema: Schema, rng: random.Random) -> sq.Z | None:
+    selects = [
+        n for n in z.walk() if isinstance(n, sq.SemSelect) and len(n.attributes) > 1
+    ]
+    if not selects:
+        return None
+    target = selects[0]
+    drop_index = rng.randrange(len(target.attributes))
+    attributes = tuple(
+        a for i, a in enumerate(target.attributes) if i != drop_index
+    )
+    return _replace_node(z, target, dc_replace(target, attributes=attributes))
+
+
+def _replace_node(z: sq.Z, old: sq.SemNode, new: sq.SemNode) -> sq.Z:
+    """Rebuild the tree with the *first* occurrence of ``old`` replaced."""
+    replaced = False
+
+    def swap(node: sq.SemNode) -> sq.SemNode:
+        nonlocal replaced
+        if not replaced and node == old:
+            replaced = True
+            return new
+        return node
+
+    result = sq.map_tree(z, swap)
+    assert isinstance(result, sq.Z)
+    return result

@@ -1,0 +1,351 @@
+"""Grammar-based SQL-to-NL surface realization.
+
+This module is the generation engine underneath the simulated LLMs of
+:mod:`repro.llm`: given a SemQL tree (or SQL string) it produces fluent
+English questions compositionally, drawing table/column/value phrases from a
+:class:`~repro.nlgen.lexicon.PhraseBook` and sampling synonyms per
+realization so that repeated calls yield linguistically diverse candidates —
+the paper generates 8 candidates per SQL query for exactly this reason.
+
+The *style profile* biases which synonym each slot picks.  References in the
+benchmark are realized with the canonical style; simulated models realize
+with their own style offsets, which is what separates their BLEU scores in
+Table 3 while leaving semantics intact.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import SemQLError
+from repro.nlgen.lexicon import DomainLexicon, PhraseBook, render_value
+from repro.schema.enhanced import EnhancedSchema
+from repro.semql import nodes as sq
+from repro.semql.from_sql import sql_to_semql
+from repro.sql import parse
+
+
+@dataclass(frozen=True)
+class StyleProfile:
+    """Synonym-selection bias of one generator.
+
+    ``canonical_bias`` is the probability of picking a list's canonical
+    (first) entry; otherwise a uniform draw over the list, rotated by
+    ``offset`` — different offsets produce systematically different surface
+    vocabulary with identical meaning.
+    """
+
+    name: str = "canonical"
+    canonical_bias: float = 0.55
+    offset: int = 0
+
+    def pick(self, rng: random.Random, options: list[str]) -> str:
+        if not options:
+            raise ValueError("no options to pick from")
+        if len(options) == 1:
+            return options[0]
+        rotated = options[self.offset % len(options):] + options[: self.offset % len(options)]
+        if rng.random() < self.canonical_bias:
+            return rotated[0]
+        return rng.choice(rotated)
+
+
+CANONICAL_STYLE = StyleProfile()
+
+_VERBS = ["Find", "Show", "List", "Return", "Give me", "Retrieve"]
+_WH_HEADS = ["What are", "What is"]
+
+_AGG_WORDS = {
+    "max": ["maximum", "highest", "largest"],
+    "min": ["minimum", "lowest", "smallest"],
+    "avg": ["average", "mean"],
+    "sum": ["total", "summed"],
+    "count": ["number of", "count of"],
+}
+
+_MATH_WORDS = {
+    "-": ["difference of", "difference between"],
+    "+": ["sum of", "total of"],
+    "*": ["product of"],
+    "/": ["ratio of"],
+}
+
+_COMPARATORS = {
+    ">": ["greater than", "more than", "above", "larger than", "higher than", "over"],
+    "<": ["less than", "smaller than", "below", "lower than", "under"],
+    ">=": ["at least", "greater than or equal to", "no less than"],
+    "<=": ["at most", "less than or equal to", "no more than"],
+    "=": ["equal to", "exactly"],
+    "!=": ["not equal to", "different from", "other than"],
+}
+
+_SET_CONNECTORS = {
+    "union": [", as well as ", ", together with ", ", plus "],
+    "intersect": [" that also match ", " intersected with "],
+    "except": [", excluding ", ", leaving out "],
+}
+
+
+class Realizer:
+    """Realizes SemQL trees (or SQL) into English questions."""
+
+    def __init__(
+        self,
+        enhanced: EnhancedSchema,
+        lexicon: DomainLexicon | None = None,
+        style: StyleProfile = CANONICAL_STYLE,
+    ) -> None:
+        self.enhanced = enhanced
+        self.phrases = PhraseBook(enhanced=enhanced, lexicon=lexicon)
+        self.style = style
+
+    # -- public API -------------------------------------------------------------
+
+    def realize_sql(self, sql: str, rng: random.Random) -> str:
+        """Realize a SQL string (must be within the SemQL subset)."""
+        z = sql_to_semql(parse(sql), self.enhanced.schema)
+        return self.realize(z, rng)
+
+    def candidates(self, z_or_sql, n: int, rng: random.Random) -> list[str]:
+        """Generate ``n`` candidate questions (the paper uses n = 8)."""
+        if isinstance(z_or_sql, str):
+            z = sql_to_semql(parse(z_or_sql), self.enhanced.schema)
+        else:
+            z = z_or_sql
+        return [self.realize(z, rng) for _ in range(n)]
+
+    def realize(self, z: sq.Z, rng: random.Random) -> str:
+        """Realize a full SemQL tree into one question."""
+        if sq.is_template(z):
+            raise SemQLError("cannot realize a template — instantiate it first")
+        body = self._realize_r(z.left, rng)
+        if z.set_op is not None and z.right is not None:
+            connector = self.style.pick(rng, _SET_CONNECTORS[z.set_op])
+            right = self._realize_r(z.right, rng, as_clause=True)
+            body = f"{body}{connector}{right}"
+        if body.lower().startswith(("what", "how", "which")):
+            return body[0].upper() + body[1:] + "?"
+        return body[0].upper() + body[1:] + "."
+
+    # -- R realization ----------------------------------------------------------
+
+    def _realize_r(self, r: sq.R, rng: random.Random, as_clause: bool = False) -> str:
+        select = r.select
+        main_table = self._main_table(r)
+        subject = self.style.pick(rng, self.phrases.table_phrases(main_table))
+
+        filter_clause = ""
+        if r.filter is not None:
+            filter_clause = " " + self._realize_filter(r.filter, main_table, rng)
+
+        group_clause = ""
+        group = select.group if select.group is not None else self._inferred_group(select)
+        if group:
+            parts = [self._column_phrase(c, main_table, rng) for c in group]
+            group_clause = f" for each {self._join_and(parts)}"
+
+        order_clause = self._realize_order(r.order, main_table, rng) if r.order else ""
+
+        only_count_star = (
+            len(select.attributes) == 1
+            and select.attributes[0].agg == "count"
+            and isinstance(select.attributes[0].column, sq.StarLeaf)
+        )
+        if only_count_star and not as_clause:
+            if rng.random() < 0.5 and not group_clause:
+                return f"how many {subject} are there{filter_clause}{order_clause}"
+            head = self.style.pick(rng, ["Find", "Count", "Show"])
+            return (
+                f"{head.lower()} the number of {subject}"
+                f"{filter_clause}{group_clause}{order_clause}"
+            )
+
+        attr_parts = [
+            self._attribute_phrase(a, main_table, subject, rng)
+            for a in select.attributes
+        ]
+        attrs = self._join_and(attr_parts)
+        if select.distinct:
+            attrs = f"the distinct values of {attrs.removeprefix('the ')}" \
+                if attrs.startswith("the ") else f"distinct {attrs}"
+
+        if as_clause:
+            return f"{attrs} of {subject}{filter_clause}{group_clause}{order_clause}"
+
+        if rng.random() < 0.3:
+            head = self.style.pick(rng, _WH_HEADS)
+            return (
+                f"{head.lower()} {attrs} of {subject}"
+                f"{filter_clause}{group_clause}{order_clause}"
+            )
+        verb = self.style.pick(rng, _VERBS)
+        return (
+            f"{verb.lower()} {attrs} of {subject}"
+            f"{filter_clause}{group_clause}{order_clause}"
+        )
+
+    def _main_table(self, r: sq.R) -> str:
+        if isinstance(r.from_table, sq.TableLeaf):
+            return r.from_table.name
+        tables = sq.tables_of(r.select)
+        if not tables:
+            tables = sq.tables_of(r)
+        if not tables:
+            raise SemQLError("no tables to realize")
+        return tables[0]
+
+    def _inferred_group(self, select: sq.SemSelect):
+        aggregated = [a for a in select.attributes if a.is_aggregated]
+        plain = [a for a in select.attributes if not a.is_aggregated]
+        if aggregated and plain:
+            return tuple(a.column for a in plain)
+        return ()
+
+    # -- attributes ----------------------------------------------------------------
+
+    def _attribute_phrase(
+        self, a: sq.A, main_table: str, subject: str, rng: random.Random
+    ) -> str:
+        if isinstance(a.column, sq.StarLeaf):
+            if a.agg == "count":
+                return f"the number of {subject}"
+            return f"all information about {subject}"
+        column = self._column_phrase(a.column, main_table, rng)
+        if a.agg == "none":
+            return f"the {column}"
+        if a.agg == "count" and a.distinct:
+            return f"the number of distinct {column}"
+        word = self.style.pick(rng, _AGG_WORDS[a.agg])
+        if a.agg == "count":
+            return f"the {word} {column}"
+        return f"the {word} {column}"
+
+    def _column_phrase(self, column: sq.SemNode, main_table: str, rng: random.Random) -> str:
+        if isinstance(column, sq.ColumnLeaf):
+            table = column.table.name if isinstance(column.table, sq.TableLeaf) else main_table
+            phrase = self.style.pick(rng, self.phrases.column_phrases(table, column.name))
+            if table.lower() != main_table.lower():
+                owner = self.style.pick(rng, self.phrases.table_phrases(table))
+                return f"{phrase} of the {owner}"
+            return phrase
+        if isinstance(column, sq.MathExpr):
+            word = self.style.pick(rng, _MATH_WORDS[column.op])
+            left = self._column_phrase(column.left, main_table, rng)
+            right = self._column_phrase(column.right, main_table, rng)
+            return f"{word} {left} and {right}"
+        if isinstance(column, sq.StarLeaf):
+            return "records"
+        raise SemQLError(f"cannot realize column node {type(column).__name__}")
+
+    # -- filters --------------------------------------------------------------------
+
+    def _realize_filter(self, node, main_table: str, rng: random.Random) -> str:
+        if isinstance(node, sq.FilterNode):
+            left = self._realize_filter(node.left, main_table, rng)
+            right = self._realize_condition_tail(node.right, main_table, rng)
+            connector = "and" if node.op == "and" else "or"
+            return f"{left} {connector} {right}"
+        return "whose " + self._condition_body(node, main_table, rng)
+
+    def _realize_condition_tail(self, node, main_table: str, rng: random.Random) -> str:
+        if isinstance(node, sq.FilterNode):
+            return self._realize_filter(node, main_table, rng).removeprefix("whose ")
+        return self._condition_body(node, main_table, rng)
+
+    def _condition_body(self, condition: sq.Condition, main_table: str, rng: random.Random) -> str:
+        attribute = condition.attribute
+        column = self._attribute_phrase(attribute, main_table, "records", rng).removeprefix(
+            "the "
+        )
+
+        if condition.subquery is not None:
+            return self._subquery_condition(condition, column, main_table, rng)
+
+        if condition.op == "between":
+            low = self._value_phrase(attribute, condition.value, rng)
+            high = self._value_phrase(attribute, condition.value2, rng)
+            template = self.style.pick(
+                rng, ["is between {a} and {b}", "lies in the range {a} to {b}"]
+            )
+            return f"{column} {template.format(a=low, b=high)}"
+
+        if condition.op in ("like", "not_like"):
+            raw = condition.value.value if isinstance(condition.value, sq.ValueLeaf) else ""
+            needle = str(raw).strip("%").replace("%", " ")
+            word = self.style.pick(rng, ["contains", "includes"])
+            if condition.op == "not_like":
+                word = f"does not {word.rstrip('s')}" if word.endswith("s") else f"does not {word}"
+            return f"{column} {word} {needle}"
+
+        value = self._value_phrase(attribute, condition.value, rng)
+        if condition.op == "=":
+            verb = self.style.pick(rng, ["is", "equals", "is exactly"])
+            return f"{column} {verb} {value}"
+        if condition.op == "!=":
+            comparator = self.style.pick(rng, _COMPARATORS["!="])
+            return f"{column} is {comparator} {value}"
+        comparator = self.style.pick(rng, _COMPARATORS[condition.op])
+        return f"{column} is {comparator} {value}"
+
+    def _subquery_condition(
+        self, condition: sq.Condition, column: str, main_table: str, rng: random.Random
+    ) -> str:
+        sub = condition.subquery
+        sub_attr = sub.select.attributes[0]
+        sub_table = self._main_table(sub)
+        sub_subject = self.style.pick(rng, self.phrases.table_phrases(sub_table))
+        sub_filter = ""
+        if sub.filter is not None:
+            sub_filter = " " + self._realize_filter(sub.filter, sub_table, rng)
+
+        if condition.op in ("in", "not_in"):
+            sub_col = self._attribute_phrase(sub_attr, sub_table, sub_subject, rng)
+            word = "appears among" if condition.op == "in" else "does not appear among"
+            return f"{column} {word} {sub_col} of {sub_subject}{sub_filter}"
+
+        sub_phrase = self._attribute_phrase(sub_attr, sub_table, sub_subject, rng)
+        comparator = self.style.pick(
+            rng, _COMPARATORS.get(condition.op, ["compared to"])
+        )
+        if condition.op == "=":
+            comparator = "equal to"
+        return (
+            f"{column} is {comparator} {sub_phrase} of all "
+            f"{sub_subject}{sub_filter}"
+        )
+
+    def _value_phrase(self, attribute: sq.A, value, rng: random.Random) -> str:
+        if not isinstance(value, sq.ValueLeaf):
+            raise SemQLError("filter value is not concrete")
+        if isinstance(attribute.column, sq.ColumnLeaf):
+            column = attribute.column
+            table = column.table.name if isinstance(column.table, sq.TableLeaf) else ""
+            options = self.phrases.value_phrases(table, column.name, value.value)
+            return self.style.pick(rng, options)
+        return render_value(value.value)
+
+    # -- order ---------------------------------------------------------------------
+
+    def _realize_order(self, order: sq.Order, main_table: str, rng: random.Random) -> str:
+        attr = self._attribute_phrase(order.attribute, main_table, "records", rng)
+        bare = attr.removeprefix("the ")
+        if order.limit == 1:
+            word = "highest" if order.direction == "desc" else "lowest"
+            return f" with the {word} {bare}"
+        if order.limit is not None:
+            word = "largest" if order.direction == "desc" else "smallest"
+            return f", limited to the {order.limit} {word} by {bare}"
+        direction = "descending" if order.direction == "desc" else "ascending"
+        template = self.style.pick(
+            rng, [" sorted by {a} in {d} order", " ordered by {a} {d}"]
+        )
+        return template.format(a=bare, d=direction)
+
+    # -- helpers -------------------------------------------------------------------
+
+    @staticmethod
+    def _join_and(parts: list[str]) -> str:
+        if len(parts) == 1:
+            return parts[0]
+        return ", ".join(parts[:-1]) + " and " + parts[-1]

@@ -1,0 +1,19 @@
+"""Schema model and the paper's enhanced schema."""
+
+from repro.schema.enhanced import (
+    ColumnAnnotation,
+    EnhancedSchema,
+    default_enhanced_schema,
+)
+from repro.schema.model import Column, ColumnType, ForeignKey, Schema, TableDef
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "ColumnAnnotation",
+    "EnhancedSchema",
+    "ForeignKey",
+    "Schema",
+    "TableDef",
+    "default_enhanced_schema",
+]

@@ -1,0 +1,101 @@
+"""Automatic enhanced-schema profiling from database content.
+
+The paper builds the enhanced schema "automatically ... [which] can also be
+refined manually by domain experts".  This module is the automatic half: it
+inspects a populated :class:`~repro.engine.Database` and derives the
+per-column annotations that Phase 2 of the pipeline needs.
+
+Heuristics (all thresholds are explicit keyword arguments so experiments can
+vary them):
+
+* a column is **non-aggregatable** when it is a primary key, a foreign key
+  endpoint, or its name looks like an identifier/code;
+* a column is **categorical** when its distinct-value count is small in
+  absolute terms *and* small relative to the row count (the paper's
+  "low cardinality" criterion that rules out ``GROUP BY s.ra``);
+* numeric non-identifier columns are **math-operable**; columns in the same
+  table whose names share a unit-like suffix pattern (single-letter
+  photometric bands, ``*_mag``, ``*_count``, …) fall in the same math group,
+  otherwise each table contributes one default group per column prefix.
+"""
+
+from __future__ import annotations
+
+from repro.engine.database import Database
+from repro.schema.enhanced import ColumnAnnotation, EnhancedSchema
+from repro.schema.model import ColumnType
+
+_IDENTIFIER_SUFFIXES = ("id", "_key", "_code", "_uri", "_url")
+
+
+def profile_database(
+    database: Database,
+    max_categorical_values: int = 50,
+    max_categorical_ratio: float = 0.2,
+) -> EnhancedSchema:
+    """Derive an :class:`EnhancedSchema` from a populated database."""
+    schema = database.schema
+    enhanced = EnhancedSchema(schema=schema)
+
+    fk_endpoints = set()
+    for fk in schema.foreign_keys:
+        fk_endpoints.add((fk.table.lower(), fk.column.lower()))
+        fk_endpoints.add((fk.ref_table.lower(), fk.ref_column.lower()))
+
+    for table_def in schema.tables:
+        table = database.table(table_def.name)
+        rows = len(table)
+        for column in table_def.columns:
+            key = (table_def.name.lower(), column.name.lower())
+            is_identifier = (
+                key in fk_endpoints
+                or (table_def.primary_key or "").lower() == column.name.lower()
+                or _identifier_name(column.name)
+            )
+            categorical = False
+            if rows:
+                distinct = len(set(table.column_values(column.name))) or 1
+                low_ratio = distinct / rows <= max_categorical_ratio
+                # Small-table fallback: a handful of repeating values is
+                # categorical even when the ratio test is too coarse.
+                few_repeating = distinct <= 10 and distinct < rows
+                categorical = (
+                    distinct <= max_categorical_values
+                    and (low_ratio or few_repeating)
+                    and not is_identifier
+                )
+            math_group = None
+            if column.type.is_numeric and not is_identifier:
+                math_group = _math_group(table_def.name, column.name)
+            enhanced.annotate(
+                table_def.name,
+                column.name,
+                ColumnAnnotation(
+                    aggregatable=column.type.is_numeric and not is_identifier,
+                    categorical=categorical,
+                    math_group=math_group,
+                ),
+            )
+    return enhanced
+
+
+def _identifier_name(name: str) -> bool:
+    lowered = name.lower()
+    if lowered == "id":
+        return True
+    return lowered.endswith(_IDENTIFIER_SUFFIXES)
+
+
+#: Names of the SDSS photometric band filters — the canonical example of a
+#: math group in the paper (``u - r < 2.22``).
+_PHOTOMETRIC_BANDS = frozenset({"u", "g", "r", "i", "z"})
+
+
+def _math_group(table: str, column: str) -> str:
+    lowered = column.lower()
+    if lowered in _PHOTOMETRIC_BANDS:
+        return f"{table.lower()}:magnitude"
+    if "_" in lowered:
+        suffix = lowered.rsplit("_", 1)[-1]
+        return f"{table.lower()}:{suffix}"
+    return f"{table.lower()}:{lowered}"

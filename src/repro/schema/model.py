@@ -1,0 +1,208 @@
+"""Relational schema model: columns, tables, foreign keys and the schema graph.
+
+This is the structural backbone shared by the execution engine, the SemQL
+converter, the enhanced schema (``repro.schema.enhanced``) and the NL-to-SQL
+systems.  A :class:`Schema` is immutable once constructed and validates its
+own referential integrity eagerly, so downstream code never has to re-check.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+
+
+class ColumnType(enum.Enum):
+    """Logical column types used by the engine and the value samplers."""
+
+    INTEGER = "integer"
+    REAL = "real"
+    TEXT = "text"
+    BOOLEAN = "boolean"
+    DATE = "date"  # stored as ISO-8601 text; ordered comparisons work
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (ColumnType.INTEGER, ColumnType.REAL)
+
+
+@dataclass(frozen=True)
+class Column:
+    """A column definition.
+
+    ``alias`` is the human-readable name from the paper's enhanced schema
+    (e.g. ``ra`` → "right ascension"); it defaults to the physical name with
+    underscores replaced by spaces so every column always has *some* natural
+    language surface form.
+    """
+
+    name: str
+    type: ColumnType
+    alias: str | None = None
+    nullable: bool = True
+
+    @property
+    def readable(self) -> str:
+        """The natural-language surface form of this column."""
+        if self.alias:
+            return self.alias
+        return self.name.replace("_", " ")
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A foreign key edge: ``table.column`` references ``ref_table.ref_column``."""
+
+    table: str
+    column: str
+    ref_table: str
+    ref_column: str
+
+
+@dataclass(frozen=True)
+class TableDef:
+    """A table definition with ordered columns and an optional primary key."""
+
+    name: str
+    columns: tuple[Column, ...]
+    primary_key: str | None = None
+    alias: str | None = None
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in table {self.name!r}")
+        if self.primary_key is not None and self.primary_key not in names:
+            raise SchemaError(
+                f"primary key {self.primary_key!r} not a column of {self.name!r}"
+            )
+
+    @property
+    def readable(self) -> str:
+        """The natural-language surface form of this table."""
+        if self.alias:
+            return self.alias
+        return self.name.replace("_", " ")
+
+    def column(self, name: str) -> Column:
+        """Look up a column by (case-insensitive) name."""
+        lowered = name.lower()
+        for col in self.columns:
+            if col.name.lower() == lowered:
+                return col
+        raise SchemaError(f"no column {name!r} in table {self.name!r}")
+
+    def has_column(self, name: str) -> bool:
+        lowered = name.lower()
+        return any(c.name.lower() == lowered for c in self.columns)
+
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An immutable database schema: tables plus foreign-key edges.
+
+    Construction validates that every foreign key references existing
+    tables/columns and that table names are unique.
+    """
+
+    name: str
+    tables: tuple[TableDef, ...]
+    foreign_keys: tuple[ForeignKey, ...] = ()
+    _by_name: dict[str, TableDef] = field(
+        default_factory=dict, repr=False, compare=False, hash=False
+    )
+
+    def __post_init__(self) -> None:
+        by_name: dict[str, TableDef] = {}
+        for table in self.tables:
+            key = table.name.lower()
+            if key in by_name:
+                raise SchemaError(f"duplicate table {table.name!r} in schema {self.name!r}")
+            by_name[key] = table
+        object.__setattr__(self, "_by_name", by_name)
+        for fk in self.foreign_keys:
+            src = self.table(fk.table)
+            dst = self.table(fk.ref_table)
+            if not src.has_column(fk.column):
+                raise SchemaError(f"foreign key column {fk.table}.{fk.column} missing")
+            if not dst.has_column(fk.ref_column):
+                raise SchemaError(
+                    f"foreign key target {fk.ref_table}.{fk.ref_column} missing"
+                )
+
+    # -- lookups ------------------------------------------------------------
+
+    def table(self, name: str) -> TableDef:
+        """Look up a table by (case-insensitive) name."""
+        try:
+            return self._by_name[name.lower()]
+        except KeyError:
+            raise SchemaError(f"no table {name!r} in schema {self.name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._by_name
+
+    def table_names(self) -> list[str]:
+        return [t.name for t in self.tables]
+
+    def column(self, table: str, column: str) -> Column:
+        return self.table(table).column(column)
+
+    # -- graph queries -------------------------------------------------------
+
+    def foreign_keys_of(self, table: str) -> list[ForeignKey]:
+        """Foreign keys whose source *or* target is ``table``."""
+        lowered = table.lower()
+        return [
+            fk
+            for fk in self.foreign_keys
+            if fk.table.lower() == lowered or fk.ref_table.lower() == lowered
+        ]
+
+    def join_condition(self, left: str, right: str) -> ForeignKey | None:
+        """The FK edge connecting two tables, if one exists (either direction)."""
+        l, r = left.lower(), right.lower()
+        for fk in self.foreign_keys:
+            pair = (fk.table.lower(), fk.ref_table.lower())
+            if pair == (l, r) or pair == (r, l):
+                return fk
+        return None
+
+    def join_path(self, start: str, goal: str) -> list[str] | None:
+        """Shortest table path from ``start`` to ``goal`` along FK edges.
+
+        Returns the list of table names including both endpoints, or None if
+        the tables are not connected.  Used by the NL-to-SQL systems to infer
+        the FROM clause from a set of mentioned tables.
+        """
+        start, goal = start.lower(), goal.lower()
+        if start == goal:
+            return [self.table(start).name]
+        adjacency: dict[str, set[str]] = {t.name.lower(): set() for t in self.tables}
+        for fk in self.foreign_keys:
+            adjacency[fk.table.lower()].add(fk.ref_table.lower())
+            adjacency[fk.ref_table.lower()].add(fk.table.lower())
+        frontier = [[start]]
+        seen = {start}
+        while frontier:
+            next_frontier: list[list[str]] = []
+            for path in frontier:
+                for neighbour in sorted(adjacency[path[-1]]):
+                    if neighbour in seen:
+                        continue
+                    extended = path + [neighbour]
+                    if neighbour == goal:
+                        return [self.table(n).name for n in extended]
+                    seen.add(neighbour)
+                    next_frontier.append(extended)
+            frontier = next_frontier
+        return None
+
+    def total_columns(self) -> int:
+        """Total number of columns across all tables (Table 1 statistic)."""
+        return sum(len(t.columns) for t in self.tables)

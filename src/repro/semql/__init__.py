@@ -1,0 +1,17 @@
+"""SemQL intermediate representation, SQL↔SemQL conversion and templates."""
+
+from repro.semql import nodes
+from repro.semql.from_sql import sql_to_semql
+from repro.semql.templates import Template, dedupe_templates, extract_template, signature_of
+from repro.semql.to_sql import semql_to_ast, semql_to_sql
+
+__all__ = [
+    "nodes",
+    "sql_to_semql",
+    "semql_to_ast",
+    "semql_to_sql",
+    "Template",
+    "extract_template",
+    "dedupe_templates",
+    "signature_of",
+]

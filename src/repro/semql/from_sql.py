@@ -1,0 +1,224 @@
+"""Lifting SQL ASTs into SemQL trees (the paper's Phase-1 ingestion step).
+
+The conversion is schema-aware: unqualified columns are resolved against the
+tables in scope, and equality comparisons between foreign-key-linked columns
+are recognised as join conditions and dropped (SemQL reconstructs joins from
+the schema graph when lowering back to SQL — see :mod:`repro.semql.to_sql`).
+
+Queries outside the SemQL subset (correlated predicates, EXISTS, IS NULL,
+derived tables) raise :class:`~repro.errors.SemQLError`; the seeding phase
+skips such queries, exactly as the original pipeline restricts itself to the
+SemQL-expressible portion of the seed set.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SemQLError
+from repro.schema.model import Schema
+from repro.semql import nodes as sq
+from repro.sql import ast
+
+
+def sql_to_semql(query: ast.Query, schema: Schema) -> sq.Z:
+    """Convert a parsed SQL query into a SemQL :class:`~repro.semql.nodes.Z`."""
+    left = _select_to_r(query.select, schema)
+    if query.set_op is None:
+        return sq.Z(left=left)
+    if query.right is None or query.right.set_op is not None:
+        raise SemQLError("SemQL supports at most one set operation")
+    right = _select_to_r(query.right.select, schema)
+    return sq.Z(left=left, set_op=query.set_op, right=right)
+
+
+def _select_to_r(select: ast.Select, schema: Schema) -> sq.R:
+    scope = _Scope(select, schema)
+
+    attributes = tuple(
+        _item_to_attribute(item, scope) for item in select.items
+    )
+    group = None
+    if select.group_by:
+        group = tuple(
+            _column_expr(expr, scope, allow_math=False) for expr in select.group_by
+        )
+
+    sem_select = sq.SemSelect(
+        attributes=attributes, distinct=select.distinct, group=group
+    )
+
+    filter_node = None
+    where_filter = (
+        _expr_to_filter(select.where, scope) if select.where is not None else None
+    )
+    having_filter = (
+        _expr_to_filter(select.having, scope) if select.having is not None else None
+    )
+    if where_filter is not None and having_filter is not None:
+        filter_node = sq.FilterNode(op="and", left=where_filter, right=having_filter)
+    else:
+        filter_node = where_filter or having_filter
+
+    order = None
+    if select.order_by:
+        first = select.order_by[0]
+        order = sq.Order(
+            direction="desc" if first.desc else "asc",
+            attribute=_expr_to_attribute(first.expr, scope),
+            limit=select.limit,
+        )
+    elif select.limit is not None:
+        raise SemQLError("LIMIT without ORDER BY is outside the SemQL subset")
+
+    return sq.R(
+        select=sem_select,
+        filter=filter_node,
+        order=order,
+        from_table=sq.TableLeaf(scope.tables[0]),
+    )
+
+
+class _Scope:
+    """Alias resolution for one SELECT core."""
+
+    def __init__(self, select: ast.Select, schema: Schema) -> None:
+        self.schema = schema
+        self.alias_to_table: dict[str, str] = {}
+        self.tables: list[str] = []
+        for source in select.from_tables:
+            if isinstance(source, ast.SubqueryRef):
+                raise SemQLError("derived tables are outside the SemQL subset")
+            self._add(source)
+        for join in select.joins:
+            self._add(join.table)
+        if not self.tables:
+            raise SemQLError("SemQL queries need a FROM clause")
+
+    def _add(self, ref: ast.TableRef) -> None:
+        table = self.schema.table(ref.name)  # validates existence
+        self.alias_to_table[ref.binding.lower()] = table.name
+        if table.name not in self.tables:
+            self.tables.append(table.name)
+
+    def resolve(self, ref: ast.ColumnRef) -> sq.ColumnLeaf:
+        if ref.table is not None:
+            table = self.alias_to_table.get(ref.table.lower())
+            if table is None:
+                raise SemQLError(f"unknown table alias {ref.table!r}")
+            column = self.schema.column(table, ref.column)  # validates
+            return sq.ColumnLeaf(table=sq.TableLeaf(table), name=column.name)
+        for table in self.tables:
+            if self.schema.table(table).has_column(ref.column):
+                column = self.schema.column(table, ref.column)
+                return sq.ColumnLeaf(table=sq.TableLeaf(table), name=column.name)
+        raise SemQLError(f"cannot resolve column {ref.column!r}")
+
+
+def _item_to_attribute(item: ast.SelectItem, scope: _Scope) -> sq.A:
+    return _expr_to_attribute(item.expr, scope)
+
+
+def _expr_to_attribute(expr: ast.Expr, scope: _Scope) -> sq.A:
+    if isinstance(expr, ast.FuncCall) and expr.name.lower() in ast.AGGREGATE_FUNCTIONS:
+        arg = expr.args[0]
+        if isinstance(arg, ast.Star):
+            column: sq.SemNode = sq.StarLeaf()
+        else:
+            column = _column_expr(arg, scope, allow_math=True)
+        return sq.A(agg=expr.name.lower(), column=column, distinct=expr.distinct)
+    column = _column_expr(expr, scope, allow_math=True)
+    return sq.A(agg="none", column=column)
+
+
+def _column_expr(expr: ast.Expr, scope: _Scope, allow_math: bool) -> sq.SemNode:
+    if isinstance(expr, ast.ColumnRef):
+        return scope.resolve(expr)
+    if isinstance(expr, ast.Star):
+        return sq.StarLeaf()
+    if isinstance(expr, ast.BinaryOp) and allow_math:
+        if not isinstance(expr.left, ast.ColumnRef) or not isinstance(
+            expr.right, ast.ColumnRef
+        ):
+            raise SemQLError("math expressions must combine two columns")
+        if expr.op not in sq.MATH_OPS:
+            raise SemQLError(f"math operator {expr.op!r} not in SemQL grammar")
+        return sq.MathExpr(
+            op=expr.op,
+            left=scope.resolve(expr.left),
+            right=scope.resolve(expr.right),
+        )
+    raise SemQLError(f"{type(expr).__name__} is outside the SemQL column grammar")
+
+
+def _expr_to_filter(expr: ast.Expr, scope: _Scope):
+    """Convert a WHERE/HAVING expression into a SemQL filter tree.
+
+    Returns None when the expression consists only of join conditions.
+    """
+    if isinstance(expr, ast.BoolOp):
+        parts = [_expr_to_filter(operand, scope) for operand in expr.operands]
+        parts = [p for p in parts if p is not None]
+        if not parts:
+            return None
+        tree = parts[0]
+        for part in parts[1:]:
+            tree = sq.FilterNode(op=expr.op, left=tree, right=part)
+        return tree
+
+    if isinstance(expr, ast.Comparison):
+        return _comparison_to_condition(expr, scope)
+
+    if isinstance(expr, ast.Between):
+        attribute = _expr_to_attribute(expr.expr, scope)
+        if expr.negated:
+            raise SemQLError("NOT BETWEEN is outside the SemQL subset")
+        return sq.Condition(
+            op="between",
+            attribute=attribute,
+            value=_literal_to_value(expr.low),
+            value2=_literal_to_value(expr.high),
+        )
+
+    if isinstance(expr, ast.InSubquery):
+        attribute = _expr_to_attribute(expr.expr, scope)
+        sub = sql_to_semql(expr.query, scope.schema)
+        if sub.set_op is not None:
+            raise SemQLError("set operations inside subqueries are unsupported")
+        op = "not_in" if expr.negated else "in"
+        return sq.Condition(op=op, attribute=attribute, subquery=sub.left)
+
+    if isinstance(expr, ast.InList):
+        raise SemQLError("IN (value list) is outside the SemQL subset")
+
+    raise SemQLError(f"{type(expr).__name__} is outside the SemQL filter grammar")
+
+
+def _comparison_to_condition(expr: ast.Comparison, scope: _Scope):
+    if isinstance(expr.left, ast.ColumnRef) and isinstance(expr.right, ast.ColumnRef):
+        left = scope.resolve(expr.left)
+        right = scope.resolve(expr.right)
+        if expr.op == "=" and left.table.name != right.table.name:
+            fk = scope.schema.join_condition(left.table.name, right.table.name)
+            if fk is not None:
+                return None  # join condition — reconstructed from the schema
+        raise SemQLError("column-to-column comparisons are outside SemQL")
+
+    attribute = _expr_to_attribute(expr.left, scope)
+
+    if isinstance(expr.right, ast.ScalarSubquery):
+        sub = sql_to_semql(expr.right.query, scope.schema)
+        if sub.set_op is not None:
+            raise SemQLError("set operations inside subqueries are unsupported")
+        return sq.Condition(op=expr.op, attribute=attribute, subquery=sub.left)
+
+    op = {"like": "like", "not like": "not_like"}.get(expr.op, expr.op)
+    return sq.Condition(op=op, attribute=attribute, value=_literal_to_value(expr.right))
+
+
+def _literal_to_value(expr: ast.Expr) -> sq.ValueLeaf:
+    if isinstance(expr, ast.Literal):
+        return sq.ValueLeaf(value=expr.value)
+    if isinstance(expr, ast.UnaryMinus) and isinstance(expr.operand, ast.Literal):
+        operand = expr.operand.value
+        if isinstance(operand, (int, float)):
+            return sq.ValueLeaf(value=-operand)
+    raise SemQLError("filter values must be literals in SemQL")

@@ -1,0 +1,152 @@
+"""Query templates: SemQL trees with anonymized leaves (Phase 1, Figure 2).
+
+The seeding phase turns each seed query's SemQL tree into a *template* by
+replacing its leaf nodes — tables (T), columns (C) and values (V) — with
+positional placeholders.  Leaves that occur multiple times receive the same
+position, which is exactly how Algorithm 1's hash maps guarantee consistency
+(re-using table T(0) everywhere it appeared in the seed).
+
+The template's *signature* is a canonical string of its anonymized structure,
+used to de-duplicate templates extracted from different seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.semql import nodes as sq
+
+
+@dataclass(frozen=True)
+class Template:
+    """An anonymized SemQL tree plus bookkeeping for instantiation."""
+
+    tree: sq.Z
+    n_tables: int
+    n_columns: int
+    n_values: int
+    signature: str
+    source_sql: str | None = None
+
+    def __post_init__(self) -> None:
+        if not sq.is_template(self.tree) and self.n_tables > 0:
+            raise ValueError("template tree has no slots")
+
+
+def extract_template(z: sq.Z, source_sql: str | None = None) -> Template:
+    """Anonymize the leaves of a concrete SemQL tree into a template.
+
+    Distinct tables/columns/values each get a fresh position in first-
+    occurrence (pre-order) order; repeated leaves share their position.
+    """
+    table_positions: dict[str, int] = {}
+    column_positions: dict[tuple[int, str], int] = {}
+    value_positions: dict[tuple[type, object], int] = {}
+
+    def table_slot(leaf: sq.TableLeaf) -> sq.TableSlot:
+        key = leaf.name.lower()
+        if key not in table_positions:
+            table_positions[key] = len(table_positions)
+        return sq.TableSlot(position=table_positions[key])
+
+    def anonymize(node: sq.SemNode) -> sq.SemNode:
+        if isinstance(node, sq.TableLeaf):
+            return table_slot(node)
+        if isinstance(node, sq.ColumnLeaf):
+            owner = node.table
+            if isinstance(owner, sq.TableLeaf):
+                owner_slot = table_slot(owner)
+            else:
+                owner_slot = owner
+            key = (owner_slot.position, node.name.lower())
+            if key not in column_positions:
+                column_positions[key] = len(column_positions)
+            return sq.ColumnSlot(table=owner_slot, position=column_positions[key])
+        if isinstance(node, sq.ValueLeaf):
+            key = (type(node.value), node.value)
+            if key not in value_positions:
+                value_positions[key] = len(value_positions)
+            return sq.ValueSlot(position=value_positions[key])
+        return node
+
+    tree = sq.map_tree(z, anonymize)
+    assert isinstance(tree, sq.Z)
+    return Template(
+        tree=tree,
+        n_tables=len(table_positions),
+        n_columns=len(column_positions),
+        n_values=len(value_positions),
+        signature=signature_of(tree),
+        source_sql=source_sql,
+    )
+
+
+def signature_of(node: sq.SemNode) -> str:
+    """Canonical structural string of a (template) tree."""
+    if isinstance(node, sq.Z):
+        parts = [signature_of(node.left)]
+        if node.set_op:
+            parts.append(node.set_op)
+            parts.append(signature_of(node.right))
+        return f"Z({' '.join(parts)})"
+    if isinstance(node, sq.R):
+        parts = [signature_of(node.select)]
+        if node.filter is not None:
+            parts.append(signature_of(node.filter))
+        if node.order is not None:
+            parts.append(signature_of(node.order))
+        return f"R({' '.join(parts)})"
+    if isinstance(node, sq.SemSelect):
+        attrs = " ".join(signature_of(a) for a in node.attributes)
+        text = f"Select[{attrs}]"
+        if node.distinct:
+            text = f"Distinct{text}"
+        if node.group is not None:
+            group = " ".join(signature_of(c) for c in node.group)
+            text = f"{text}Group[{group}]"
+        return text
+    if isinstance(node, sq.A):
+        return f"A({node.agg},{signature_of(node.column)})"
+    if isinstance(node, sq.MathExpr):
+        return f"Math({node.op},{signature_of(node.left)},{signature_of(node.right)})"
+    if isinstance(node, sq.FilterNode):
+        return f"{node.op}({signature_of(node.left)},{signature_of(node.right)})"
+    if isinstance(node, sq.Condition):
+        parts = [node.op, signature_of(node.attribute)]
+        if node.value is not None:
+            parts.append(signature_of(node.value))
+        if node.value2 is not None:
+            parts.append(signature_of(node.value2))
+        if node.subquery is not None:
+            parts.append(signature_of(node.subquery))
+        return f"Cond({','.join(parts)})"
+    if isinstance(node, sq.Order):
+        limit = f",limit={node.limit}" if node.limit is not None else ""
+        return f"Order({node.direction},{signature_of(node.attribute)}{limit})"
+    if isinstance(node, sq.TableSlot):
+        return f"T({node.position})"
+    if isinstance(node, sq.ColumnSlot):
+        return f"C({node.position})@{signature_of(node.table)}"
+    if isinstance(node, sq.ValueSlot):
+        return f"V({node.position})"
+    if isinstance(node, sq.TableLeaf):
+        return f"T'{node.name}'"
+    if isinstance(node, sq.ColumnLeaf):
+        return f"C'{node.name}'@{signature_of(node.table)}"
+    if isinstance(node, sq.ValueLeaf):
+        return f"V'{node.value!r}'"
+    if isinstance(node, sq.StarLeaf):
+        return "*"
+    raise TypeError(f"unknown SemQL node {type(node).__name__}")
+
+
+def dedupe_templates(templates: list[Template]) -> list[Template]:
+    """Drop templates with identical signatures, keeping first occurrences."""
+    seen: set[str] = set()
+    unique: list[Template] = []
+    for template in templates:
+        if template.signature in seen:
+            continue
+        seen.add(template.signature)
+        unique.append(template)
+    return unique

@@ -1,0 +1,304 @@
+"""Lowering SemQL trees back to executable SQL.
+
+This is the inverse of :mod:`repro.semql.from_sql` and the step that gives
+SemQL its power: the FROM clause — including intermediate bridge tables —
+is *reconstructed from the schema's foreign-key graph*, so a SemQL tree only
+needs to mention the tables its columns touch.  ValueNet inherits exactly
+this mechanism.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SemQLError
+from repro.schema.model import Schema
+from repro.semql import nodes as sq
+from repro.sql import ast
+from repro.sql.printer import to_sql as print_sql
+
+
+def semql_to_sql(z: sq.Z, schema: Schema) -> str:
+    """Render a SemQL tree as a SQL string."""
+    return print_sql(semql_to_ast(z, schema))
+
+
+def semql_to_ast(z: sq.Z, schema: Schema) -> ast.Query:
+    """Lower a SemQL tree to a SQL AST."""
+    if sq.is_template(z):
+        raise SemQLError("cannot lower a template — instantiate its slots first")
+    left = _r_to_select(z.left, schema)
+    if z.set_op is None:
+        return ast.Query(select=left)
+    if z.right is None:
+        raise SemQLError("set operation missing right arm")
+    right = _r_to_select(z.right, schema)
+    return ast.Query(
+        select=left, set_op=z.set_op, right=ast.Query(select=right)
+    )
+
+
+def _r_to_select(r: sq.R, schema: Schema) -> ast.Select:
+    tables = _tables_needed(r)
+    plan = _join_plan(tables, schema)
+    aliases = plan.aliases
+
+    items = tuple(
+        ast.SelectItem(expr=_attribute_to_expr(a, aliases)) for a in r.select.attributes
+    )
+
+    where_parts: list[ast.Expr] = []
+    having_parts: list[ast.Expr] = []
+    if r.filter is not None:
+        _split_filter(r.filter, aliases, schema, where_parts, having_parts)
+
+    group_by: tuple[ast.Expr, ...] = ()
+    if r.select.group is not None:
+        group_by = tuple(
+            _column_to_expr(c, aliases) for c in r.select.group
+        )
+    else:
+        aggregated = [a for a in r.select.attributes if a.is_aggregated]
+        plain = [a for a in r.select.attributes if not a.is_aggregated]
+        if aggregated and plain:
+            group_by = tuple(_attribute_to_expr(a, aliases) for a in plain)
+        elif having_parts and not aggregated:
+            raise SemQLError("HAVING conditions require an aggregate context")
+
+    order_by: tuple[ast.OrderItem, ...] = ()
+    limit = None
+    if r.order is not None:
+        order_by = (
+            ast.OrderItem(
+                expr=_attribute_to_expr(r.order.attribute, aliases),
+                desc=r.order.direction == "desc",
+            ),
+        )
+        limit = r.order.limit
+
+    return ast.Select(
+        items=items,
+        from_tables=plan.from_tables,
+        joins=plan.joins,
+        where=_conjoin_all(where_parts),
+        group_by=group_by,
+        having=_conjoin_all(having_parts),
+        order_by=order_by,
+        limit=limit,
+        distinct=r.select.distinct,
+    )
+
+
+# ---------------------------------------------------------------------------
+# FROM-clause reconstruction
+# ---------------------------------------------------------------------------
+
+
+class _JoinPlan:
+    def __init__(
+        self,
+        from_tables: tuple[ast.TableRef, ...],
+        joins: tuple[ast.Join, ...],
+        aliases: dict[str, str],
+    ) -> None:
+        self.from_tables = from_tables
+        self.joins = joins
+        self.aliases = aliases
+
+
+def _tables_needed(r: sq.R) -> list[str]:
+    """Concrete tables referenced by this R (not descending into subqueries)."""
+    seen: dict[str, None] = {}
+
+    def visit(node: sq.SemNode) -> None:
+        if isinstance(node, sq.Condition) and node.subquery is not None:
+            # Subqueries build their own FROM clauses.
+            visit(node.attribute)
+            return
+        if isinstance(node, sq.TableLeaf):
+            seen.setdefault(node.name, None)
+        for child in node.children():
+            visit(child)
+
+    if isinstance(r.from_table, sq.TableLeaf):
+        seen.setdefault(r.from_table.name, None)
+    visit(r.select)
+    if r.filter is not None:
+        visit(r.filter)
+    if r.order is not None:
+        visit(r.order)
+    if not seen:
+        raise SemQLError("SemQL tree references no tables")
+    return list(seen)
+
+
+def _join_plan(tables: list[str], schema: Schema) -> _JoinPlan:
+    """Connect the required tables along FK edges, adding bridge tables."""
+    ordered: list[str] = [tables[0]]
+    for goal in tables[1:]:
+        if goal in ordered:
+            continue
+        path = None
+        for start in ordered:
+            path = schema.join_path(start, goal)
+            if path is not None:
+                break
+        if path is None:
+            raise SemQLError(
+                f"tables {ordered[0]!r} and {goal!r} are not FK-connected"
+            )
+        for table in path:
+            if table not in ordered:
+                ordered.append(table)
+
+    aliases: dict[str, str] = {}
+    if len(ordered) == 1:
+        aliases[ordered[0]] = ordered[0]
+        return _JoinPlan(
+            from_tables=(ast.TableRef(name=ordered[0]),), joins=(), aliases=aliases
+        )
+
+    for i, table in enumerate(ordered):
+        aliases[table] = f"T{i + 1}"
+
+    from_tables = (ast.TableRef(name=ordered[0], alias=aliases[ordered[0]]),)
+    joins = []
+    joined = [ordered[0]]
+    for table in ordered[1:]:
+        fk = None
+        partner = None
+        for candidate in joined:
+            fk = schema.join_condition(candidate, table)
+            if fk is not None:
+                partner = candidate
+                break
+        if fk is None:
+            raise SemQLError(f"no FK edge to join {table!r}")
+        condition = ast.Comparison(
+            op="=",
+            left=ast.ColumnRef(table=aliases[fk.table], column=fk.column),
+            right=ast.ColumnRef(table=aliases[fk.ref_table], column=fk.ref_column),
+        )
+        joins.append(
+            ast.Join(table=ast.TableRef(name=table, alias=aliases[table]), condition=condition)
+        )
+        joined.append(table)
+    return _JoinPlan(
+        from_tables=from_tables, joins=tuple(joins), aliases=aliases
+    )
+
+
+# ---------------------------------------------------------------------------
+# Expression lowering
+# ---------------------------------------------------------------------------
+
+
+def _attribute_to_expr(a: sq.A, aliases: dict[str, str]) -> ast.Expr:
+    column = _column_to_expr(a.column, aliases)
+    if a.agg == "none":
+        return column
+    return ast.FuncCall(name=a.agg, args=(column,), distinct=a.distinct)
+
+
+def _column_to_expr(column: sq.SemNode, aliases: dict[str, str]) -> ast.Expr:
+    if isinstance(column, sq.ColumnLeaf):
+        table = column.table
+        if not isinstance(table, sq.TableLeaf):
+            raise SemQLError("template slot leaked into lowering")
+        # Single-table queries keep the bare column name; multi-table queries
+        # always qualify with the T1..Tn alias — the paper's query style.
+        if len(aliases) == 1:
+            return ast.ColumnRef(table=None, column=column.name)
+        return ast.ColumnRef(table=aliases[table.name], column=column.name)
+    if isinstance(column, sq.StarLeaf):
+        return ast.Star()
+    if isinstance(column, sq.MathExpr):
+        return ast.BinaryOp(
+            op=column.op,
+            left=_column_to_expr(column.left, aliases),
+            right=_column_to_expr(column.right, aliases),
+        )
+    raise SemQLError(f"cannot lower column node {type(column).__name__}")
+
+
+def _split_filter(
+    node,
+    aliases: dict[str, str],
+    schema: Schema,
+    where_parts: list[ast.Expr],
+    having_parts: list[ast.Expr],
+) -> None:
+    """Partition the filter tree into WHERE and HAVING conjuncts."""
+    if isinstance(node, sq.FilterNode) and node.op == "and":
+        _split_filter(node.left, aliases, schema, where_parts, having_parts)
+        _split_filter(node.right, aliases, schema, where_parts, having_parts)
+        return
+    expr, aggregated = _filter_to_expr(node, aliases, schema)
+    if aggregated:
+        having_parts.append(expr)
+    else:
+        where_parts.append(expr)
+
+
+def _filter_to_expr(node, aliases: dict[str, str], schema: Schema):
+    """Lower a filter subtree; returns (expr, uses_aggregates)."""
+    if isinstance(node, sq.FilterNode):
+        left, agg_l = _filter_to_expr(node.left, aliases, schema)
+        right, agg_r = _filter_to_expr(node.right, aliases, schema)
+        if agg_l != agg_r:
+            raise SemQLError("mixed WHERE/HAVING inside an OR is unsupported")
+        return ast.BoolOp(op=node.op, operands=(left, right)), agg_l
+
+    if not isinstance(node, sq.Condition):
+        raise SemQLError(f"unexpected filter node {type(node).__name__}")
+
+    attribute = node.attribute
+    left = _attribute_to_expr(attribute, aliases)
+    aggregated = attribute.is_aggregated
+
+    if node.subquery is not None:
+        sub_ast = ast.Query(select=_r_to_select(node.subquery, schema))
+        if node.op in ("in", "not_in"):
+            expr: ast.Expr = ast.InSubquery(
+                expr=left, query=sub_ast, negated=node.op == "not_in"
+            )
+        else:
+            expr = ast.Comparison(op=node.op, left=left, right=ast.ScalarSubquery(sub_ast))
+        return expr, aggregated
+
+    if node.op == "between":
+        return (
+            ast.Between(
+                expr=left,
+                low=_value_to_expr(node.value),
+                high=_value_to_expr(node.value2),
+            ),
+            aggregated,
+        )
+    if node.op in ("like", "not_like"):
+        return (
+            ast.Comparison(
+                op="like" if node.op == "like" else "not like",
+                left=left,
+                right=_value_to_expr(node.value),
+            ),
+            aggregated,
+        )
+    if node.op in ("in", "not_in"):
+        raise SemQLError("IN conditions need a subquery")
+    return (
+        ast.Comparison(op=node.op, left=left, right=_value_to_expr(node.value)),
+        aggregated,
+    )
+
+
+def _value_to_expr(value) -> ast.Expr:
+    if not isinstance(value, sq.ValueLeaf):
+        raise SemQLError("filter value is not concrete")
+    return ast.Literal(value.value)
+
+
+def _conjoin_all(parts: list[ast.Expr]) -> ast.Expr | None:
+    if not parts:
+        return None
+    if len(parts) == 1:
+        return parts[0]
+    return ast.BoolOp(op="and", operands=tuple(parts))

@@ -1,0 +1,16 @@
+"""MiniSpider: the Spider-benchmark stand-in (hardness, domains, corpus)."""
+
+from repro.spider.corpus import SpiderCorpus, build_corpus
+from repro.spider.domains import DOMAIN_BUILDERS
+from repro.spider.hardness import HARDNESS_LEVELS, classify_hardness, hardness_distribution
+from repro.spider.sampler import QuerySampler
+
+__all__ = [
+    "SpiderCorpus",
+    "build_corpus",
+    "DOMAIN_BUILDERS",
+    "classify_hardness",
+    "hardness_distribution",
+    "HARDNESS_LEVELS",
+    "QuerySampler",
+]

@@ -1,0 +1,769 @@
+"""MiniSpider domains: small general-knowledge databases.
+
+Spider's databases cover everyday topics — concerts, pets, colleges, flights
+— with few tables and columns (3.5 tables / 23 columns per DB on average,
+Table 1).  MiniSpider rebuilds that profile with ten compact databases.
+Each build function returns a populated :class:`~repro.engine.Database`;
+enhanced schemas are profiled from the data by the corpus builder.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable
+
+from repro.datasets import generators as gen
+from repro.engine.database import Database, create_database
+from repro.schema.model import Column, ColumnType, ForeignKey, Schema, TableDef
+
+I = ColumnType.INTEGER
+F = ColumnType.REAL
+T = ColumnType.TEXT
+
+
+def _schema(name: str, tables, fks=()) -> Schema:
+    return Schema(name=name, tables=tuple(tables), foreign_keys=tuple(fks))
+
+
+def _table(name: str, cols, pk: str | None = None, alias: str | None = None) -> TableDef:
+    return TableDef(
+        name,
+        tuple(Column(cname, ctype, alias=calias) for cname, ctype, calias in cols),
+        primary_key=pk,
+        alias=alias,
+    )
+
+
+def build_concert_singer(rng: random.Random) -> Database:
+    schema = _schema(
+        "concert_singer",
+        [
+            _table(
+                "singer",
+                [
+                    ("singer_id", I, "singer id"),
+                    ("name", T, "name"),
+                    ("country", T, "country"),
+                    ("age", I, "age"),
+                    ("is_male", ColumnType.BOOLEAN, "is male"),
+                ],
+                pk="singer_id",
+                alias="singer",
+            ),
+            _table(
+                "stadium",
+                [
+                    ("stadium_id", I, "stadium id"),
+                    ("name", T, "stadium name"),
+                    ("location", T, "location"),
+                    ("capacity", I, "capacity"),
+                ],
+                pk="stadium_id",
+                alias="stadium",
+            ),
+            _table(
+                "concert",
+                [
+                    ("concert_id", I, "concert id"),
+                    ("concert_name", T, "concert name"),
+                    ("stadium_id", I, "stadium id"),
+                    ("singer_id", I, "singer id"),
+                    ("year", I, "year"),
+                ],
+                pk="concert_id",
+                alias="concert",
+            ),
+        ],
+        [
+            ForeignKey("concert", "stadium_id", "stadium", "stadium_id"),
+            ForeignKey("concert", "singer_id", "singer", "singer_id"),
+        ],
+    )
+    db = create_database(schema)
+    countries = ["USA", "UK", "France", "Japan", "Brazil", "Canada"]
+    db.insert(
+        "singer",
+        [
+            (i, gen.person_name(rng), gen.skewed_choice(rng, countries),
+             rng.randint(18, 70), rng.random() < 0.5)
+            for i in range(1, 41)
+        ],
+    )
+    db.insert(
+        "stadium",
+        [
+            (i, f"{gen.word(rng, 2).capitalize()} Arena",
+             gen.word(rng, 2).capitalize(), rng.randint(2000, 90000))
+            for i in range(1, 13)
+        ],
+    )
+    db.insert(
+        "concert",
+        [
+            (i, gen.title(rng, 2), rng.randint(1, 12), rng.randint(1, 40),
+             rng.randint(2005, 2022))
+            for i in range(1, 81)
+        ],
+    )
+    return db
+
+
+def build_pets(rng: random.Random) -> Database:
+    schema = _schema(
+        "pets",
+        [
+            _table(
+                "student",
+                [
+                    ("student_id", I, "student id"),
+                    ("name", T, "name"),
+                    ("major", T, "major"),
+                    ("age", I, "age"),
+                    ("city", T, "city"),
+                ],
+                pk="student_id",
+                alias="student",
+            ),
+            _table(
+                "pet",
+                [
+                    ("pet_id", I, "pet id"),
+                    ("pet_type", T, "pet type"),
+                    ("pet_age", I, "pet age"),
+                    ("weight", F, "weight"),
+                ],
+                pk="pet_id",
+                alias="pet",
+            ),
+            _table(
+                "has_pet",
+                [("student_id", I, "student id"), ("pet_id", I, "pet id")],
+                alias="pet ownership",
+            ),
+        ],
+        [
+            ForeignKey("has_pet", "student_id", "student", "student_id"),
+            ForeignKey("has_pet", "pet_id", "pet", "pet_id"),
+        ],
+    )
+    db = create_database(schema)
+    majors = ["Biology", "History", "Physics", "Economics", "Art"]
+    db.insert(
+        "student",
+        [
+            (i, gen.person_name(rng), gen.skewed_choice(rng, majors),
+             rng.randint(18, 30), gen.word(rng, 2).capitalize())
+            for i in range(1, 61)
+        ],
+    )
+    db.insert(
+        "pet",
+        [
+            (i, gen.skewed_choice(rng, ["dog", "cat", "bird", "hamster"]),
+             rng.randint(1, 15), gen.bounded_float(rng, 0.2, 45.0, 1))
+            for i in range(1, 41)
+        ],
+    )
+    pairs = {(rng.randint(1, 60), rng.randint(1, 40)) for _ in range(50)}
+    db.insert("has_pet", sorted(pairs))
+    return db
+
+
+def build_college(rng: random.Random) -> Database:
+    schema = _schema(
+        "college",
+        [
+            _table(
+                "department",
+                [
+                    ("dept_id", I, "department id"),
+                    ("dept_name", T, "department name"),
+                    ("building", T, "building"),
+                    ("budget", F, "budget"),
+                ],
+                pk="dept_id",
+                alias="department",
+            ),
+            _table(
+                "course",
+                [
+                    ("course_id", I, "course id"),
+                    ("title", T, "title"),
+                    ("dept_id", I, "department id"),
+                    ("credits", I, "credits"),
+                ],
+                pk="course_id",
+                alias="course",
+            ),
+            _table(
+                "enrollment",
+                [
+                    ("enrollment_id", I, "enrollment id"),
+                    ("course_id", I, "course id"),
+                    ("student_name", T, "student name"),
+                    ("grade", F, "grade"),
+                    ("semester", T, "semester"),
+                ],
+                pk="enrollment_id",
+                alias="enrollment",
+            ),
+        ],
+        [
+            ForeignKey("course", "dept_id", "department", "dept_id"),
+            ForeignKey("enrollment", "course_id", "course", "course_id"),
+        ],
+    )
+    db = create_database(schema)
+    names = ["Computer Science", "Mathematics", "Chemistry", "Philosophy", "Music"]
+    db.insert(
+        "department",
+        [
+            (i, name, f"Building {gen.acronym(rng, 1)}",
+             round(rng.uniform(0.5, 9.0) * 1_000_000, 2))
+            for i, name in enumerate(names, start=1)
+        ],
+    )
+    db.insert(
+        "course",
+        [
+            (i, gen.title(rng, 3), rng.randint(1, len(names)), rng.choice([3, 4, 6]))
+            for i in range(1, 41)
+        ],
+    )
+    db.insert(
+        "enrollment",
+        [
+            (i, rng.randint(1, 40), gen.person_name(rng),
+             gen.bounded_float(rng, 1.0, 6.0, 1),
+             gen.skewed_choice(rng, ["Fall 2021", "Spring 2022", "Fall 2022"]))
+            for i in range(1, 201)
+        ],
+    )
+    return db
+
+
+def build_flights(rng: random.Random) -> Database:
+    schema = _schema(
+        "flights",
+        [
+            _table(
+                "airline",
+                [
+                    ("airline_id", I, "airline id"),
+                    ("airline_name", T, "airline name"),
+                    ("country", T, "country"),
+                ],
+                pk="airline_id",
+                alias="airline",
+            ),
+            _table(
+                "airport",
+                [
+                    ("airport_code", T, "airport code"),
+                    ("airport_name", T, "airport name"),
+                    ("city", T, "city"),
+                ],
+                pk="airport_code",
+                alias="airport",
+            ),
+            _table(
+                "flight",
+                [
+                    ("flight_id", I, "flight id"),
+                    ("airline_id", I, "airline id"),
+                    ("source_airport", T, "source airport"),
+                    ("dest_airport", T, "destination airport"),
+                    ("distance", I, "distance"),
+                    ("price", F, "price"),
+                ],
+                pk="flight_id",
+                alias="flight",
+            ),
+        ],
+        [
+            ForeignKey("flight", "airline_id", "airline", "airline_id"),
+            ForeignKey("flight", "source_airport", "airport", "airport_code"),
+            ForeignKey("flight", "dest_airport", "airport", "airport_code"),
+        ],
+    )
+    db = create_database(schema)
+    db.insert(
+        "airline",
+        [
+            (i, f"{gen.word(rng, 2).capitalize()} Air",
+             gen.skewed_choice(rng, ["USA", "UK", "Germany", "Japan"]))
+            for i in range(1, 9)
+        ],
+    )
+    codes = ["JFK", "LAX", "ORD", "LHR", "CDG", "FRA", "HND", "SFO"]
+    db.insert(
+        "airport",
+        [(code, f"{gen.word(rng, 2).capitalize()} International", gen.word(rng, 2).capitalize()) for code in codes],
+    )
+    db.insert(
+        "flight",
+        [
+            (i, rng.randint(1, 8), rng.choice(codes), rng.choice(codes),
+             rng.randint(200, 9000), gen.bounded_float(rng, 59.0, 1800.0, 2))
+            for i in range(1, 121)
+        ],
+    )
+    return db
+
+
+def build_employees(rng: random.Random) -> Database:
+    schema = _schema(
+        "employees",
+        [
+            _table(
+                "department",
+                [
+                    ("dept_id", I, "department id"),
+                    ("dept_name", T, "department name"),
+                    ("city", T, "city"),
+                ],
+                pk="dept_id",
+                alias="department",
+            ),
+            _table(
+                "employee",
+                [
+                    ("emp_id", I, "employee id"),
+                    ("name", T, "name"),
+                    ("dept_id", I, "department id"),
+                    ("salary", F, "salary"),
+                    ("hire_year", I, "hire year"),
+                    ("job_title", T, "job title"),
+                ],
+                pk="emp_id",
+                alias="employee",
+            ),
+        ],
+        [ForeignKey("employee", "dept_id", "department", "dept_id")],
+    )
+    db = create_database(schema)
+    depts = ["Sales", "Engineering", "Marketing", "Finance", "Support"]
+    db.insert(
+        "department",
+        [(i, name, gen.word(rng, 2).capitalize()) for i, name in enumerate(depts, 1)],
+    )
+    titles = ["Manager", "Analyst", "Engineer", "Clerk", "Director"]
+    db.insert(
+        "employee",
+        [
+            (i, gen.person_name(rng), rng.randint(1, len(depts)),
+             round(rng.uniform(32000, 180000), 2), rng.randint(1998, 2022),
+             gen.skewed_choice(rng, titles))
+            for i in range(1, 101)
+        ],
+    )
+    return db
+
+
+def build_shop(rng: random.Random) -> Database:
+    schema = _schema(
+        "shop",
+        [
+            _table(
+                "customer",
+                [
+                    ("customer_id", I, "customer id"),
+                    ("name", T, "name"),
+                    ("city", T, "city"),
+                    ("member_since", I, "member since year"),
+                ],
+                pk="customer_id",
+                alias="customer",
+            ),
+            _table(
+                "product",
+                [
+                    ("product_id", I, "product id"),
+                    ("product_name", T, "product name"),
+                    ("category", T, "category"),
+                    ("price", F, "price"),
+                    ("stock", I, "stock"),
+                ],
+                pk="product_id",
+                alias="product",
+            ),
+            _table(
+                "purchase",
+                [
+                    ("purchase_id", I, "purchase id"),
+                    ("customer_id", I, "customer id"),
+                    ("product_id", I, "product id"),
+                    ("quantity", I, "quantity"),
+                    ("year", I, "year"),
+                ],
+                pk="purchase_id",
+                alias="purchase",
+            ),
+        ],
+        [
+            ForeignKey("purchase", "customer_id", "customer", "customer_id"),
+            ForeignKey("purchase", "product_id", "product", "product_id"),
+        ],
+    )
+    db = create_database(schema)
+    db.insert(
+        "customer",
+        [
+            (i, gen.person_name(rng), gen.word(rng, 2).capitalize(), rng.randint(2010, 2022))
+            for i in range(1, 51)
+        ],
+    )
+    categories = ["electronics", "books", "toys", "food", "garden"]
+    db.insert(
+        "product",
+        [
+            (i, gen.title(rng, 2), gen.skewed_choice(rng, categories),
+             gen.bounded_float(rng, 2.0, 900.0, 2), rng.randint(0, 500))
+            for i in range(1, 61)
+        ],
+    )
+    db.insert(
+        "purchase",
+        [
+            (i, rng.randint(1, 50), rng.randint(1, 60), rng.randint(1, 8),
+             rng.randint(2018, 2023))
+            for i in range(1, 181)
+        ],
+    )
+    return db
+
+
+def build_movies(rng: random.Random) -> Database:
+    schema = _schema(
+        "movies",
+        [
+            _table(
+                "director",
+                [
+                    ("director_id", I, "director id"),
+                    ("name", T, "name"),
+                    ("nationality", T, "nationality"),
+                ],
+                pk="director_id",
+                alias="director",
+            ),
+            _table(
+                "movie",
+                [
+                    ("movie_id", I, "movie id"),
+                    ("title", T, "title"),
+                    ("director_id", I, "director id"),
+                    ("year", I, "year"),
+                    ("genre", T, "genre"),
+                    ("rating", F, "rating"),
+                    ("box_office", F, "box office"),
+                ],
+                pk="movie_id",
+                alias="movie",
+            ),
+        ],
+        [ForeignKey("movie", "director_id", "director", "director_id")],
+    )
+    db = create_database(schema)
+    db.insert(
+        "director",
+        [
+            (i, gen.person_name(rng), gen.skewed_choice(rng, ["American", "French", "Korean", "British"]))
+            for i in range(1, 21)
+        ],
+    )
+    genres = ["drama", "comedy", "action", "horror", "documentary"]
+    db.insert(
+        "movie",
+        [
+            (i, gen.title(rng, 3), rng.randint(1, 20), rng.randint(1980, 2023),
+             gen.skewed_choice(rng, genres), gen.bounded_float(rng, 2.0, 9.8, 1),
+             round(rng.uniform(0.1, 900.0), 1))
+            for i in range(1, 91)
+        ],
+    )
+    return db
+
+
+def build_library(rng: random.Random) -> Database:
+    schema = _schema(
+        "library",
+        [
+            _table(
+                "author",
+                [
+                    ("author_id", I, "author id"),
+                    ("name", T, "name"),
+                    ("birth_year", I, "birth year"),
+                    ("country", T, "country"),
+                ],
+                pk="author_id",
+                alias="author",
+            ),
+            _table(
+                "book",
+                [
+                    ("book_id", I, "book id"),
+                    ("title", T, "title"),
+                    ("author_id", I, "author id"),
+                    ("year", I, "publication year"),
+                    ("pages", I, "pages"),
+                    ("language", T, "language"),
+                ],
+                pk="book_id",
+                alias="book",
+            ),
+            _table(
+                "loan",
+                [
+                    ("loan_id", I, "loan id"),
+                    ("book_id", I, "book id"),
+                    ("borrower", T, "borrower"),
+                    ("weeks", I, "loan weeks"),
+                ],
+                pk="loan_id",
+                alias="loan",
+            ),
+        ],
+        [
+            ForeignKey("book", "author_id", "author", "author_id"),
+            ForeignKey("loan", "book_id", "book", "book_id"),
+        ],
+    )
+    db = create_database(schema)
+    db.insert(
+        "author",
+        [
+            (i, gen.person_name(rng), rng.randint(1890, 1995),
+             gen.skewed_choice(rng, ["USA", "Ireland", "Nigeria", "India", "Chile"]))
+            for i in range(1, 26)
+        ],
+    )
+    db.insert(
+        "book",
+        [
+            (i, gen.title(rng, 3), rng.randint(1, 25), rng.randint(1950, 2023),
+             rng.randint(80, 1200), gen.skewed_choice(rng, ["English", "Spanish", "French"]))
+            for i in range(1, 71)
+        ],
+    )
+    db.insert(
+        "loan",
+        [
+            (i, rng.randint(1, 70), gen.person_name(rng), rng.randint(1, 12))
+            for i in range(1, 121)
+        ],
+    )
+    return db
+
+
+def build_hospital(rng: random.Random) -> Database:
+    schema = _schema(
+        "hospital",
+        [
+            _table(
+                "physician",
+                [
+                    ("physician_id", I, "physician id"),
+                    ("name", T, "name"),
+                    ("specialty", T, "specialty"),
+                    ("experience_years", I, "years of experience"),
+                ],
+                pk="physician_id",
+                alias="physician",
+            ),
+            _table(
+                "patient",
+                [
+                    ("patient_id", I, "patient id"),
+                    ("name", T, "name"),
+                    ("age", I, "age"),
+                    ("city", T, "city"),
+                ],
+                pk="patient_id",
+                alias="patient",
+            ),
+            _table(
+                "appointment",
+                [
+                    ("appointment_id", I, "appointment id"),
+                    ("physician_id", I, "physician id"),
+                    ("patient_id", I, "patient id"),
+                    ("year", I, "year"),
+                    ("cost", F, "cost"),
+                ],
+                pk="appointment_id",
+                alias="appointment",
+            ),
+        ],
+        [
+            ForeignKey("appointment", "physician_id", "physician", "physician_id"),
+            ForeignKey("appointment", "patient_id", "patient", "patient_id"),
+        ],
+    )
+    db = create_database(schema)
+    specialties = ["cardiology", "oncology", "pediatrics", "surgery", "dermatology"]
+    db.insert(
+        "physician",
+        [
+            (i, gen.person_name(rng), gen.skewed_choice(rng, specialties), rng.randint(1, 35))
+            for i in range(1, 21)
+        ],
+    )
+    db.insert(
+        "patient",
+        [
+            (i, gen.person_name(rng), rng.randint(1, 95), gen.word(rng, 2).capitalize())
+            for i in range(1, 61)
+        ],
+    )
+    db.insert(
+        "appointment",
+        [
+            (i, rng.randint(1, 20), rng.randint(1, 60), rng.randint(2019, 2023),
+             gen.bounded_float(rng, 40.0, 2500.0, 2))
+            for i in range(1, 151)
+        ],
+    )
+    return db
+
+
+def build_restaurants(rng: random.Random) -> Database:
+    schema = _schema(
+        "restaurants",
+        [
+            _table(
+                "city",
+                [
+                    ("city_id", I, "city id"),
+                    ("city_name", T, "city name"),
+                    ("population", I, "population"),
+                ],
+                pk="city_id",
+                alias="city",
+            ),
+            _table(
+                "restaurant",
+                [
+                    ("restaurant_id", I, "restaurant id"),
+                    ("name", T, "name"),
+                    ("city_id", I, "city id"),
+                    ("cuisine", T, "cuisine"),
+                    ("stars", F, "star rating"),
+                    ("seats", I, "seats"),
+                ],
+                pk="restaurant_id",
+                alias="restaurant",
+            ),
+        ],
+        [ForeignKey("restaurant", "city_id", "city", "city_id")],
+    )
+    db = create_database(schema)
+    db.insert(
+        "city",
+        [
+            (i, gen.word(rng, 2).capitalize(), rng.randint(20_000, 4_000_000))
+            for i in range(1, 11)
+        ],
+    )
+    cuisines = ["italian", "thai", "mexican", "indian", "japanese"]
+    db.insert(
+        "restaurant",
+        [
+            (i, gen.title(rng, 2), rng.randint(1, 10), gen.skewed_choice(rng, cuisines),
+             gen.bounded_float(rng, 1.0, 5.0, 1), rng.randint(10, 220))
+            for i in range(1, 81)
+        ],
+    )
+    return db
+
+
+def build_orchestra(rng: random.Random) -> Database:
+    schema = _schema(
+        "orchestra",
+        [
+            _table(
+                "conductor",
+                [
+                    ("conductor_id", I, "conductor id"),
+                    ("name", T, "name"),
+                    ("nationality", T, "nationality"),
+                    ("year_of_work", I, "years of work"),
+                ],
+                pk="conductor_id",
+                alias="conductor",
+            ),
+            _table(
+                "orchestra",
+                [
+                    ("orchestra_id", I, "orchestra id"),
+                    ("orchestra_name", T, "orchestra name"),
+                    ("conductor_id", I, "conductor id"),
+                    ("record_company", T, "record company"),
+                    ("year_founded", I, "year founded"),
+                ],
+                pk="orchestra_id",
+                alias="orchestra",
+            ),
+            _table(
+                "performance",
+                [
+                    ("performance_id", I, "performance id"),
+                    ("orchestra_id", I, "orchestra id"),
+                    ("type", T, "performance type"),
+                    ("attendance", I, "attendance"),
+                    ("share", F, "audience share"),
+                ],
+                pk="performance_id",
+                alias="performance",
+            ),
+        ],
+        [
+            ForeignKey("orchestra", "conductor_id", "conductor", "conductor_id"),
+            ForeignKey("performance", "orchestra_id", "orchestra", "orchestra_id"),
+        ],
+    )
+    db = create_database(schema)
+    db.insert(
+        "conductor",
+        [
+            (i, gen.person_name(rng),
+             gen.skewed_choice(rng, ["Austrian", "Finnish", "American", "Venezuelan"]),
+             rng.randint(3, 50))
+            for i in range(1, 13)
+        ],
+    )
+    companies = ["Decca", "Deutsche Grammophon", "Sony", "EMI"]
+    db.insert(
+        "orchestra",
+        [
+            (i, f"{gen.word(rng, 2).capitalize()} Philharmonic", rng.randint(1, 12),
+             gen.skewed_choice(rng, companies), rng.randint(1850, 1995))
+            for i in range(1, 17)
+        ],
+    )
+    db.insert(
+        "performance",
+        [
+            (i, rng.randint(1, 16), gen.skewed_choice(rng, ["symphony", "opera", "chamber"]),
+             rng.randint(200, 3000), gen.bounded_float(rng, 0.5, 35.0, 1))
+            for i in range(1, 61)
+        ],
+    )
+    return db
+
+
+#: The MiniSpider domain registry, in a stable order.
+DOMAIN_BUILDERS: dict[str, Callable[[random.Random], Database]] = {
+    "concert_singer": build_concert_singer,
+    "pets": build_pets,
+    "college": build_college,
+    "flights": build_flights,
+    "employees": build_employees,
+    "shop": build_shop,
+    "movies": build_movies,
+    "library": build_library,
+    "hospital": build_hospital,
+    "restaurants": build_restaurants,
+    "orchestra": build_orchestra,
+}

@@ -1,0 +1,171 @@
+"""Spider's query hardness classification, re-implemented over our SQL AST.
+
+The four classes (Easy / Medium / Hard / Extra Hard) follow the component
+counting of Spider's official ``evaluation.py``:
+
+* **component1** — WHERE present, GROUP BY present, ORDER BY present, LIMIT
+  present, one point per table beyond the first, one point per OR connector,
+  one point per LIKE condition;
+* **component2** — number of nested queries: subqueries inside WHERE/HAVING
+  plus each set-operation arm;
+* **others** — more than one aggregate anywhere, more than one select column,
+  two or more WHERE conditions, two or more GROUP BY keys (one point each).
+
+and the thresholds::
+
+    easy    comp1 <= 1 and others == 0 and comp2 == 0
+    medium  (others <= 2 and comp1 <= 1 and comp2 == 0)
+            or (comp1 <= 2 and others < 2 and comp2 == 0)
+    hard    (others > 2 and comp1 <= 2 and comp2 == 0)
+            or (2 < comp1 <= 3 and others <= 2 and comp2 == 0)
+            or (comp1 <= 1 and others == 0 and comp2 <= 1)
+    extra   everything else
+
+Table 2 of the paper reports hardness distributions under exactly this
+scheme, which is why fidelity here matters more than elegance.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+
+from repro.sql import ast, parse
+
+#: Hardness classes in increasing order of difficulty.
+HARDNESS_LEVELS = ("easy", "medium", "hard", "extra")
+
+
+def classify_hardness(query: ast.Query | str) -> str:
+    """Classify one query (string or AST) into a Spider hardness class."""
+    if isinstance(query, str):
+        query = parse(query)
+    comp1 = _count_component1(query)
+    comp2 = _count_component2(query)
+    others = _count_others(query)
+
+    if comp1 <= 1 and others == 0 and comp2 == 0:
+        return "easy"
+    if (others <= 2 and comp1 <= 1 and comp2 == 0) or (
+        comp1 <= 2 and others < 2 and comp2 == 0
+    ):
+        return "medium"
+    if (
+        (others > 2 and comp1 <= 2 and comp2 == 0)
+        or (2 < comp1 <= 3 and others <= 2 and comp2 == 0)
+        or (comp1 <= 1 and others == 0 and comp2 <= 1)
+    ):
+        return "hard"
+    return "extra"
+
+
+def hardness_distribution(queries: Iterable[ast.Query | str]) -> Counter:
+    """Counter of hardness classes over a collection of queries."""
+    counts: Counter = Counter({level: 0 for level in HARDNESS_LEVELS})
+    for query in queries:
+        counts[classify_hardness(query)] += 1
+    return counts
+
+
+# ---------------------------------------------------------------------------
+# Component counting (main SELECT core only, as in Spider)
+# ---------------------------------------------------------------------------
+
+
+def _count_component1(query: ast.Query) -> int:
+    select = query.select
+    count = 0
+    if select.where is not None:
+        count += 1
+    if select.group_by:
+        count += 1
+    if select.order_by:
+        count += 1
+    if select.limit is not None:
+        count += 1
+    n_tables = len(select.from_tables) + len(select.joins)
+    if n_tables > 0:
+        count += n_tables - 1
+    count += _count_or_connectors(select.where) + _count_or_connectors(select.having)
+    count += _count_like(select.where) + _count_like(select.having)
+    return count
+
+
+def _count_component2(query: ast.Query) -> int:
+    nested = 0
+    select = query.select
+    for root in (select.where, select.having):
+        if root is None:
+            continue
+        for node in root.walk():
+            if isinstance(node, (ast.InSubquery, ast.ScalarSubquery, ast.Exists)):
+                nested += 1
+    if query.set_op is not None:
+        nested += 1
+    return nested
+
+
+def _count_others(query: ast.Query) -> int:
+    select = query.select
+    count = 0
+    if _count_aggregates(select) > 1:
+        count += 1
+    if len(select.items) > 1:
+        count += 1
+    if _count_conditions(select.where) >= 2:
+        count += 1
+    if len(select.group_by) >= 2:
+        count += 1
+    return count
+
+
+def _count_aggregates(select: ast.Select) -> int:
+    roots: list[ast.Node] = [item.expr for item in select.items]
+    roots.extend(select.group_by)
+    roots.extend(o.expr for o in select.order_by)
+    if select.where is not None:
+        roots.append(select.where)
+    if select.having is not None:
+        roots.append(select.having)
+    total = 0
+    for root in roots:
+        for node in root.walk():
+            if isinstance(node, (ast.InSubquery, ast.ScalarSubquery, ast.Exists)):
+                continue  # Spider counts only the outer query's aggregates
+            if (
+                isinstance(node, ast.FuncCall)
+                and node.name.lower() in ast.AGGREGATE_FUNCTIONS
+            ):
+                total += 1
+    return total
+
+
+def _count_conditions(where: ast.Expr | None) -> int:
+    """Number of leaf predicates in a WHERE tree."""
+    if where is None:
+        return 0
+    if isinstance(where, ast.BoolOp):
+        return sum(_count_conditions(operand) for operand in where.operands)
+    if isinstance(where, ast.Not):
+        return _count_conditions(where.operand)
+    return 1
+
+
+def _count_or_connectors(expr: ast.Expr | None) -> int:
+    if expr is None:
+        return 0
+    total = 0
+    for node in expr.walk():
+        if isinstance(node, ast.BoolOp) and node.op == "or":
+            total += len(node.operands) - 1
+    return total
+
+
+def _count_like(expr: ast.Expr | None) -> int:
+    if expr is None:
+        return 0
+    total = 0
+    for node in expr.walk():
+        if isinstance(node, ast.Comparison) and "like" in node.op:
+            total += 1
+    return total

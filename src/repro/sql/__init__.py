@@ -1,0 +1,24 @@
+"""SQL front-end: lexer, typed AST, parser and canonical printer.
+
+Public surface::
+
+    from repro.sql import parse, to_sql, ast
+
+    query = parse("SELECT s.specobjid FROM specobj AS s WHERE s.subclass = 'STARBURST'")
+    print(to_sql(query))
+"""
+
+from repro.sql import ast
+from repro.sql.parser import parse, parse_expression
+from repro.sql.printer import to_sql
+from repro.sql.tokens import Token, TokenType, tokenize
+
+__all__ = [
+    "ast",
+    "parse",
+    "parse_expression",
+    "to_sql",
+    "tokenize",
+    "Token",
+    "TokenType",
+]

@@ -1,0 +1,437 @@
+"""Recursive-descent parser for the benchmark's SQL dialect.
+
+Produces the typed AST of :mod:`repro.sql.ast`.  The grammar is the Spider
+query language (single optional set operation, INNER joins with ON, nested
+subqueries in IN / comparisons / EXISTS / FROM) extended with arithmetic
+column expressions, which the paper introduced to support SDSS astrophysics
+queries such as ``p.u - p.r < 2.22``.
+
+Entry point: :func:`parse` (or :func:`parse_expression` for bare expressions,
+used by tests and the template machinery).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SqlSyntaxError
+from repro.sql import ast
+from repro.sql.tokens import Token, TokenType, tokenize
+
+_COMPARISON_OPS = {"=", "!=", "<>", "<", ">", "<=", ">="}
+_FUNCTION_KEYWORDS = {"count", "sum", "avg", "min", "max", "abs"}
+
+
+def parse(sql: str) -> ast.Query:
+    """Parse a complete SQL query string into a :class:`repro.sql.ast.Query`.
+
+    Raises :class:`SqlSyntaxError` if the input is not a single valid query.
+    """
+    parser = _Parser(tokenize(sql))
+    query = parser.parse_query()
+    parser.accept_punct(";")
+    parser.expect_eof()
+    return query
+
+
+def parse_expression(text: str) -> ast.Expr:
+    """Parse a bare expression (no SELECT) — used for tests and templates."""
+    parser = _Parser(tokenize(text))
+    expr = parser.parse_expr()
+    parser.expect_eof()
+    return expr
+
+
+class _Parser:
+    """Stateful token cursor with one-token lookahead."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def peek(self, offset: int = 1) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def accept_keyword(self, *words: str) -> Token | None:
+        if self.current.is_keyword(*words):
+            return self.advance()
+        return None
+
+    def expect_keyword(self, word: str) -> Token:
+        token = self.accept_keyword(word)
+        if token is None:
+            raise SqlSyntaxError(
+                f"expected {word.upper()}, found {self.current.value!r}",
+                position=self.current.position,
+            )
+        return token
+
+    def accept_punct(self, punct: str) -> Token | None:
+        if self.current.type is TokenType.PUNCT and self.current.value == punct:
+            return self.advance()
+        return None
+
+    def expect_punct(self, punct: str) -> Token:
+        token = self.accept_punct(punct)
+        if token is None:
+            raise SqlSyntaxError(
+                f"expected {punct!r}, found {self.current.value!r}",
+                position=self.current.position,
+            )
+        return token
+
+    def accept_operator(self, *ops: str) -> Token | None:
+        if self.current.type is TokenType.OPERATOR and self.current.value in ops:
+            return self.advance()
+        return None
+
+    def expect_eof(self) -> None:
+        if self.current.type is not TokenType.EOF:
+            raise SqlSyntaxError(
+                f"unexpected trailing input {self.current.value!r}",
+                position=self.current.position,
+            )
+
+    # -- grammar -----------------------------------------------------------
+
+    def parse_query(self) -> ast.Query:
+        select = self.parse_select_core()
+        set_token = self.accept_keyword("union", "intersect", "except")
+        if set_token is None:
+            return ast.Query(select=select)
+        set_all = self.accept_keyword("all") is not None
+        right = self.parse_query()
+        return ast.Query(select=select, set_op=set_token.value, right=right, set_all=set_all)
+
+    def parse_select_core(self) -> ast.Select:
+        self.expect_keyword("select")
+        distinct = self.accept_keyword("distinct") is not None
+        items = [self.parse_select_item()]
+        while self.accept_punct(","):
+            items.append(self.parse_select_item())
+
+        from_tables: list[ast.TableRef | ast.SubqueryRef] = []
+        joins: list[ast.Join] = []
+        if self.accept_keyword("from"):
+            from_tables.append(self.parse_table_source())
+            while True:
+                if self.accept_punct(","):
+                    from_tables.append(self.parse_table_source())
+                    continue
+                joined = self._accept_join()
+                if joined is None:
+                    break
+                joins.append(joined)
+
+        where = self.parse_expr() if self.accept_keyword("where") else None
+
+        group_by: list[ast.Expr] = []
+        having: ast.Expr | None = None
+        if self.accept_keyword("group"):
+            self.expect_keyword("by")
+            group_by.append(self.parse_expr())
+            while self.accept_punct(","):
+                group_by.append(self.parse_expr())
+            if self.accept_keyword("having"):
+                having = self.parse_expr()
+
+        order_by: list[ast.OrderItem] = []
+        if self.accept_keyword("order"):
+            self.expect_keyword("by")
+            order_by.append(self.parse_order_item())
+            while self.accept_punct(","):
+                order_by.append(self.parse_order_item())
+
+        limit: int | None = None
+        if self.accept_keyword("limit"):
+            token = self.advance()
+            if token.type is not TokenType.NUMBER:
+                raise SqlSyntaxError("LIMIT expects a number", position=token.position)
+            limit = int(float(token.value))
+
+        return ast.Select(
+            items=tuple(items),
+            from_tables=tuple(from_tables),
+            joins=tuple(joins),
+            where=where,
+            group_by=tuple(group_by),
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+            distinct=distinct,
+        )
+
+    def _accept_join(self) -> ast.Join | None:
+        # INNER / LEFT [OUTER] prefixes are accepted and all treated as inner
+        # joins, matching Spider's evaluation convention.
+        saved = self._pos
+        self.accept_keyword("inner") or (
+            self.accept_keyword("left") and (self.accept_keyword("outer") or True)
+        )
+        if self.accept_keyword("join") is None:
+            self._pos = saved
+            return None
+        table = self.parse_table_ref()
+        condition = self.parse_expr() if self.accept_keyword("on") else None
+        return ast.Join(table=table, condition=condition)
+
+    def parse_table_source(self) -> ast.TableRef | ast.SubqueryRef:
+        if self.accept_punct("("):
+            query = self.parse_query()
+            self.expect_punct(")")
+            alias = self._parse_alias()
+            return ast.SubqueryRef(query=query, alias=alias)
+        return self.parse_table_ref()
+
+    def parse_table_ref(self) -> ast.TableRef:
+        token = self.advance()
+        if token.type is not TokenType.IDENT:
+            raise SqlSyntaxError(
+                f"expected table name, found {token.value!r}", position=token.position
+            )
+        alias = self._parse_alias()
+        return ast.TableRef(name=token.value, alias=alias)
+
+    def _parse_alias(self) -> str | None:
+        if self.accept_keyword("as"):
+            token = self.advance()
+            if token.type is not TokenType.IDENT:
+                raise SqlSyntaxError(
+                    f"expected alias, found {token.value!r}", position=token.position
+                )
+            return token.value
+        if self.current.type is TokenType.IDENT:
+            return self.advance().value
+        return None
+
+    def parse_select_item(self) -> ast.SelectItem:
+        expr = self.parse_expr()
+        alias = None
+        if self.accept_keyword("as"):
+            token = self.advance()
+            if token.type is not TokenType.IDENT:
+                raise SqlSyntaxError(
+                    f"expected alias, found {token.value!r}", position=token.position
+                )
+            alias = token.value
+        return ast.SelectItem(expr=expr, alias=alias)
+
+    def parse_order_item(self) -> ast.OrderItem:
+        expr = self.parse_expr()
+        desc = False
+        if self.accept_keyword("desc"):
+            desc = True
+        else:
+            self.accept_keyword("asc")
+        return ast.OrderItem(expr=expr, desc=desc)
+
+    # -- expressions (precedence climbing) ----------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expr:
+        operands = [self._parse_and()]
+        while self.accept_keyword("or"):
+            operands.append(self._parse_and())
+        if len(operands) == 1:
+            return operands[0]
+        return ast.BoolOp(op="or", operands=tuple(operands))
+
+    def _parse_and(self) -> ast.Expr:
+        operands = [self._parse_not()]
+        while self.accept_keyword("and"):
+            operands.append(self._parse_not())
+        if len(operands) == 1:
+            return operands[0]
+        return ast.BoolOp(op="and", operands=tuple(operands))
+
+    def _parse_not(self) -> ast.Expr:
+        if self.current.is_keyword("not") and not self.peek().is_keyword(
+            "in", "like", "between", "exists"
+        ):
+            # NOT EXISTS is handled in primary; NOT IN/LIKE/BETWEEN postfix.
+            if self.peek().is_keyword("exists"):
+                pass
+            else:
+                self.advance()
+                return ast.Not(operand=self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> ast.Expr:
+        left = self._parse_additive()
+        negated = False
+        if self.current.is_keyword("not") and self.peek().is_keyword(
+            "in", "like", "between"
+        ):
+            self.advance()
+            negated = True
+
+        if self.accept_keyword("between"):
+            low = self._parse_additive()
+            self.expect_keyword("and")
+            high = self._parse_additive()
+            return ast.Between(expr=left, low=low, high=high, negated=negated)
+
+        if self.accept_keyword("in"):
+            self.expect_punct("(")
+            if self.current.is_keyword("select"):
+                query = self.parse_query()
+                self.expect_punct(")")
+                return ast.InSubquery(expr=left, query=query, negated=negated)
+            values = [self._parse_additive()]
+            while self.accept_punct(","):
+                values.append(self._parse_additive())
+            self.expect_punct(")")
+            return ast.InList(expr=left, values=tuple(values), negated=negated)
+
+        if self.accept_keyword("like"):
+            right = self._parse_additive()
+            op = "not like" if negated else "like"
+            return ast.Comparison(op=op, left=left, right=right)
+
+        if negated:
+            raise SqlSyntaxError(
+                "dangling NOT before predicate", position=self.current.position
+            )
+
+        if self.accept_keyword("is"):
+            is_negated = self.accept_keyword("not") is not None
+            self.expect_keyword("null")
+            return ast.IsNull(expr=left, negated=is_negated)
+
+        op_token = self.accept_operator(*_COMPARISON_OPS)
+        if op_token is not None:
+            op = "!=" if op_token.value == "<>" else op_token.value
+            right = self._parse_additive()
+            return ast.Comparison(op=op, left=left, right=right)
+        return left
+
+    def _parse_additive(self) -> ast.Expr:
+        left = self._parse_multiplicative()
+        while True:
+            op_token = self.accept_operator("+", "-")
+            if op_token is None:
+                return left
+            right = self._parse_multiplicative()
+            left = ast.BinaryOp(op=op_token.value, left=left, right=right)
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        left = self._parse_unary()
+        while True:
+            # '*' is ambiguous with the star projection; it is only a
+            # multiplication here because a left operand already exists.
+            op_token = self.accept_operator("*", "/", "%")
+            if op_token is None:
+                return left
+            right = self._parse_unary()
+            left = ast.BinaryOp(op=op_token.value, left=left, right=right)
+
+    def _parse_unary(self) -> ast.Expr:
+        if self.accept_operator("-"):
+            return ast.UnaryMinus(operand=self._parse_unary())
+        self.accept_operator("+")
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self.current
+
+        if token.type is TokenType.OPERATOR and token.value == "*":
+            self.advance()
+            return ast.Star()
+
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            text = token.value
+            if "." in text or "e" in text or "E" in text:
+                return ast.Literal(float(text))
+            return ast.Literal(int(text))
+
+        if token.type is TokenType.STRING:
+            self.advance()
+            return ast.Literal(token.value)
+
+        if token.is_keyword("null"):
+            self.advance()
+            return ast.Literal(None)
+        if token.is_keyword("true"):
+            self.advance()
+            return ast.Literal(True)
+        if token.is_keyword("false"):
+            self.advance()
+            return ast.Literal(False)
+
+        if token.is_keyword("not") and self.peek().is_keyword("exists"):
+            self.advance()
+            self.expect_keyword("exists")
+            self.expect_punct("(")
+            query = self.parse_query()
+            self.expect_punct(")")
+            return ast.Exists(query=query, negated=True)
+
+        if token.is_keyword("exists"):
+            self.advance()
+            self.expect_punct("(")
+            query = self.parse_query()
+            self.expect_punct(")")
+            return ast.Exists(query=query)
+
+        if token.is_keyword(*_FUNCTION_KEYWORDS):
+            return self._parse_function(token.value)
+
+        if token.type is TokenType.IDENT:
+            return self._parse_column_or_star()
+
+        if self.accept_punct("("):
+            if self.current.is_keyword("select"):
+                query = self.parse_query()
+                self.expect_punct(")")
+                return ast.ScalarSubquery(query=query)
+            expr = self.parse_expr()
+            self.expect_punct(")")
+            return expr
+
+        raise SqlSyntaxError(
+            f"unexpected token {token.value!r}", position=token.position
+        )
+
+    def _parse_function(self, name: str) -> ast.Expr:
+        self.advance()
+        self.expect_punct("(")
+        distinct = self.accept_keyword("distinct") is not None
+        args: list[ast.Expr] = []
+        if self.current.type is TokenType.OPERATOR and self.current.value == "*":
+            self.advance()
+            args.append(ast.Star())
+        else:
+            args.append(self.parse_expr())
+            while self.accept_punct(","):
+                args.append(self.parse_expr())
+        self.expect_punct(")")
+        return ast.FuncCall(name=name, args=tuple(args), distinct=distinct)
+
+    def _parse_column_or_star(self) -> ast.Expr:
+        first = self.advance()
+        if self.accept_punct("."):
+            if self.current.type is TokenType.OPERATOR and self.current.value == "*":
+                self.advance()
+                return ast.Star(table=first.value)
+            second = self.advance()
+            if second.type not in (TokenType.IDENT, TokenType.KEYWORD):
+                raise SqlSyntaxError(
+                    f"expected column after {first.value!r}.",
+                    position=second.position,
+                )
+            return ast.ColumnRef(table=first.value, column=second.value)
+        return ast.ColumnRef(table=None, column=first.value)

@@ -1,0 +1,223 @@
+"""Canonical SQL rendering of the AST.
+
+``to_sql(parse(s))`` produces a normalised form of ``s``: upper-case
+keywords, single spaces, canonical operator spellings.  Because the form is
+canonical, string equality of printed ASTs is a cheap structural-equality
+check used throughout the test-suite and by the NL-to-SQL systems when
+de-duplicating beam candidates.
+"""
+
+from __future__ import annotations
+
+from repro.sql import ast
+
+
+def to_sql(node: ast.Node) -> str:
+    """Render any AST node back to SQL text."""
+    return _PRINTERS[type(node)](node)
+
+
+def _print_query(query: ast.Query) -> str:
+    text = _print_select(query.select)
+    if query.set_op is not None and query.right is not None:
+        op = query.set_op.upper()
+        if query.set_all:
+            op += " ALL"
+        text = f"{text} {op} {to_sql(query.right)}"
+    return text
+
+
+def _print_select(select: ast.Select) -> str:
+    parts = ["SELECT"]
+    if select.distinct:
+        parts.append("DISTINCT")
+    parts.append(", ".join(_print_select_item(item) for item in select.items))
+    if select.from_tables:
+        sources = ", ".join(to_sql(t) for t in select.from_tables)
+        parts.append(f"FROM {sources}")
+        for join in select.joins:
+            parts.append(to_sql(join))
+    if select.where is not None:
+        parts.append(f"WHERE {to_sql(select.where)}")
+    if select.group_by:
+        keys = ", ".join(to_sql(e) for e in select.group_by)
+        parts.append(f"GROUP BY {keys}")
+    if select.having is not None:
+        parts.append(f"HAVING {to_sql(select.having)}")
+    if select.order_by:
+        keys = ", ".join(_print_order_item(item) for item in select.order_by)
+        parts.append(f"ORDER BY {keys}")
+    if select.limit is not None:
+        parts.append(f"LIMIT {select.limit}")
+    return " ".join(parts)
+
+
+def _print_select_item(item: ast.SelectItem) -> str:
+    text = to_sql(item.expr)
+    if item.alias:
+        text = f"{text} AS {item.alias}"
+    return text
+
+
+def _print_order_item(item: ast.OrderItem) -> str:
+    direction = "DESC" if item.desc else "ASC"
+    return f"{to_sql(item.expr)} {direction}"
+
+
+def _print_table_ref(ref: ast.TableRef) -> str:
+    if ref.alias:
+        return f"{ref.name} AS {ref.alias}"
+    return ref.name
+
+
+def _print_subquery_ref(ref: ast.SubqueryRef) -> str:
+    text = f"({to_sql(ref.query)})"
+    if ref.alias:
+        text = f"{text} AS {ref.alias}"
+    return text
+
+
+def _print_join(join: ast.Join) -> str:
+    text = f"JOIN {to_sql(join.table)}"
+    if join.condition is not None:
+        text = f"{text} ON {to_sql(join.condition)}"
+    return text
+
+
+def _print_column_ref(ref: ast.ColumnRef) -> str:
+    if ref.table:
+        return f"{ref.table}.{ref.column}"
+    return ref.column
+
+
+def _print_star(star: ast.Star) -> str:
+    if star.table:
+        return f"{star.table}.*"
+    return "*"
+
+
+def _print_literal(lit: ast.Literal) -> str:
+    value = lit.value
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    if isinstance(value, float):
+        # repr() keeps round-trip fidelity; strip a trailing '.0' for
+        # readability of whole numbers.
+        text = repr(value)
+        return text
+    return str(value)
+
+
+_NEEDS_PARENS = (ast.BinaryOp, ast.BoolOp, ast.Comparison, ast.UnaryMinus)
+
+
+def _operand(expr: ast.Expr) -> str:
+    """Render an operand, parenthesising compound sub-expressions."""
+    text = to_sql(expr)
+    if isinstance(expr, _NEEDS_PARENS):
+        return f"({text})"
+    return text
+
+
+def _print_binary_op(node: ast.BinaryOp) -> str:
+    left = _operand(node.left) if isinstance(node.left, ast.BoolOp) else to_sql(node.left)
+    right = to_sql(node.right)
+    if isinstance(node.right, (ast.BinaryOp, ast.BoolOp)):
+        right = f"({right})"
+    if isinstance(node.left, ast.BinaryOp) and node.op in ("*", "/", "%"):
+        left = f"({left})"
+    return f"{left} {node.op} {right}"
+
+
+def _print_unary_minus(node: ast.UnaryMinus) -> str:
+    return f"-{_operand(node.operand)}"
+
+
+def _print_func_call(node: ast.FuncCall) -> str:
+    args = ", ".join(to_sql(a) for a in node.args)
+    if node.distinct:
+        args = f"DISTINCT {args}"
+    return f"{node.name.upper()}({args})"
+
+
+def _print_comparison(node: ast.Comparison) -> str:
+    op = node.op.upper() if "like" in node.op else node.op
+    return f"{to_sql(node.left)} {op} {to_sql(node.right)}"
+
+
+def _print_between(node: ast.Between) -> str:
+    word = "NOT BETWEEN" if node.negated else "BETWEEN"
+    return f"{to_sql(node.expr)} {word} {to_sql(node.low)} AND {to_sql(node.high)}"
+
+
+def _print_in_list(node: ast.InList) -> str:
+    word = "NOT IN" if node.negated else "IN"
+    values = ", ".join(to_sql(v) for v in node.values)
+    return f"{to_sql(node.expr)} {word} ({values})"
+
+
+def _print_in_subquery(node: ast.InSubquery) -> str:
+    word = "NOT IN" if node.negated else "IN"
+    return f"{to_sql(node.expr)} {word} ({to_sql(node.query)})"
+
+
+def _print_scalar_subquery(node: ast.ScalarSubquery) -> str:
+    return f"({to_sql(node.query)})"
+
+
+def _print_exists(node: ast.Exists) -> str:
+    word = "NOT EXISTS" if node.negated else "EXISTS"
+    return f"{word} ({to_sql(node.query)})"
+
+
+def _print_is_null(node: ast.IsNull) -> str:
+    word = "IS NOT NULL" if node.negated else "IS NULL"
+    return f"{to_sql(node.expr)} {word}"
+
+
+def _print_not(node: ast.Not) -> str:
+    return f"NOT {_operand(node.operand)}"
+
+
+def _print_bool_op(node: ast.BoolOp) -> str:
+    word = f" {node.op.upper()} "
+    rendered = []
+    for operand in node.operands:
+        text = to_sql(operand)
+        # An OR nested inside an AND (or vice versa) needs parentheses to
+        # survive a re-parse with the conventional precedence.
+        if isinstance(operand, ast.BoolOp) and operand.op != node.op:
+            text = f"({text})"
+        rendered.append(text)
+    return word.join(rendered)
+
+
+_PRINTERS = {
+    ast.Query: _print_query,
+    ast.Select: _print_select,
+    ast.SelectItem: _print_select_item,
+    ast.OrderItem: _print_order_item,
+    ast.TableRef: _print_table_ref,
+    ast.SubqueryRef: _print_subquery_ref,
+    ast.Join: _print_join,
+    ast.ColumnRef: _print_column_ref,
+    ast.Star: _print_star,
+    ast.Literal: _print_literal,
+    ast.BinaryOp: _print_binary_op,
+    ast.UnaryMinus: _print_unary_minus,
+    ast.FuncCall: _print_func_call,
+    ast.Comparison: _print_comparison,
+    ast.Between: _print_between,
+    ast.InList: _print_in_list,
+    ast.InSubquery: _print_in_subquery,
+    ast.ScalarSubquery: _print_scalar_subquery,
+    ast.Exists: _print_exists,
+    ast.IsNull: _print_is_null,
+    ast.Not: _print_not,
+    ast.BoolOp: _print_bool_op,
+}

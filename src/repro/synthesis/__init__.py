@@ -1,0 +1,27 @@
+"""The four-phase automatic training data generation pipeline (Figure 1)."""
+
+from repro.synthesis.discriminator import Discriminator, DiscriminatorConfig
+from repro.synthesis.generation import GenerationConfig, SqlGenerator
+from repro.synthesis.pipeline import (
+    AugmentationPipeline,
+    PipelineConfig,
+    PipelineReport,
+    augment_domain,
+)
+from repro.synthesis.seeding import SeedingResult, extract_templates
+from repro.synthesis.translation import SqlToNlTranslator, TranslationConfig
+
+__all__ = [
+    "AugmentationPipeline",
+    "PipelineConfig",
+    "PipelineReport",
+    "augment_domain",
+    "SqlGenerator",
+    "GenerationConfig",
+    "SqlToNlTranslator",
+    "TranslationConfig",
+    "Discriminator",
+    "DiscriminatorConfig",
+    "extract_templates",
+    "SeedingResult",
+]

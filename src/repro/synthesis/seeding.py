@@ -1,0 +1,46 @@
+"""Phase 1 — the Seeding Phase (Section 3.3.1).
+
+Manually created seed queries are lifted into SemQL and their leaf nodes —
+tables (T), columns (C), values (V) — are replaced with positional
+placeholders, producing query templates (Figure 2, top).  Seed queries that
+fall outside the SemQL subset are skipped (and reported), exactly as the
+original pipeline works on the SemQL-expressible portion of its seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datasets.records import NLSQLPair
+from repro.errors import ReproError
+from repro.schema.model import Schema
+from repro.semql.from_sql import sql_to_semql
+from repro.semql.templates import Template, dedupe_templates, extract_template
+from repro.sql import parse
+
+
+@dataclass
+class SeedingResult:
+    """Templates extracted from a seed split, plus skip diagnostics."""
+
+    templates: list[Template] = field(default_factory=list)
+    skipped: list[tuple[str, str]] = field(default_factory=list)  # (sql, reason)
+
+    @property
+    def n_unique(self) -> int:
+        return len(self.templates)
+
+
+def extract_templates(pairs, schema: Schema) -> SeedingResult:
+    """Extract de-duplicated templates from seed NL/SQL pairs."""
+    result = SeedingResult()
+    raw: list[Template] = []
+    for pair in pairs:
+        sql = pair.sql if isinstance(pair, NLSQLPair) else str(pair)
+        try:
+            z = sql_to_semql(parse(sql), schema)
+            raw.append(extract_template(z, source_sql=sql))
+        except ReproError as error:
+            result.skipped.append((sql, str(error)))
+    result.templates = dedupe_templates(raw)
+    return result

@@ -1,0 +1,56 @@
+"""Phase 3 — SQL-to-NL Translation (Section 3.3.3).
+
+Each generated SQL query is handed to a (simulated) large language model,
+which emits ``n_candidates`` natural-language question candidates (the paper
+uses 8 to maximise linguistic diversity).  For domain-specific databases the
+model is first fine-tuned on the domain's seed pairs, transferring the
+domain lexicon — the offline counterpart of fine-tuning GPT-3 on the
+manually created seed NL/SQL pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.records import BenchmarkDomain
+from repro.llm.base import SqlToNlModel
+from repro.llm.models import default_generator
+
+
+@dataclass
+class TranslationConfig:
+    """Knobs of the SQL-to-NL phase."""
+
+    n_candidates: int = 8
+    fine_tune_on_seeds: bool = True
+    fine_tune_epochs: int = 4  # the paper's GPT-3 setting
+
+
+class SqlToNlTranslator:
+    """Wraps a simulated LLM for use inside the pipeline."""
+
+    def __init__(
+        self,
+        domain: BenchmarkDomain,
+        model: SqlToNlModel | None = None,
+        config: TranslationConfig | None = None,
+    ) -> None:
+        self.domain = domain
+        self.model = model or default_generator()
+        self.config = config or TranslationConfig()
+        if self.config.fine_tune_on_seeds:
+            self.model.fine_tune(
+                domain.seed.pairs,
+                domain=domain.name,
+                lexicon=domain.lexicon,
+                epochs=self.config.fine_tune_epochs,
+            )
+
+    def candidates(self, sql: str) -> list[str]:
+        """The candidate questions for one SQL query."""
+        return self.model.translate(
+            sql,
+            self.domain.enhanced,
+            n_candidates=self.config.n_candidates,
+            domain=self.domain.name,
+        )

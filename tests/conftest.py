@@ -1,0 +1,112 @@
+"""Shared fixtures: a small schema/database pair used across unit tests.
+
+The fixtures mirror the paper's running example (SDSS specobj/photoobj) at
+miniature scale so every module can exercise realistic astrophysics queries
+without paying for the full dataset builders.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import create_database
+from repro.schema.enhanced import EnhancedSchema
+from repro.schema.model import Column, ColumnType, ForeignKey, Schema, TableDef
+
+I = ColumnType.INTEGER
+F = ColumnType.REAL
+T = ColumnType.TEXT
+
+
+@pytest.fixture(scope="session")
+def mini_schema() -> Schema:
+    return Schema(
+        name="mini_sdss",
+        tables=(
+            TableDef(
+                "specobj",
+                (
+                    Column("specobjid", I, alias="spectroscopic object id", nullable=False),
+                    Column("bestobjid", I, alias="best object id"),
+                    Column("class", T, alias="spectroscopic class"),
+                    Column("subclass", T, alias="spectroscopic subclass"),
+                    Column("z", F, alias="redshift"),
+                    Column("ra", F, alias="right ascension"),
+                ),
+                primary_key="specobjid",
+                alias="spectroscopic object",
+            ),
+            TableDef(
+                "photoobj",
+                (
+                    Column("objid", I, alias="object id", nullable=False),
+                    Column("u", F, alias="magnitude u"),
+                    Column("r", F, alias="magnitude r"),
+                    Column("type", I, alias="photometric type"),
+                ),
+                primary_key="objid",
+                alias="photometric object",
+            ),
+            TableDef(
+                "neighbors",
+                (
+                    Column("objid", I, alias="object id"),
+                    Column("neighborobjid", I, alias="neighbor object id"),
+                    Column("neighbormode", I, alias="neighbor mode"),
+                    Column("distance", F, alias="distance"),
+                ),
+                alias="nearest neighbor",
+            ),
+        ),
+        foreign_keys=(
+            ForeignKey("specobj", "bestobjid", "photoobj", "objid"),
+            ForeignKey("neighbors", "objid", "photoobj", "objid"),
+            ForeignKey("neighbors", "neighborobjid", "photoobj", "objid"),
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def mini_db(mini_schema):
+    return create_database(
+        mini_schema,
+        {
+            "photoobj": [
+                (1, 19.0, 16.5, 3),
+                (2, 20.0, 19.5, 6),
+                (3, 21.0, 18.0, 3),
+                (4, 18.2, 17.9, 6),
+                (5, 22.5, 19.3, 0),
+            ],
+            "specobj": [
+                (10, 1, "GALAXY", "STARBURST", 0.70, 120.0),
+                (11, 2, "GALAXY", "AGN", 0.30, 121.0),
+                (12, 3, "STAR", "OB", 0.00, 122.0),
+                (13, 4, "QSO", "BROADLINE", 1.80, 123.0),
+                (14, 5, "GALAXY", None, 0.55, 124.5),
+            ],
+            "neighbors": [
+                (1, 2, 2, 0.05),
+                (2, 3, 1, 0.20),
+                (3, 1, 2, 0.02),
+                (4, 5, 3, 0.40),
+            ],
+        },
+    )
+
+
+@pytest.fixture(scope="session")
+def mini_enhanced(mini_db) -> EnhancedSchema:
+    from repro.schema.introspect import profile_database
+
+    enhanced = profile_database(mini_db)
+    enhanced.mark_math_group("photoobj", "photoobj:magnitude", "u", "r")
+    return enhanced
+
+
+@pytest.fixture(scope="session")
+def sdss_domain():
+    """The real SDSS domain at small scale (session-cached: it is expensive)."""
+    from repro.datasets import sdss
+
+    return sdss.build(scale=0.2)

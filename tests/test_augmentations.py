@@ -1,0 +1,103 @@
+"""Unit tests for the DBPal-style NL augmentation extension."""
+
+import random
+
+import pytest
+
+from repro.datasets.records import NLSQLPair
+from repro.nlgen.augmentations import (
+    augment_pairs,
+    augment_question,
+    delete_random_word,
+    rewrite_prefix,
+    substitute_synonyms,
+)
+
+QUESTION = "Find the average redshift of all the galaxies whose class is GALAXY."
+
+
+def test_synonym_substitution_changes_words():
+    rng = random.Random(1)
+    results = {substitute_synonyms(QUESTION, rng) for _ in range(10)}
+    assert any(r != QUESTION for r in results)
+    for result in results:
+        # Values and numbers are never touched.
+        assert "GALAXY" in result
+
+
+def test_synonym_preserves_capitalisation():
+    rng = random.Random(3)
+    result = substitute_synonyms("Find the redshift.", rng, max_swaps=1)
+    assert result[0].isupper()
+
+
+def test_delete_random_word_removes_filler():
+    rng = random.Random(2)
+    result = delete_random_word(QUESTION, rng)
+    assert len(result.split()) == len(QUESTION.split()) - 1
+
+
+def test_delete_without_candidates_is_identity():
+    assert delete_random_word("Count galaxies", random.Random(0)) == "Count galaxies"
+
+
+def test_rewrite_prefix():
+    rng = random.Random(4)
+    result = rewrite_prefix("Find the redshift of galaxies.", rng)
+    assert not result.startswith("Find")
+    assert result.endswith("the redshift of galaxies.")
+
+
+def test_rewrite_prefix_no_match_is_identity():
+    question = "Under which class do objects fall?"
+    assert rewrite_prefix(question, random.Random(0)) == question
+
+
+def test_augment_question_composes():
+    rng = random.Random(5)
+    results = {augment_question(QUESTION, rng) for _ in range(10)}
+    assert len(results) > 1
+
+
+def test_augment_pairs_keeps_sql_and_marks_source():
+    pairs = [
+        NLSQLPair(question=QUESTION, sql="SELECT AVG(z) FROM specobj", db_id="d", source="synth")
+    ]
+    augmented = augment_pairs(pairs, factor=3, seed=9)
+    assert 1 <= len(augmented) <= 3
+    for pair in augmented:
+        assert pair.sql == "SELECT AVG(z) FROM specobj"
+        assert pair.source == "synth+dbpal"
+        assert pair.question != QUESTION
+
+
+def test_augment_pairs_deterministic():
+    pairs = [NLSQLPair(question=QUESTION, sql="SELECT 1 FROM t", db_id="d")]
+    a = augment_pairs(pairs, factor=2, seed=11)
+    b = augment_pairs(pairs, factor=2, seed=11)
+    assert [p.question for p in a] == [p.question for p in b]
+
+
+def test_augment_pairs_rejects_bad_factor():
+    with pytest.raises(ValueError):
+        augment_pairs([], factor=0)
+
+
+def test_augmented_questions_remain_judgeable(mini_enhanced):
+    """Meaning preservation: the equivalence judge must keep accepting the
+    augmented questions it accepted before augmentation."""
+    from repro.metrics import EquivalenceJudge
+
+    sql = "SELECT AVG(z) FROM specobj WHERE class = 'GALAXY'"
+    question = (
+        "Find the average redshift of spectroscopic objects whose "
+        "spectroscopic class is GALAXY."
+    )
+    judge = EquivalenceJudge(mini_enhanced)
+    assert judge.judge(question, sql).equivalent
+    rng = random.Random(13)
+    accepted = 0
+    for _ in range(10):
+        augmented = augment_question(question, rng)
+        accepted += judge.judge(augmented, sql).equivalent
+    assert accepted >= 8

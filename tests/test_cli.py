@@ -1,0 +1,63 @@
+"""Tests for the command-line interface (against a tiny monkeypatched suite)."""
+
+import pytest
+
+from repro import cli
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import BenchmarkSuite
+
+
+@pytest.fixture()
+def tiny_suite(monkeypatch):
+    config = ExperimentConfig(
+        name="tiny-cli",
+        seed=7,
+        domain_scale=0.15,
+        spider_train_per_db=10,
+        spider_dev_per_db=4,
+        synth_targets={"cordis": 30, "sdss": 30, "oncomx": 30},
+        synth_spider_per_db=4,
+        table3_sample=8,
+        table4_sample=20,
+        dev_limit=10,
+    )
+    suite = BenchmarkSuite(config)
+    monkeypatch.setattr("repro.experiments.runner.get_suite", lambda preset="quick": suite)
+    return suite
+
+
+def test_stats_command(tiny_suite, capsys):
+    assert cli.main(["stats"]) == 0
+    out = capsys.readouterr().out
+    assert "cordis" in out and "minispider" in out
+
+
+def test_tables_command_fast_tables(tiny_suite, capsys):
+    assert cli.main(["tables", "1", "2", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out and "Table 2" in out and "Table 4" in out
+
+
+def test_tables_command_rejects_unknown(tiny_suite, capsys):
+    assert cli.main(["tables", "9"]) == 2
+
+
+def test_figures_command(tiny_suite, capsys):
+    assert cli.main(["figures"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 1" in out and "Figure 2" in out
+
+
+def test_augment_command_writes_json(tiny_suite, tmp_path, capsys):
+    out_file = tmp_path / "synth.json"
+    assert cli.main(["augment", "sdss", "--out", str(out_file)]) == 0
+    assert out_file.exists()
+    from repro.datasets.records import Split
+
+    split = Split.from_json(out_file)
+    assert len(split) > 0
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        cli.main([])

@@ -1,0 +1,176 @@
+"""Tests for the three ScienceBenchmark domains and the data containers."""
+
+import random
+
+import pytest
+
+from repro.datasets import cordis, oncomx, sdss
+from repro.datasets.programs import Program, expand_programs
+from repro.datasets.records import NLSQLPair, Split
+
+
+@pytest.fixture(scope="module")
+def domains(sdss_domain):
+    return {
+        "sdss": sdss_domain,
+        "cordis": cordis.build(scale=0.2),
+        "oncomx": oncomx.build(scale=0.2),
+    }
+
+
+#: Structural figures the paper reports in Table 1 — these must be exact.
+PAPER_STRUCTURE = {"cordis": (19, 82), "sdss": (6, 61), "oncomx": (25, 106)}
+
+
+@pytest.mark.parametrize("name", list(PAPER_STRUCTURE))
+def test_structure_matches_paper_exactly(domains, name):
+    tables, columns = PAPER_STRUCTURE[name]
+    schema = domains[name].database.schema
+    assert len(schema.tables) == tables
+    assert schema.total_columns() == columns
+
+
+@pytest.mark.parametrize("name", ["cordis", "sdss", "oncomx"])
+def test_all_gold_sql_executes(domains, name):
+    assert domains[name].validate_gold_sql() == []
+
+
+@pytest.mark.parametrize("name", ["cordis", "sdss", "oncomx"])
+def test_gold_queries_mostly_nonempty(domains, name):
+    """Expert questions about a populated database should usually return
+    rows — an empty result suggests a value that does not exist."""
+    domain = domains[name]
+    nonempty = 0
+    total = 0
+    for split in (domain.seed, domain.dev):
+        for pair in split:
+            total += 1
+            result = domain.database.execute(pair.sql)
+            nonempty += bool(result.rows)
+    assert nonempty / total > 0.8
+
+
+@pytest.mark.parametrize("name", ["cordis", "sdss", "oncomx"])
+def test_referential_integrity(domains, name):
+    database = domains[name].database
+    for fk in database.schema.foreign_keys:
+        child = set(database.table(fk.table).column_values(fk.column))
+        child.discard(None)
+        parent = set(database.table(fk.ref_table).column_values(fk.ref_column))
+        assert child <= parent, f"dangling FK {fk.table}.{fk.column}"
+
+
+@pytest.mark.parametrize("name", ["cordis", "sdss", "oncomx"])
+def test_builds_are_deterministic(name):
+    builder = {"cordis": cordis, "sdss": sdss, "oncomx": oncomx}[name]
+    a = builder.build(scale=0.1)
+    b = builder.build(scale=0.1)
+    assert a.database.row_count() == b.database.row_count()
+    assert [p.sql for p in a.seed] == [p.sql for p in b.seed]
+    table = a.database.schema.tables[0].name
+    assert a.database.table(table).rows == b.database.table(table).rows
+
+
+def test_scale_changes_row_counts():
+    small = sdss.build(scale=0.1)
+    large = sdss.build(scale=0.4)
+    assert large.database.row_count() > small.database.row_count()
+
+
+def test_dev_skews_harder_than_seed(domains):
+    """Table 2's SDSS pattern: the Dev set carries more hard+extra mass."""
+    domain = domains["sdss"]
+
+    def hard_share(split):
+        counts = split.hardness_counts()
+        return (counts["hard"] + counts["extra"]) / len(split)
+
+    assert hard_share(domain.dev) > hard_share(domain.seed)
+
+
+def test_oncomx_is_easiest_domain(domains):
+    """Table 2: OncoMX queries skew easier (no extra-hard seeds to speak of)."""
+    counts = domains["oncomx"].seed.hardness_counts()
+    assert counts["extra"] <= 2
+
+
+def test_seed_and_dev_share_no_questions(domains):
+    for domain in domains.values():
+        seed_questions = {p.question for p in domain.seed}
+        dev_questions = {p.question for p in domain.dev}
+        assert not seed_questions & dev_questions
+
+
+def test_nominal_stats_present(domains):
+    for name, domain in domains.items():
+        stats = domain.nominal_stats
+        assert stats["tables"] == PAPER_STRUCTURE[name][0]
+        assert stats["columns"] == PAPER_STRUCTURE[name][1]
+        assert stats["rows"] > 100_000
+
+
+# --- containers -------------------------------------------------------------------
+
+
+def test_pair_hardness_cached():
+    pair = NLSQLPair(question="q", sql="SELECT a FROM t", db_id="d")
+    assert pair.hardness == "easy"
+    assert pair.to_dict()["hardness"] == "easy"
+
+
+def test_pair_round_trips_through_dict():
+    pair = NLSQLPair(question="q", sql="SELECT a FROM t", db_id="d", source="seed")
+    again = NLSQLPair.from_dict(pair.to_dict())
+    assert again == pair
+
+
+def test_split_json_round_trip(tmp_path):
+    split = Split(
+        name="s",
+        pairs=[NLSQLPair(question="q", sql="SELECT a FROM t", db_id="d")],
+    )
+    path = tmp_path / "split.json"
+    split.to_json(path)
+    loaded = Split.from_json(path)
+    assert loaded.name == "s"
+    assert loaded.pairs == split.pairs
+
+
+def test_stratified_sampling_respects_distribution():
+    pairs = [
+        NLSQLPair(question=f"e{i}", sql="SELECT a FROM t", db_id="d")
+        for i in range(80)
+    ] + [
+        NLSQLPair(
+            question=f"m{i}",
+            sql="SELECT a, b FROM t WHERE c = 1",
+            db_id="d",
+        )
+        for i in range(20)
+    ]
+    split = Split(name="s", pairs=pairs)
+    sample = split.sample_stratified(50, random.Random(0))
+    assert len(sample) == 50
+    easy = sum(1 for p in sample if p.hardness == "easy")
+    assert 35 <= easy <= 45  # ~80% of 50
+
+
+def test_program_expansion_alternates_splits():
+    program = Program(
+        nl=("seed {v}.", "dev {v}."),
+        sql="SELECT a FROM t WHERE b = {v}",
+        params={"v": (1, 2, 3, 4)},
+    )
+    seed_pairs, dev_pairs = expand_programs([program], db_id="d")
+    assert len(seed_pairs) == 2 and len(dev_pairs) == 2
+    assert all(p.question.startswith("seed") for p in seed_pairs)
+    assert all(p.question.startswith("dev") for p in dev_pairs)
+
+
+def test_program_only_seed():
+    program = Program(
+        nl=("s {v}.", ""), sql="SELECT a FROM t WHERE b = {v}", params={"v": (1, 2)},
+        only="seed",
+    )
+    seed_pairs, dev_pairs = expand_programs([program], db_id="d")
+    assert len(seed_pairs) == 2 and dev_pairs == []

@@ -1,0 +1,96 @@
+"""Unit tests for the hashed sentence embeddings and geometric-median
+selection (Phase 4's mathematical core, Eq. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings import (
+    SentenceEmbedder,
+    cosine_similarity,
+    embed,
+    geometric_median_ranking,
+    select_top_k,
+)
+
+
+def test_embeddings_are_unit_norm():
+    vector = embed("find all starburst galaxies")
+    assert np.linalg.norm(vector) == pytest.approx(1.0)
+
+
+def test_empty_sentence_is_zero_vector():
+    assert np.linalg.norm(embed("")) == 0.0
+
+
+def test_embeddings_deterministic_across_instances():
+    a = SentenceEmbedder().embed("the redshift of galaxies")
+    b = SentenceEmbedder().embed("the redshift of galaxies")
+    assert np.allclose(a, b)
+
+
+def test_dimension_configurable():
+    embedder = SentenceEmbedder(dim=128)
+    assert embedder.embed("hello world").shape == (128,)
+    with pytest.raises(ValueError):
+        SentenceEmbedder(dim=0)
+
+
+def test_embed_all_shape():
+    embedder = SentenceEmbedder(dim=64)
+    matrix = embedder.embed_all(["a b c", "d e f", "g h i"])
+    assert matrix.shape == (3, 64)
+    assert embedder.embed_all([]).shape == (0, 64)
+
+
+def test_cosine_similarity_bounds():
+    a = embed("find the galaxies with high redshift")
+    b = embed("show galaxies whose redshift is high")
+    assert -1.0 <= cosine_similarity(a, b) <= 1.0
+
+
+def test_cosine_zero_vector_is_zero():
+    assert cosine_similarity(np.zeros(8), np.ones(8)) == 0.0
+
+
+def test_geometric_median_picks_consensus():
+    """Four paraphrases plus one outlier: the outlier must rank last."""
+    candidates = [
+        "find the redshift of all galaxies",
+        "show the redshift of galaxies",
+        "what is the redshift of the galaxies",
+        "give me the redshift of every galaxy",
+        "count the members of french institutions",  # outlier
+    ]
+    embedder = SentenceEmbedder()
+    ranking = geometric_median_ranking(embedder.embed_all(candidates))
+    assert ranking[-1] == 4
+
+
+def test_geometric_median_deterministic_ties():
+    matrix = np.stack([np.ones(4), np.ones(4), np.ones(4)])
+    assert geometric_median_ranking(matrix) == [0, 1, 2]
+
+
+def test_geometric_median_empty():
+    assert geometric_median_ranking(np.zeros((0, 8))) == []
+
+
+def test_select_top_k_filters_outlier():
+    candidates = [
+        "find the redshift of all galaxies",
+        "show the redshift of galaxies",
+        "list the redshift of the galaxies",
+        "count the french institutions by city",
+    ]
+    selected = select_top_k(candidates, k=2)
+    assert "count the french institutions by city" not in selected
+    assert len(selected) == 2
+
+
+def test_select_top_k_small_pool_returns_all():
+    assert select_top_k(["one", "two"], k=5) == ["one", "two"]
+
+
+def test_select_top_k_invalid_k():
+    with pytest.raises(ValueError):
+        select_top_k(["a"], k=0)

@@ -1,0 +1,244 @@
+"""Unit tests for the relational engine (executor semantics)."""
+
+import pytest
+
+from repro.engine import create_database
+from repro.errors import ExecutionError, SchemaError
+from repro.schema.model import Column, ColumnType, ForeignKey, Schema, TableDef
+
+I = ColumnType.INTEGER
+F = ColumnType.REAL
+T = ColumnType.TEXT
+
+
+def run(db, sql):
+    return db.execute(sql).rows
+
+
+def test_projection_and_filter(mini_db):
+    rows = run(mini_db, "SELECT specobjid FROM specobj WHERE subclass = 'STARBURST'")
+    assert rows == [(10,)]
+
+
+def test_text_equality_case_insensitive(mini_db):
+    rows = run(mini_db, "SELECT specobjid FROM specobj WHERE class = 'galaxy'")
+    assert len(rows) == 3
+
+
+def test_null_never_equal(mini_db):
+    rows = run(mini_db, "SELECT specobjid FROM specobj WHERE subclass = 'STARBURST' OR subclass IS NULL")
+    assert {r[0] for r in rows} == {10, 14}
+
+
+def test_arithmetic_in_where(mini_db):
+    rows = run(
+        mini_db,
+        "SELECT objid FROM photoobj WHERE u - r > 1 AND u - r < 2.6",
+    )
+    assert {r[0] for r in rows} == {1}
+
+
+def test_hash_join_on_fk(mini_db):
+    rows = run(
+        mini_db,
+        "SELECT T1.objid, T2.class FROM photoobj AS T1 "
+        "JOIN specobj AS T2 ON T2.bestobjid = T1.objid WHERE T2.class = 'QSO'",
+    )
+    assert rows == [(4, "QSO")]
+
+
+def test_three_table_join(mini_db):
+    rows = run(
+        mini_db,
+        "SELECT T1.neighbormode, T3.class FROM neighbors AS T1 "
+        "JOIN photoobj AS T2 ON T1.objid = T2.objid "
+        "JOIN specobj AS T3 ON T3.bestobjid = T2.objid "
+        "WHERE T1.distance < 0.1",
+    )
+    assert sorted(rows) == [(2, "GALAXY"), (2, "STAR")]
+
+
+def test_group_by_count(mini_db):
+    rows = run(mini_db, "SELECT COUNT(*), class FROM specobj GROUP BY class")
+    assert sorted(rows) == [(1, "QSO"), (1, "STAR"), (3, "GALAXY")]
+
+
+def test_having_filters_groups(mini_db):
+    rows = run(
+        mini_db,
+        "SELECT class FROM specobj GROUP BY class HAVING COUNT(*) > 1",
+    )
+    assert rows == [("GALAXY",)]
+
+
+def test_aggregate_over_empty_set_is_null(mini_db):
+    rows = run(mini_db, "SELECT AVG(z) FROM specobj WHERE class = 'NOPE'")
+    assert rows == [(None,)]
+
+
+def test_count_over_empty_set_is_zero(mini_db):
+    rows = run(mini_db, "SELECT COUNT(*) FROM specobj WHERE class = 'NOPE'")
+    assert rows == [(0,)]
+
+
+def test_count_column_skips_nulls(mini_db):
+    rows = run(mini_db, "SELECT COUNT(subclass) FROM specobj")
+    assert rows == [(4,)]
+
+
+def test_count_distinct(mini_db):
+    rows = run(mini_db, "SELECT COUNT(DISTINCT class) FROM specobj")
+    assert rows == [(3,)]
+
+
+def test_order_by_desc_limit(mini_db):
+    rows = run(mini_db, "SELECT specobjid FROM specobj ORDER BY z DESC LIMIT 2")
+    assert rows == [(13,), (10,)]
+
+
+def test_order_by_with_nulls_first_ascending(mini_schema):
+    db = create_database(mini_schema)
+    db.insert("photoobj", [(1, None, 1.0, 3), (2, 5.0, 1.0, 3)])
+    rows = run(db, "SELECT objid FROM photoobj ORDER BY u ASC")
+    assert rows == [(1,), (2,)]
+
+
+def test_scalar_subquery_comparison(mini_db):
+    rows = run(
+        mini_db, "SELECT specobjid FROM specobj WHERE z > (SELECT AVG(z) FROM specobj)"
+    )
+    assert {r[0] for r in rows} == {10, 13}
+
+
+def test_scalar_subquery_multiple_rows_fails(mini_db):
+    assert mini_db.try_execute(
+        "SELECT specobjid FROM specobj WHERE z > (SELECT z FROM specobj)"
+    ) is None
+
+
+def test_in_subquery(mini_db):
+    rows = run(
+        mini_db,
+        "SELECT objid FROM photoobj WHERE objid IN "
+        "(SELECT bestobjid FROM specobj WHERE class = 'STAR')",
+    )
+    assert rows == [(3,)]
+
+
+def test_not_in_subquery(mini_db):
+    rows = run(
+        mini_db,
+        "SELECT objid FROM photoobj WHERE objid NOT IN "
+        "(SELECT bestobjid FROM specobj WHERE class = 'GALAXY')",
+    )
+    assert {r[0] for r in rows} == {3, 4}
+
+
+def test_union_dedupes(mini_db):
+    rows = run(
+        mini_db,
+        "SELECT class FROM specobj UNION SELECT class FROM specobj",
+    )
+    assert len(rows) == 3
+
+
+def test_union_all_keeps_duplicates(mini_db):
+    rows = run(
+        mini_db,
+        "SELECT class FROM specobj UNION ALL SELECT class FROM specobj",
+    )
+    assert len(rows) == 10
+
+
+def test_except(mini_db):
+    rows = run(
+        mini_db,
+        "SELECT objid FROM photoobj EXCEPT SELECT bestobjid FROM specobj WHERE class = 'GALAXY'",
+    )
+    assert {r[0] for r in rows} == {3, 4}
+
+
+def test_intersect(mini_db):
+    rows = run(
+        mini_db,
+        "SELECT objid FROM photoobj WHERE type = 3 INTERSECT "
+        "SELECT bestobjid FROM specobj",
+    )
+    # photoobj type 3 rows: objids 1 and 3 (objid 5 has type 0).
+    assert {r[0] for r in rows} == {1, 3}
+
+
+def test_between(mini_db):
+    rows = run(mini_db, "SELECT specobjid FROM specobj WHERE z BETWEEN 0.3 AND 0.7")
+    assert {r[0] for r in rows} == {10, 11, 14}
+
+
+def test_like_pattern(mini_db):
+    rows = run(mini_db, "SELECT specobjid FROM specobj WHERE subclass LIKE '%BURST%'")
+    assert rows == [(10,)]
+
+
+def test_distinct_projection(mini_db):
+    rows = run(mini_db, "SELECT DISTINCT class FROM specobj")
+    assert len(rows) == 3
+
+
+def test_star_projection(mini_db):
+    result = mini_db.execute("SELECT * FROM photoobj WHERE objid = 1")
+    assert result.columns == ["objid", "u", "r", "type"]
+    assert result.rows == [(1, 19.0, 16.5, 3)]
+
+
+def test_derived_table(mini_db):
+    rows = run(
+        mini_db,
+        "SELECT AVG(zz) FROM (SELECT z AS zz FROM specobj WHERE class = 'GALAXY') AS d",
+    )
+    assert rows[0][0] == pytest.approx((0.70 + 0.30 + 0.55) / 3)
+
+
+def test_division_by_zero_yields_null(mini_schema):
+    db = create_database(mini_schema)
+    db.insert("photoobj", [(1, 5.0, 0.0, 3)])
+    rows = run(db, "SELECT u / r FROM photoobj")
+    assert rows == [(None,)]
+
+
+def test_unknown_table_raises(mini_db):
+    with pytest.raises(ExecutionError):
+        mini_db.execute("SELECT a FROM nonexistent")
+
+
+def test_unknown_column_raises(mini_db):
+    with pytest.raises(ExecutionError):
+        mini_db.execute("SELECT nonexistent FROM specobj")
+
+
+def test_try_execute_swallows_errors(mini_db):
+    assert mini_db.try_execute("SELECT nonexistent FROM specobj") is None
+    assert mini_db.try_execute("SELECT FROM WHERE") is None
+
+
+def test_insert_type_validation(mini_schema):
+    db = create_database(mini_schema)
+    with pytest.raises(ExecutionError):
+        db.insert("photoobj", [("not-an-int", 1.0, 1.0, 3)])
+    with pytest.raises(ExecutionError):
+        db.insert("photoobj", [(1, 1.0, 1.0)])  # wrong arity
+
+
+def test_create_database_rejects_unknown_table(mini_schema):
+    with pytest.raises(SchemaError):
+        create_database(mini_schema, {"nope": []})
+
+
+def test_result_multiset_canonicalisation(mini_db):
+    a = mini_db.execute("SELECT z FROM specobj WHERE specobjid = 12")
+    b = mini_db.execute("SELECT 0 FROM specobj WHERE specobjid = 12")
+    # 0.0 (REAL) and 0 (INTEGER) canonicalise identically.
+    assert a.to_multiset() == b.to_multiset()
+
+
+def test_aggregate_outside_group_context_raises(mini_db):
+    with pytest.raises(ExecutionError):
+        mini_db.execute("SELECT specobjid FROM specobj WHERE COUNT(*) > 1")

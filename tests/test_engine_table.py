@@ -1,0 +1,91 @@
+"""Unit tests for the Table storage layer."""
+
+import pytest
+
+from repro.engine.table import Table
+from repro.errors import ExecutionError
+from repro.schema.model import Column, ColumnType, TableDef
+
+I = ColumnType.INTEGER
+F = ColumnType.REAL
+T = ColumnType.TEXT
+B = ColumnType.BOOLEAN
+D = ColumnType.DATE
+
+
+@pytest.fixture()
+def table():
+    definition = TableDef(
+        "t",
+        (
+            Column("id", I, nullable=False),
+            Column("score", F),
+            Column("label", T),
+            Column("flag", B),
+            Column("day", D),
+        ),
+        primary_key="id",
+    )
+    return Table(definition)
+
+
+def test_insert_and_len(table):
+    table.insert((1, 2.5, "x", True, "2020-01-01"))
+    table.insert([2, None, None, False, None])
+    assert len(table) == 2
+
+
+def test_int_coerced_to_float_in_real_column(table):
+    table.insert((1, 3, "x", True, "2020-01-01"))
+    assert table.rows[0][1] == 3.0
+    assert isinstance(table.rows[0][1], float)
+
+
+def test_bool_rejected_in_int_column(table):
+    with pytest.raises(ExecutionError):
+        table.insert((True, 1.0, "x", True, "2020-01-01"))
+
+
+def test_wrong_type_rejected(table):
+    with pytest.raises(ExecutionError):
+        table.insert((1, "not-a-number", "x", True, "2020-01-01"))
+    with pytest.raises(ExecutionError):
+        table.insert((1, 1.0, 42, True, "2020-01-01"))
+
+
+def test_wrong_arity_rejected(table):
+    with pytest.raises(ExecutionError):
+        table.insert((1, 1.0))
+
+
+def test_column_index_case_insensitive(table):
+    assert table.column_index("LABEL") == 2
+    with pytest.raises(ExecutionError):
+        table.column_index("nope")
+
+
+def test_column_values_and_distinct(table):
+    table.insert_many(
+        [
+            (1, 1.0, "a", True, None),
+            (2, 1.0, "a", True, None),
+            (3, 2.0, "b", False, None),
+            (4, None, None, None, None),
+        ]
+    )
+    assert table.column_values("label") == ["a", "a", "b", None]
+    assert table.distinct_values("label") == ["a", "b"]  # NULLs excluded
+
+
+def test_estimated_bytes_scales(table):
+    assert table.estimated_bytes() == 0
+    table.insert_many([(i, 1.0, "hello", True, "2020-01-01") for i in range(100)])
+    small = table.estimated_bytes()
+    table.insert_many([(100 + i, 1.0, "hello", True, "2020-01-01") for i in range(100)])
+    assert table.estimated_bytes() > small
+
+
+def test_iteration_yields_tuples(table):
+    table.insert((1, 1.0, "a", True, None))
+    rows = list(table)
+    assert rows == [(1, 1.0, "a", True, None)]

@@ -1,0 +1,145 @@
+"""Integration tests for the experiment harness (tables and figures).
+
+Uses a deliberately tiny configuration so the whole module runs in well
+under a minute while still exercising every table's real code path.
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import BenchmarkSuite
+
+
+@pytest.fixture(scope="module")
+def suite():
+    config = ExperimentConfig(
+        name="tiny",
+        seed=99,
+        domain_scale=0.15,
+        spider_train_per_db=15,
+        spider_dev_per_db=5,
+        synth_targets={"cordis": 50, "sdss": 60, "oncomx": 40},
+        synth_spider_per_db=6,
+        table3_sample=15,
+        table4_sample=40,
+        dev_limit=25,
+    )
+    return BenchmarkSuite(config)
+
+
+def test_domains_cached(suite):
+    assert suite.domain("sdss") is suite.domain("sdss")
+    assert suite.domain("sdss").synth is not None
+
+
+def test_table1_structure(suite):
+    from repro.experiments.table1 import compute_table1, render_table1
+
+    data = compute_table1(suite)
+    nominal = {row.dataset.split(" ")[0]: row for row in data["nominal"]}
+    measured = {row.dataset.split(" ")[0]: row for row in data["measured"]}
+    for name, (tables, columns) in {
+        "CORDIS": (19, 82),
+        "SDSS": (6, 61),
+        "ONCOMX": (25, 106),
+    }.items():
+        assert nominal[name].tables == measured[name].tables == tables
+        assert nominal[name].columns == measured[name].columns == columns
+        assert nominal[name].rows > measured[name].rows
+    text = render_table1(suite)
+    assert "Table 1" in text and "CORDIS" in text
+
+
+def test_table2_distributions(suite):
+    from repro.experiments.table2 import compute_table2, render_table2, synth_easier_than_dev
+
+    rows = compute_table2(suite)
+    names = {row["dataset"] for row in rows}
+    assert {"cordis-synth", "sdss-synth", "oncomx-synth", "spider-train"} <= names
+    for row in rows:
+        assert row["easy"] + row["medium"] + row["hard"] + row["extra"] == row["total"]
+    for domain in ("cordis", "sdss", "oncomx"):
+        assert synth_easier_than_dev(suite, domain)
+    assert "Table 2" in render_table2(suite)
+
+
+def test_table3_llm_comparison(suite):
+    from repro.experiments.table3 import compute_table3
+
+    rows = {r.model: r for r in compute_table3(suite)}
+    assert len(rows) == 4
+    # The paper's headline ordering: fine-tuned GPT-3 wins both automatic
+    # metrics; GPT-2 is never the best model on any metric.
+    best_bleu = max(rows.values(), key=lambda r: r.sacrebleu)
+    best_embed = max(rows.values(), key=lambda r: r.sentence_score)
+    assert best_bleu.model == "gpt3-davinci-ft"
+    assert best_embed.model == "gpt3-davinci-ft"
+    gpt2 = rows["gpt2-large-ft"]
+    for other in rows.values():
+        if other is not gpt2:
+            assert other.expert_rate >= gpt2.expert_rate - 0.15
+
+
+def test_table4_silver_standard(suite):
+    from repro.experiments.table4 import compute_table4
+
+    rows = compute_table4(suite)
+    assert len(rows) == 3
+    for row in rows:
+        # Silver standard: clearly imperfect, clearly mostly right.
+        assert 0.5 < row.semantic_equivalence <= 1.0
+        assert row.sample_size <= 40
+
+
+def test_table5_single_domain_shape(suite):
+    from repro.experiments.table5 import compute_table5, render_table5
+
+    result = compute_table5(
+        suite,
+        systems=("valuenet",),
+        domains=("sdss",),
+        include_spider_control=True,
+    )
+    zero = result.accuracy("valuenet", "sdss", "zero")
+    both = result.accuracy("valuenet", "sdss", "both")
+    spider = result.accuracy("valuenet", "spider", "zero")
+    # The paper's two headline claims, as inequalities:
+    assert spider > zero + 0.2  # domains are far harder than Spider
+    assert both >= zero  # augmentation never hurts
+    text = render_table5(result, systems=("valuenet",))
+    assert "Table 5" in text
+
+
+def test_figures(suite):
+    from repro.experiments.figures import (
+        render_figure1,
+        render_figure2,
+        run_figure1,
+        run_figure2,
+    )
+
+    trace = run_figure1(suite, n_queries=2)
+    assert trace.generated_sql
+    for sql in trace.generated_sql:
+        assert suite.domain("sdss").database.try_execute(sql) is not None
+        assert len(trace.candidates[sql]) == 8
+        assert 1 <= len(trace.selected[sql]) <= 2
+    assert "Phase 4" in render_figure1(trace)
+
+    demo = run_figure2(suite, n_applications=3)
+    assert demo.n_tables == 1 and demo.n_columns == 2 and demo.n_values == 1
+    assert len(demo.applications) >= 2
+    assert "template" in render_figure2(demo)
+
+
+def test_synth_spider_built(suite):
+    split = suite.synth_spider
+    assert len(split) > 0
+    assert all(p.source == "synth" for p in split)
+
+
+def test_train_regime_validation(suite):
+    with pytest.raises(ValueError):
+        suite.train_regime("valuenet", "sdss", "nonsense")
+    with pytest.raises(ValueError):
+        suite.train_regime("valuenet", None, "seed")

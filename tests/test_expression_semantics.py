@@ -1,0 +1,128 @@
+"""SQL three-valued-logic and coercion corner cases of the expression layer."""
+
+import pytest
+
+from repro.engine import create_database
+from repro.schema.model import Column, ColumnType, Schema, TableDef
+
+I = ColumnType.INTEGER
+F = ColumnType.REAL
+T = ColumnType.TEXT
+B = ColumnType.BOOLEAN
+
+
+@pytest.fixture(scope="module")
+def db():
+    schema = Schema(
+        name="logic",
+        tables=(
+            TableDef(
+                "t",
+                (
+                    Column("id", I, nullable=False),
+                    Column("n", I),
+                    Column("x", F),
+                    Column("s", T),
+                    Column("b", B),
+                ),
+                primary_key="id",
+            ),
+        ),
+    )
+    return create_database(
+        schema,
+        {
+            "t": [
+                (1, 10, 1.5, "alpha", True),
+                (2, None, 2.5, "Beta", False),
+                (3, 30, None, None, None),
+                (4, 40, 4.5, "gamma delta", True),
+            ]
+        },
+    )
+
+
+def rows(db, sql):
+    return db.execute(sql).rows
+
+
+def test_null_comparison_filters_row(db):
+    assert rows(db, "SELECT id FROM t WHERE n > 5") == [(1,), (3,), (4,)]
+
+
+def test_null_in_or_unknown_still_matches_other_side(db):
+    assert rows(db, "SELECT id FROM t WHERE n > 100 OR x < 3") == [(1,), (2,)]
+
+
+def test_null_and_short_circuit_false(db):
+    assert rows(db, "SELECT id FROM t WHERE n > 5 AND s = 'nope'") == []
+
+
+def test_not_unknown_is_unknown(db):
+    assert rows(db, "SELECT id FROM t WHERE NOT n > 5") == []
+    # id=2 has NULL n: NOT UNKNOWN is UNKNOWN, so it stays filtered.
+
+
+def test_is_null_and_is_not_null(db):
+    assert rows(db, "SELECT id FROM t WHERE n IS NULL") == [(2,)]
+    assert rows(db, "SELECT id FROM t WHERE s IS NOT NULL") == [(1,), (2,), (4,)]
+
+
+def test_in_list_with_null_member(db):
+    assert rows(db, "SELECT id FROM t WHERE n IN (10, 40)") == [(1,), (4,)]
+    # NULL n is UNKNOWN, never matched.
+
+
+def test_not_in_list_excludes_null_rows(db):
+    assert rows(db, "SELECT id FROM t WHERE n NOT IN (10)") == [(3,), (4,)]
+
+
+def test_between_inclusive_bounds(db):
+    assert rows(db, "SELECT id FROM t WHERE n BETWEEN 10 AND 30") == [(1,), (3,)]
+
+
+def test_not_between(db):
+    assert rows(db, "SELECT id FROM t WHERE n NOT BETWEEN 10 AND 30") == [(4,)]
+
+
+def test_like_case_insensitive(db):
+    assert rows(db, "SELECT id FROM t WHERE s LIKE 'beta'") == [(2,)]
+
+
+def test_like_underscore_wildcard(db):
+    assert rows(db, "SELECT id FROM t WHERE s LIKE 'alph_'") == [(1,)]
+
+
+def test_like_percent_spans_spaces(db):
+    assert rows(db, "SELECT id FROM t WHERE s LIKE 'gamma%'") == [(4,)]
+
+
+def test_boolean_equality(db):
+    assert rows(db, "SELECT id FROM t WHERE b = TRUE") == [(1,), (4,)]
+    assert rows(db, "SELECT id FROM t WHERE b = FALSE") == [(2,)]
+
+
+def test_int_float_cross_type_compare(db):
+    assert rows(db, "SELECT id FROM t WHERE n = 10") == [(1,)]
+    assert rows(db, "SELECT id FROM t WHERE x > 2") == [(2,), (4,)]
+
+
+def test_text_number_comparison_never_equal(db):
+    assert rows(db, "SELECT id FROM t WHERE s = 10") == []
+
+
+def test_arithmetic_with_null_operand_is_null(db):
+    result = db.execute("SELECT n + 1 FROM t WHERE id = 2")
+    assert result.rows == [(None,)]
+
+
+def test_modulo(db):
+    assert rows(db, "SELECT id FROM t WHERE n % 20 = 10") == [(1,), (3,)]
+
+
+def test_abs_function(db):
+    assert rows(db, "SELECT ABS(0 - n) FROM t WHERE id = 1") == [(10,)]
+
+
+def test_unary_minus_in_comparison(db):
+    assert rows(db, "SELECT id FROM t WHERE n > -5") == [(1,), (3,), (4,)]

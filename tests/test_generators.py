@@ -1,0 +1,88 @@
+"""Unit tests for the synthetic-data primitives."""
+
+import random
+
+import pytest
+
+from repro.datasets import generators as gen
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(123)
+
+
+def test_word_is_pronounceable(rng):
+    for _ in range(20):
+        word = gen.word(rng)
+        assert word.isalpha() and word.islower()
+        assert 2 <= len(word) <= 12
+
+
+def test_title_is_title_cased(rng):
+    title = gen.title(rng, words=3)
+    parts = title.split(" ")
+    assert len(parts) == 3
+    assert all(p[0].isupper() for p in parts)
+
+
+def test_person_name_two_parts(rng):
+    name = gen.person_name(rng)
+    assert len(name.split(" ")) == 2
+
+
+def test_sentence_ends_with_period(rng):
+    sentence = gen.sentence(rng, words=6)
+    assert sentence.endswith(".")
+    assert sentence[0].isupper()
+
+
+def test_iso_date_format(rng):
+    for _ in range(20):
+        date = gen.iso_date(rng, 2000, 2020)
+        year, month, day = date.split("-")
+        assert 2000 <= int(year) <= 2020
+        assert 1 <= int(month) <= 12
+        assert 1 <= int(day) <= 28
+
+
+def test_skewed_choice_prefers_head(rng):
+    values = ["a", "b", "c", "d"]
+    draws = [gen.skewed_choice(rng, values) for _ in range(500)]
+    assert draws.count("a") > draws.count("d")
+
+
+def test_lognormal_int_positive_and_centered(rng):
+    draws = [gen.lognormal_int(rng, median=1000) for _ in range(300)]
+    assert all(d >= 0 for d in draws)
+    middle = sorted(draws)[len(draws) // 2]
+    assert 300 < middle < 3500
+
+
+def test_lognormal_int_rejects_nonpositive_median(rng):
+    with pytest.raises(ValueError):
+        gen.lognormal_int(rng, median=0)
+
+
+def test_bounded_float_in_range(rng):
+    for _ in range(50):
+        value = gen.bounded_float(rng, 1.5, 2.5)
+        assert 1.5 <= value <= 2.5
+
+
+def test_unique_ints_distinct(rng):
+    values = gen.unique_ints(rng, 10, 0, 20)
+    assert len(set(values)) == 10
+    with pytest.raises(ValueError):
+        gen.unique_ints(rng, 30, 0, 20)
+
+
+def test_acronym_uppercase(rng):
+    acronym = gen.acronym(rng, 5)
+    assert len(acronym) == 5 and acronym.isupper()
+
+
+def test_determinism_given_seed():
+    a = [gen.word(random.Random(9)) for _ in range(5)]
+    b = [gen.word(random.Random(9)) for _ in range(5)]
+    assert a == b

@@ -1,0 +1,96 @@
+"""Unit tests for the Spider hardness classifier.
+
+The three paper examples (Q1/Q2/Q3 of Section 2) carry their published
+hardness labels, which this classifier must reproduce exactly.
+"""
+
+import pytest
+
+from repro.spider.hardness import classify_hardness, hardness_distribution
+
+
+PAPER_EXAMPLES = [
+    # Q1 — Spider hardness: easy
+    ("SELECT s.specobjid FROM specobj AS s WHERE s.subclass = 'STARBURST'", "easy"),
+    # Q2 — medium
+    (
+        "SELECT s.bestobjid, s.ra, s.dec, s.z FROM specobj AS s "
+        "WHERE s.class = 'GALAXY' AND s.z > 0.5 AND s.z < 1",
+        "medium",
+    ),
+    # Q3 — extra hard
+    (
+        "SELECT p.objid, s.specobjid FROM photoobj AS p "
+        "JOIN specobj AS s ON s.bestobjid = p.objid "
+        "WHERE s.class = 'GALAXY' AND p.u - p.r < 2.22 AND p.u - p.r > 1",
+        "extra",
+    ),
+]
+
+
+@pytest.mark.parametrize("sql,expected", PAPER_EXAMPLES)
+def test_paper_running_examples(sql, expected):
+    assert classify_hardness(sql) == expected
+
+
+@pytest.mark.parametrize(
+    "sql,expected",
+    [
+        ("SELECT a FROM t", "easy"),
+        ("SELECT a FROM t WHERE b = 1", "easy"),
+        ("SELECT COUNT(*) FROM t", "easy"),
+        ("SELECT a, b FROM t WHERE c = 1", "medium"),
+        ("SELECT a FROM t WHERE b = 1 AND c = 2", "medium"),
+        ("SELECT COUNT(*), b FROM t GROUP BY b", "medium"),
+        ("SELECT a FROM t ORDER BY b DESC LIMIT 1", "medium"),
+        ("SELECT a FROM t WHERE b > (SELECT AVG(b) FROM t)", "hard"),
+        ("SELECT a FROM t WHERE b = 1 UNION SELECT a FROM u WHERE c = 2", "hard"),
+        (
+            "SELECT a FROM t GROUP BY a HAVING COUNT(*) > 2 ORDER BY COUNT(*) DESC LIMIT 3",
+            "hard",
+        ),
+        (
+            "SELECT a, b FROM t WHERE c = 1 AND d = 2 "
+            "GROUP BY a HAVING COUNT(*) > 2 ORDER BY COUNT(*) DESC LIMIT 3",
+            "extra",
+        ),
+        (
+            "SELECT a FROM t WHERE b > (SELECT AVG(b) FROM t) AND c = 1",
+            "extra",
+        ),
+    ],
+)
+def test_component_thresholds(sql, expected):
+    assert classify_hardness(sql) == expected
+
+
+def test_or_connector_counts_toward_component1():
+    easy = classify_hardness("SELECT a FROM t WHERE b = 1")
+    harder = classify_hardness("SELECT a FROM t WHERE b = 1 OR c = 2 OR d = 3")
+    assert easy == "easy" and harder in ("hard", "extra")
+
+
+def test_like_counts_toward_component1():
+    assert classify_hardness("SELECT a FROM t WHERE b LIKE '%x%'") == "medium"
+
+
+def test_join_counts_tables():
+    # A bare join is still easy (comp1 = 1); adding WHERE tips it to medium.
+    bare = "SELECT T1.a FROM t AS T1 JOIN u AS T2 ON T1.id = T2.tid"
+    filtered = bare + " WHERE T2.b = 1"
+    assert classify_hardness(bare) == "easy"
+    assert classify_hardness(filtered) == "medium"
+
+
+def test_distribution_counter():
+    counts = hardness_distribution(
+        ["SELECT a FROM t", "SELECT a FROM t WHERE b = 1 AND c = 2"]
+    )
+    assert counts["easy"] == 1 and counts["medium"] == 1
+    assert counts["hard"] == 0 and counts["extra"] == 0
+
+
+def test_accepts_parsed_ast():
+    from repro.sql import parse
+
+    assert classify_hardness(parse("SELECT a FROM t")) == "easy"

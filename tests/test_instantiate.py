@@ -1,0 +1,131 @@
+"""Unit tests for link-guided template instantiation (the decoder shared by
+ValueNet and T5)."""
+
+import pytest
+
+from repro.errors import GenerationError
+from repro.nl2sql.instantiate import GuidedInstantiator
+from repro.nl2sql.linking import SchemaLinker
+from repro.semql import extract_template, semql_to_sql, sql_to_semql
+from repro.sql import parse
+
+
+@pytest.fixture()
+def instantiator(mini_db, mini_enhanced):
+    return GuidedInstantiator(mini_db, mini_enhanced)
+
+
+@pytest.fixture()
+def linker(mini_db, mini_enhanced):
+    return SchemaLinker(mini_db, mini_enhanced)
+
+
+def template_of(sql, schema):
+    return extract_template(sql_to_semql(parse(sql), schema), source_sql=sql)
+
+
+def fill(instantiator, linker, template_sql, question, schema):
+    template = template_of(template_sql, schema)
+    links = linker.link(question)
+    tree = instantiator.instantiate(template, links, question)
+    return semql_to_sql(tree, schema)
+
+
+def test_value_link_binds_column(instantiator, linker, mini_schema):
+    sql = fill(
+        instantiator,
+        linker,
+        "SELECT z FROM specobj WHERE class = 'GALAXY'",
+        "Find the redshift of spectroscopic objects whose subclass is STARBURST.",
+        mini_schema,
+    )
+    assert "subclass = 'STARBURST'" in sql
+    assert "SELECT z" in sql
+
+
+def test_number_fills_range_condition(instantiator, linker, mini_schema):
+    sql = fill(
+        instantiator,
+        linker,
+        "SELECT ra FROM specobj WHERE z > 0.9",
+        "Show the right ascension of objects with redshift greater than 0.4.",
+        mini_schema,
+    )
+    assert "z > 0.4" in sql
+    assert sql.startswith("SELECT ra")
+
+
+def test_comparator_intent_overrides_template_op(instantiator, linker, mini_schema):
+    sql = fill(
+        instantiator,
+        linker,
+        "SELECT ra FROM specobj WHERE z > 0.9",  # template says '>'
+        "Show the right ascension of objects with redshift at most 0.4.",
+        mini_schema,
+    )
+    assert "z <= 0.4" in sql
+
+
+def test_mention_order_aligns_projection_and_filter(instantiator, linker, mini_schema):
+    sql = fill(
+        instantiator,
+        linker,
+        "SELECT ra FROM specobj WHERE z > 0.9",
+        "Show the redshift of objects whose right ascension is above 121.",
+        mini_schema,
+    )
+    assert sql.startswith("SELECT z")
+    assert "ra > 121" in sql
+
+
+def test_explicit_limit_adopted(instantiator, linker, mini_schema):
+    sql = fill(
+        instantiator,
+        linker,
+        "SELECT specobjid FROM specobj ORDER BY z DESC LIMIT 1",
+        "Return the top 3 spectroscopic objects by redshift.",
+        mini_schema,
+    )
+    assert sql.endswith("LIMIT 3")
+
+
+def test_unfillable_value_raises(instantiator, linker, mini_schema):
+    template = template_of(
+        "SELECT z FROM specobj WHERE class = 'GALAXY'", mini_schema
+    )
+    links = linker.link("Show everything interesting.")  # no values, no numbers
+    with pytest.raises(GenerationError):
+        instantiator.instantiate(template, links, "Show everything interesting.")
+
+
+def test_math_template_uses_math_group(instantiator, linker, mini_schema):
+    sql = fill(
+        instantiator,
+        linker,
+        "SELECT objid FROM photoobj WHERE u - r < 2.22",
+        "Find the object id of photometric objects where magnitude u minus "
+        "magnitude r is below 1.5.",
+        mini_schema,
+    )
+    assert "u - r < 1.5" in sql or "r - u < 1.5" in sql
+
+
+def test_between_values_ordered(instantiator, linker, mini_schema):
+    sql = fill(
+        instantiator,
+        linker,
+        "SELECT ra FROM specobj WHERE z BETWEEN 0.1 AND 0.4",
+        "right ascension of objects with redshift between 0.9 and 0.2",
+        mini_schema,
+    )
+    assert "BETWEEN 0.2 AND 0.9" in sql
+
+
+def test_instantiation_deterministic(instantiator, linker, mini_schema):
+    question = "Find the redshift of objects whose subclass is AGN."
+    template = template_of("SELECT z FROM specobj WHERE class = 'GALAXY'", mini_schema)
+    links = linker.link(question)
+    a = semql_to_sql(instantiator.instantiate(template, links, question), mini_schema)
+    links2 = linker.link(question)
+    b = semql_to_sql(instantiator.instantiate(template, links2, question), mini_schema)
+    assert a == b

@@ -1,0 +1,115 @@
+"""Unit tests for the simulated LLMs (Phase 3's generation engine)."""
+
+import pytest
+
+from repro.llm import (
+    ALL_PROFILES,
+    GPT2_PROFILE,
+    GPT3_PROFILE,
+    GPT3_ZERO_PROFILE,
+    SqlToNlModel,
+    default_generator,
+    make_model,
+)
+from repro.metrics import EquivalenceJudge
+from repro.nlgen import DomainLexicon
+
+
+SQL = "SELECT specobjid FROM specobj WHERE class = 'GALAXY' AND z > 0.5"
+
+
+def test_translate_returns_requested_candidates(mini_enhanced):
+    model = make_model(GPT3_PROFILE)
+    candidates = model.translate(SQL, mini_enhanced, n_candidates=8)
+    assert len(candidates) == 8
+    assert all(isinstance(c, str) and c for c in candidates)
+
+
+def test_translate_deterministic(mini_enhanced):
+    a = make_model(GPT3_PROFILE, seed=1).translate(SQL, mini_enhanced)
+    b = make_model(GPT3_PROFILE, seed=1).translate(SQL, mini_enhanced)
+    assert a == b
+
+
+def test_different_seeds_differ(mini_enhanced):
+    a = make_model(GPT3_PROFILE, seed=1).translate(SQL, mini_enhanced)
+    b = make_model(GPT3_PROFILE, seed=2).translate(SQL, mini_enhanced)
+    assert a != b
+
+
+def test_invalid_arguments(mini_enhanced):
+    model = make_model(GPT3_PROFILE)
+    with pytest.raises(ValueError):
+        model.translate(SQL, mini_enhanced, n_candidates=0)
+    with pytest.raises(ValueError):
+        model.fine_tune([], domain="x", epochs=0)
+
+
+def test_fine_tune_registers_domain(mini_enhanced):
+    model = make_model(GPT3_PROFILE)
+    assert not model.is_tuned_for("mini_sdss")
+    model.fine_tune([], domain="mini_sdss", lexicon=DomainLexicon(name="d"))
+    assert model.is_tuned_for("mini_sdss")
+
+
+def test_fine_tune_merges_lexicons(mini_enhanced):
+    model = make_model(GPT3_PROFILE)
+    first = DomainLexicon(name="a")
+    first.add_value("specobj", "class", "GALAXY", "galaxies")
+    second = DomainLexicon(name="b")
+    second.add_value("specobj", "class", "QSO", "quasars")
+    model.fine_tune([], domain="d", lexicon=first)
+    model.fine_tune([], domain="d", lexicon=second)
+    merged = model._tuned["d"].lexicon
+    assert merged.values("specobj", "class", "GALAXY")
+    assert merged.values("specobj", "class", "QSO")
+
+
+def test_fine_tuned_model_uses_domain_lexicon(mini_enhanced):
+    lexicon = DomainLexicon(name="sdss")
+    lexicon.add_value("specobj", "class", "GALAXY", "galaxies")
+    model = make_model(GPT3_PROFILE, seed=3)
+    model.fine_tune([], domain="mini_sdss", lexicon=lexicon)
+    candidates = model.translate(SQL, mini_enhanced, n_candidates=16)
+    assert any("galaxies" in c for c in candidates)
+
+
+def test_error_rate_ordering_over_models(mini_enhanced):
+    """GPT-2 must produce more semantically wrong candidates than fine-tuned
+    GPT-3 — the Table 3 expert-rate ordering, measured with the judge."""
+    judge = EquivalenceJudge(mini_enhanced)
+    queries = [
+        "SELECT specobjid FROM specobj WHERE class = 'GALAXY' AND z > 0.5",
+        "SELECT COUNT(*), class FROM specobj GROUP BY class",
+        "SELECT ra FROM specobj WHERE z BETWEEN 0.1 AND 0.5",
+        "SELECT objid FROM photoobj WHERE u - r < 2.0",
+        "SELECT class FROM specobj ORDER BY z DESC LIMIT 1",
+    ]
+
+    def accuracy(profile):
+        model = make_model(profile, seed=5)
+        good = total = 0
+        for sql in queries:
+            for candidate in model.translate(sql, mini_enhanced, n_candidates=8):
+                good += judge.judge(candidate, sql).equivalent
+                total += 1
+        return good / total
+
+    assert accuracy(GPT3_ZERO_PROFILE) > accuracy(GPT2_PROFILE)
+
+
+def test_out_of_grammar_sql_yields_fallback(mini_enhanced):
+    model = make_model(GPT3_PROFILE)
+    candidates = model.translate(
+        "SELECT z FROM specobj WHERE z IS NULL", mini_enhanced, n_candidates=3
+    )
+    assert len(candidates) == 3  # degenerate but non-empty output
+
+
+def test_default_generator_is_gpt3():
+    assert default_generator().profile is GPT3_PROFILE
+
+
+def test_all_profiles_have_distinct_styles():
+    styles = {(p.style.offset, p.style.canonical_bias) for p in ALL_PROFILES}
+    assert len(styles) == len(ALL_PROFILES)

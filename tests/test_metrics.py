@@ -1,0 +1,230 @@
+"""Unit tests for the metrics: BLEU, embedding score, execution accuracy,
+exact match and the equivalence judge."""
+
+import pytest
+
+from repro.metrics import (
+    ExecutionAccuracy,
+    EquivalenceJudge,
+    corpus_bleu,
+    embedding_score,
+    exact_match,
+    execution_match,
+    pairwise_similarity,
+    sentence_bleu,
+)
+
+
+# --- BLEU -------------------------------------------------------------------
+
+
+def test_bleu_perfect_match_is_100():
+    score = corpus_bleu(["the cat sat on the mat"], [["the cat sat on the mat"]])
+    assert score.score == pytest.approx(100.0)
+
+
+def test_bleu_no_overlap_is_low():
+    # Exponential smoothing keeps zero-overlap scores nonzero but small.
+    score = corpus_bleu(["alpha beta gamma delta"], [["one two three four"]])
+    assert score.score < 15.0
+    unsmoothed = corpus_bleu(
+        ["alpha beta gamma delta"], [["one two three four"]], smooth=False
+    )
+    assert unsmoothed.score == 0.0
+
+
+def test_bleu_partial_overlap_between_extremes():
+    score = corpus_bleu(
+        ["the cat sat on a mat quietly"], [["the cat sat on the mat"]]
+    )
+    assert 10.0 < score.score < 90.0
+
+
+def test_bleu_brevity_penalty_applies():
+    long_ref = [["the cat sat on the mat today again"]]
+    short = corpus_bleu(["the cat"], long_ref)
+    assert short.brevity_penalty < 1.0
+
+
+def test_bleu_multi_reference_takes_best():
+    single = corpus_bleu(["find all galaxies"], [["list every star"]])
+    multi = corpus_bleu(
+        ["find all galaxies"], [["list every star", "find all galaxies"]]
+    )
+    assert multi.score > single.score
+
+
+def test_bleu_mismatched_lengths_raise():
+    with pytest.raises(ValueError):
+        corpus_bleu(["a"], [])
+
+
+def test_sentence_bleu_monotonic_in_overlap():
+    low = sentence_bleu("completely different words here", ["find the galaxies"])
+    high = sentence_bleu("find the galaxies now", ["find the galaxies"])
+    assert high > low
+
+
+# --- embedding score -----------------------------------------------------------
+
+
+def test_embedding_identity():
+    assert pairwise_similarity("find all galaxies", "find all galaxies") == pytest.approx(1.0)
+
+
+def test_embedding_paraphrase_closer_than_unrelated():
+    paraphrase = pairwise_similarity(
+        "find the redshift of galaxies", "show the redshift of all galaxies"
+    )
+    unrelated = pairwise_similarity(
+        "find the redshift of galaxies", "count the project members from France"
+    )
+    assert paraphrase > unrelated
+
+
+def test_embedding_score_corpus():
+    score = embedding_score(
+        ["find all galaxies"], [["find all galaxies", "something else"]]
+    )
+    assert score == pytest.approx(1.0)
+
+
+# --- execution accuracy ----------------------------------------------------------
+
+
+def test_execution_match_identical(mini_db):
+    assert execution_match(
+        mini_db,
+        "SELECT class FROM specobj WHERE z > 0.5",
+        "SELECT class FROM specobj WHERE z > 0.5",
+    )
+
+
+def test_execution_match_order_insensitive_without_order_by(mini_db):
+    assert execution_match(
+        mini_db,
+        "SELECT specobjid FROM specobj",
+        "SELECT specobjid FROM specobj ORDER BY z DESC",
+    )
+
+
+def test_execution_match_order_sensitive_with_gold_order(mini_db):
+    assert not execution_match(
+        mini_db,
+        "SELECT specobjid FROM specobj ORDER BY z DESC",
+        "SELECT specobjid FROM specobj ORDER BY z ASC",
+    )
+
+
+def test_execution_match_failing_prediction(mini_db):
+    assert not execution_match(mini_db, "SELECT class FROM specobj", "SELECT nope FROM specobj")
+    assert not execution_match(mini_db, "SELECT class FROM specobj", None)
+
+
+def test_execution_match_bad_gold_raises(mini_db):
+    with pytest.raises(ValueError):
+        execution_match(mini_db, "SELECT nope FROM specobj", "SELECT class FROM specobj")
+
+
+def test_execution_accuracy_accumulator(mini_db):
+    accuracy = ExecutionAccuracy()
+    accuracy.add(mini_db, "SELECT class FROM specobj", "SELECT class FROM specobj")
+    accuracy.add(mini_db, "SELECT class FROM specobj", "SELECT subclass FROM specobj")
+    assert accuracy.total == 2
+    assert accuracy.accuracy == pytest.approx(0.5)
+    assert len(accuracy.failures) == 1
+
+
+# --- exact match ------------------------------------------------------------------
+
+
+def test_exact_match_ignores_values():
+    assert exact_match(
+        "SELECT a FROM t WHERE b = 1", "SELECT a FROM t WHERE b = 2"
+    )
+
+
+def test_exact_match_ignores_condition_order():
+    assert exact_match(
+        "SELECT a FROM t WHERE b = 1 AND c = 2",
+        "SELECT a FROM t WHERE c = 9 AND b = 7",
+    )
+
+
+def test_exact_match_detects_different_projection():
+    assert not exact_match("SELECT a FROM t", "SELECT b FROM t")
+
+
+def test_exact_match_resolves_aliases():
+    assert exact_match(
+        "SELECT T1.a FROM t AS T1 JOIN u AS T2 ON T1.id = T2.tid",
+        "SELECT x.a FROM t AS x JOIN u AS y ON x.id = y.tid",
+    )
+
+
+# --- equivalence judge ---------------------------------------------------------------
+
+
+def test_judge_accepts_faithful_question(mini_enhanced):
+    judge = EquivalenceJudge(mini_enhanced)
+    verdict = judge.judge(
+        "Find the spectroscopic object id of spectroscopic objects whose "
+        "spectroscopic class is GALAXY and redshift is greater than 0.5.",
+        "SELECT specobjid FROM specobj WHERE class = 'GALAXY' AND z > 0.5",
+    )
+    assert verdict.equivalent, [a.description for a in verdict.missing]
+
+
+def test_judge_rejects_missing_value(mini_enhanced):
+    judge = EquivalenceJudge(mini_enhanced)
+    verdict = judge.judge(
+        "Find the spectroscopic object id of spectroscopic objects.",
+        "SELECT specobjid FROM specobj WHERE class = 'GALAXY'",
+    )
+    assert not verdict.equivalent
+
+
+def test_judge_rejects_flipped_comparator(mini_enhanced):
+    judge = EquivalenceJudge(mini_enhanced)
+    verdict = judge.judge(
+        "Find the spectroscopic object id of objects whose redshift is less than 0.5.",
+        "SELECT specobjid FROM specobj WHERE z > 0.5",
+    )
+    assert not verdict.equivalent
+
+
+def test_judge_rejects_wrong_aggregate(mini_enhanced):
+    judge = EquivalenceJudge(mini_enhanced)
+    verdict = judge.judge(
+        "Find the total redshift of spectroscopic objects.",
+        "SELECT AVG(z) FROM specobj",
+    )
+    assert not verdict.equivalent
+
+
+def test_judge_coverage_fraction(mini_enhanced):
+    judge = EquivalenceJudge(mini_enhanced)
+    verdict = judge.judge(
+        "Find the spectroscopic object id whose redshift is greater than 0.5.",
+        "SELECT specobjid FROM specobj WHERE class = 'GALAXY' AND z > 0.5",
+    )
+    assert 0.0 < verdict.coverage < 1.0
+
+
+def test_judge_rate(mini_enhanced):
+    judge = EquivalenceJudge(mini_enhanced)
+    rate = judge.judge_rate(
+        [
+            (
+                "Find the redshift of spectroscopic objects.",
+                "SELECT z FROM specobj",
+            ),
+            ("Nothing relevant at all.", "SELECT z FROM specobj"),
+        ]
+    )
+    assert rate == pytest.approx(0.5)
+
+
+def test_judge_unparseable_sql_not_equivalent(mini_enhanced):
+    judge = EquivalenceJudge(mini_enhanced)
+    assert not judge.judge("anything", "SELECT FROM WHERE").equivalent

@@ -1,0 +1,141 @@
+"""Remaining coverage: SemQL lowering errors, translator wiring, suite glue."""
+
+import pytest
+
+from repro.errors import SemQLError
+from repro.semql import nodes as sq
+from repro.semql.to_sql import semql_to_sql
+from repro.schema.model import Column, ColumnType, Schema, TableDef
+
+
+def test_lowering_disconnected_tables_raises():
+    schema = Schema(
+        name="iso",
+        tables=(
+            TableDef("a", (Column("x", ColumnType.INTEGER),)),
+            TableDef("b", (Column("y", ColumnType.INTEGER),)),
+        ),
+    )
+    z = sq.Z(
+        left=sq.R(
+            select=sq.SemSelect(
+                attributes=(
+                    sq.A(agg="none", column=sq.ColumnLeaf(table=sq.TableLeaf("a"), name="x")),
+                    sq.A(agg="none", column=sq.ColumnLeaf(table=sq.TableLeaf("b"), name="y")),
+                )
+            ),
+            from_table=sq.TableLeaf("a"),
+        )
+    )
+    with pytest.raises(SemQLError):
+        semql_to_sql(z, schema)
+
+
+def test_lowering_set_op_missing_right_raises(mini_schema):
+    z = sq.Z(
+        left=sq.R(
+            select=sq.SemSelect(
+                attributes=(sq.A(agg="count", column=sq.StarLeaf()),)
+            ),
+            from_table=sq.TableLeaf("specobj"),
+        ),
+        set_op="union",
+        right=None,
+    )
+    with pytest.raises(SemQLError):
+        semql_to_sql(z, mini_schema)
+
+
+def test_semql_node_validation():
+    with pytest.raises(ValueError):
+        sq.A(agg="median", column=sq.StarLeaf())
+    with pytest.raises(ValueError):
+        sq.Condition(op="~~", attribute=sq.A(agg="none", column=sq.StarLeaf()))
+    with pytest.raises(ValueError):
+        sq.MathExpr(op="^", left=sq.StarLeaf(), right=sq.StarLeaf())  # type: ignore[arg-type]
+
+
+def test_semql_tree_utilities(mini_schema):
+    from repro.semql import sql_to_semql
+    from repro.sql import parse
+
+    z = sql_to_semql(
+        parse("SELECT z FROM specobj WHERE class = 'GALAXY' AND z > 0.5"), mini_schema
+    )
+    assert sq.tables_of(z) == ["specobj"]
+    assert len(sq.conditions_of(z)) == 2
+    assert len(sq.attributes_of(z)) == 3  # projection + two condition attributes
+    assert not sq.is_template(z)
+
+
+def test_translator_fine_tunes_on_construction(sdss_domain):
+    from repro.synthesis.translation import SqlToNlTranslator, TranslationConfig
+
+    translator = SqlToNlTranslator(
+        sdss_domain, config=TranslationConfig(n_candidates=4)
+    )
+    assert translator.model.is_tuned_for("sdss")
+    candidates = translator.candidates(
+        "SELECT specobjid FROM specobj WHERE class = 'GALAXY'"
+    )
+    assert len(candidates) == 4
+
+
+def test_translator_can_skip_fine_tuning(sdss_domain):
+    from repro.synthesis.translation import SqlToNlTranslator, TranslationConfig
+
+    translator = SqlToNlTranslator(
+        sdss_domain, config=TranslationConfig(fine_tune_on_seeds=False)
+    )
+    assert not translator.model.is_tuned_for("sdss")
+
+
+def test_pipeline_empty_seed_yields_empty_split(mini_db, mini_enhanced):
+    from repro.datasets.records import BenchmarkDomain, Split
+    from repro.synthesis import AugmentationPipeline, PipelineConfig
+
+    domain = BenchmarkDomain(
+        name="empty",
+        database=mini_db,
+        enhanced=mini_enhanced,
+        lexicon=None,
+        seed=Split(name="seed"),
+        dev=Split(name="dev"),
+    )
+    report = AugmentationPipeline(
+        domain, config=PipelineConfig(target_queries=10)
+    ).run()
+    assert report.n_pairs == 0
+    assert report.seeding.n_unique == 0
+
+
+def test_llm_profile_max_error_cap(mini_enhanced):
+    from repro.llm.base import LLMProfile, SqlToNlModel
+    from repro.nlgen.realizer import CANONICAL_STYLE
+
+    profile = LLMProfile(
+        name="terrible",
+        style=CANONICAL_STYLE,
+        base_error_rate=5.0,  # absurd; must be capped by max_error_rate
+        max_error_rate=0.5,
+    )
+    model = SqlToNlModel(profile)
+    candidates = model.translate(
+        "SELECT z FROM specobj WHERE class = 'GALAXY'", mini_enhanced, n_candidates=6
+    )
+    assert len(candidates) == 6  # capping keeps generation functional
+
+
+def test_exact_match_on_semql_lowered_pair(mini_schema):
+    """SemQL lowering moves join predicates into ON clauses; exact match
+    must still align such a query with its original form."""
+    from repro.metrics import exact_match
+    from repro.semql import semql_to_sql, sql_to_semql
+    from repro.sql import parse
+
+    original = (
+        "SELECT T1.objid, T2.class FROM photoobj AS T1 "
+        "JOIN specobj AS T2 ON T2.bestobjid = T1.objid WHERE T2.z > 0.5"
+    )
+    lowered = semql_to_sql(sql_to_semql(parse(original), mini_schema), mini_schema)
+    assert exact_match(original, lowered)

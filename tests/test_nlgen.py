@@ -1,0 +1,168 @@
+"""Unit tests for the NL realizer, lexicons and noise models."""
+
+import random
+
+import pytest
+
+from repro.errors import SemQLError
+from repro.metrics import EquivalenceJudge
+from repro.nlgen import CANONICAL_STYLE, DomainLexicon, Realizer, StyleProfile, corrupt
+from repro.nlgen.lexicon import PhraseBook, _pluralise, render_value
+from repro.semql import extract_template, sql_to_semql
+from repro.semql import nodes as sq
+from repro.sql import parse
+
+
+@pytest.fixture()
+def realizer(mini_enhanced):
+    lexicon = DomainLexicon(name="test")
+    lexicon.add_value("specobj", "class", "GALAXY", "galaxies")
+    lexicon.add_value("specobj", "subclass", "STARBURST", "Starburst galaxies")
+    return Realizer(mini_enhanced, lexicon)
+
+
+QUERIES = [
+    "SELECT specobjid FROM specobj WHERE subclass = 'STARBURST'",
+    "SELECT COUNT(*), class FROM specobj GROUP BY class",
+    "SELECT ra, z FROM specobj WHERE class = 'GALAXY' AND z > 0.5",
+    "SELECT class FROM specobj ORDER BY z DESC LIMIT 1",
+    "SELECT specobjid FROM specobj WHERE z > (SELECT AVG(z) FROM specobj)",
+    "SELECT objid FROM photoobj WHERE u - r < 2.22",
+    "SELECT class FROM specobj WHERE z BETWEEN 0.1 AND 0.5",
+    "SELECT class FROM specobj UNION SELECT subclass FROM specobj WHERE z > 1",
+    "SELECT COUNT(DISTINCT class) FROM specobj",
+    "SELECT objid FROM photoobj WHERE objid IN (SELECT bestobjid FROM specobj WHERE class = 'STAR')",
+]
+
+
+@pytest.mark.parametrize("sql", QUERIES)
+def test_realizations_end_with_punctuation(realizer, sql):
+    rng = random.Random(1)
+    question = realizer.realize_sql(sql, rng)
+    assert question[-1] in ".?"
+    assert question[0].isupper()
+
+
+@pytest.mark.parametrize("sql", QUERIES)
+def test_realizations_pass_equivalence_judge(realizer, mini_enhanced, sql):
+    """The judge and the realizer share a phrase inventory: a faithful
+    realization must always be accepted."""
+    lexicon = realizer.phrases.lexicon
+    judge = EquivalenceJudge(mini_enhanced, lexicon=lexicon)
+    rng = random.Random(11)
+    for _ in range(3):
+        question = realizer.realize_sql(sql, rng)
+        verdict = judge.judge(question, sql)
+        assert verdict.equivalent, (question, [a.description for a in verdict.missing])
+
+
+def test_candidates_are_diverse(realizer):
+    rng = random.Random(5)
+    candidates = realizer.candidates(QUERIES[2], 8, rng)
+    assert len(candidates) == 8
+    assert len(set(candidates)) >= 3  # paraphrase sampling yields variety
+
+
+def test_realize_is_deterministic_given_rng(realizer):
+    a = realizer.realize_sql(QUERIES[0], random.Random(3))
+    b = realizer.realize_sql(QUERIES[0], random.Random(3))
+    assert a == b
+
+
+def test_value_lexicon_phrase_used_sometimes(realizer):
+    rng = random.Random(0)
+    questions = [realizer.realize_sql(QUERIES[0], rng) for _ in range(12)]
+    assert any("Starburst galaxies" in q for q in questions)
+
+
+def test_style_offset_changes_surface_vocabulary(mini_enhanced):
+    sql = "SELECT ra FROM specobj WHERE z > 0.5"
+    canonical = Realizer(mini_enhanced, style=CANONICAL_STYLE)
+    shifted = Realizer(
+        mini_enhanced, style=StyleProfile(name="alt", canonical_bias=0.0, offset=2)
+    )
+    a = {canonical.realize_sql(sql, random.Random(i)) for i in range(10)}
+    b = {shifted.realize_sql(sql, random.Random(i)) for i in range(10)}
+    assert a != b
+
+
+def test_template_cannot_be_realized(realizer, mini_schema):
+    z = sql_to_semql(parse(QUERIES[0]), mini_schema)
+    template = extract_template(z)
+    with pytest.raises(SemQLError):
+        realizer.realize(template.tree, random.Random(0))
+
+
+def test_phrasebook_fallback_chain(mini_enhanced):
+    book = PhraseBook(enhanced=mini_enhanced)
+    assert "redshift" in book.column_phrases("specobj", "z")
+    # Plural of the readable table name is offered too.
+    assert any("objects" in p for p in book.table_phrases("specobj"))
+
+
+def test_render_value():
+    assert render_value(None) == "null"
+    assert render_value(True) == "true"
+    assert render_value(2.0) == "2"
+    assert render_value(2.5) == "2.5"
+    assert render_value("GALAXY") == "GALAXY"
+
+
+def test_pluralise_rules():
+    assert _pluralise("galaxy") == "galaxies"
+    assert _pluralise("class") == "classes"
+    assert _pluralise("object") == "objects"
+    assert _pluralise("person") == "people"
+
+
+# --- corruption -----------------------------------------------------------------
+
+
+def test_corrupt_changes_tree(mini_schema):
+    z = sql_to_semql(
+        parse("SELECT specobjid FROM specobj WHERE class = 'GALAXY' AND z > 0.5"),
+        mini_schema,
+    )
+    rng = random.Random(2)
+    changed = 0
+    for _ in range(10):
+        corrupted, kind = corrupt(z, mini_schema, rng)
+        if corrupted != z:
+            changed += 1
+            assert kind != "none"
+    assert changed >= 8
+
+
+def test_corrupt_preserves_validity(mini_schema, mini_db):
+    """Corrupted trees must still lower to executable-or-at-least-parseable SQL."""
+    from repro.semql import semql_to_sql
+
+    z = sql_to_semql(
+        parse("SELECT z FROM specobj WHERE class = 'GALAXY' AND z > 0.5"),
+        mini_schema,
+    )
+    rng = random.Random(7)
+    for _ in range(20):
+        corrupted, _ = corrupt(z, mini_schema, rng)
+        sql = semql_to_sql(corrupted, mini_schema)
+        parse(sql)  # must not raise
+
+
+def test_corrupt_order_flip(mini_schema):
+    z = sql_to_semql(
+        parse("SELECT class FROM specobj ORDER BY z DESC LIMIT 1"), mini_schema
+    )
+    rng = random.Random(1)
+    kinds = {corrupt(z, mini_schema, rng)[1] for _ in range(30)}
+    assert "flip_order" in kinds
+
+
+def test_corrupt_on_degenerate_query(mini_schema):
+    z = sql_to_semql(parse("SELECT COUNT(*) FROM neighbors"), mini_schema)
+    corrupted, kind = corrupt(z, mini_schema, random.Random(0))
+    # Something is always corruptible here (the projection cannot be dropped,
+    # but aggregates can swap); the call must never crash.
+    assert kind in {
+        "wrong_aggregate", "none", "swap_column", "drop_projection",
+        "flip_comparator", "drop_condition", "perturb_value", "flip_order",
+    }

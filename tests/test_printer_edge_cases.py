@@ -1,0 +1,76 @@
+"""Printer edge cases: escaping, parenthesisation, literal rendering."""
+
+import pytest
+
+from repro.sql import ast, parse, parse_expression, to_sql
+
+
+def test_string_escaping_round_trip():
+    sql = "SELECT a FROM t WHERE b = 'it''s'"
+    printed = to_sql(parse(sql))
+    assert "''" in printed
+    reparsed = parse(printed)
+    literal = ast.literals(reparsed)[0]
+    assert literal.value == "it's"
+
+
+def test_float_literal_round_trip():
+    printed = to_sql(parse("SELECT a FROM t WHERE b = 2.22"))
+    assert "2.22" in printed
+    assert ast.literals(parse(printed))[0].value == 2.22
+
+
+def test_negative_literal_round_trip():
+    printed = to_sql(parse("SELECT a FROM t WHERE b > -3.5"))
+    value = parse(printed).select.where
+    assert to_sql(parse(printed)) == printed
+
+
+def test_null_true_false_rendering():
+    assert to_sql(ast.Literal(None)) == "NULL"
+    assert to_sql(ast.Literal(True)) == "TRUE"
+    assert to_sql(ast.Literal(False)) == "FALSE"
+
+
+def test_nested_arithmetic_parenthesised():
+    expr = parse_expression("a - (b - c)")
+    printed = to_sql(expr)
+    assert "(" in printed
+    assert parse_expression(printed) == expr
+
+
+def test_multiplication_binds_tighter_on_reprint():
+    expr = parse_expression("(a + b) * c")
+    printed = to_sql(expr)
+    assert parse_expression(printed) == expr
+
+
+def test_not_operand_parenthesised():
+    sql = to_sql(parse("SELECT a FROM t WHERE NOT x = 1"))
+    assert to_sql(parse(sql)) == sql
+
+
+def test_mixed_bool_nesting_survives_reprint():
+    original = parse("SELECT a FROM t WHERE x = 1 AND (y = 2 OR z = 3) AND w = 4")
+    assert parse(to_sql(original)) == original
+
+
+def test_like_keyword_uppercased():
+    assert "LIKE" in to_sql(parse("SELECT a FROM t WHERE b like '%x%'"))
+    assert "NOT LIKE" in to_sql(parse("SELECT a FROM t WHERE b not like '%x%'"))
+
+
+def test_distinct_inside_count():
+    printed = to_sql(parse("SELECT COUNT(DISTINCT a) FROM t"))
+    assert printed == "SELECT COUNT(DISTINCT a) FROM t"
+
+
+def test_subquery_ref_alias():
+    printed = to_sql(parse("SELECT x FROM (SELECT a AS x FROM t) AS d"))
+    assert "AS d" in printed
+    assert to_sql(parse(printed)) == printed
+
+
+def test_order_by_always_carries_direction():
+    printed = to_sql(parse("SELECT a FROM t ORDER BY b"))
+    assert printed.endswith("ORDER BY b ASC")

@@ -1,0 +1,109 @@
+"""Additional coverage: Spider-format interop, reporting, error hierarchy."""
+
+import pytest
+
+import repro
+from repro.datasets.records import NLSQLPair, Split
+from repro.errors import (
+    ExecutionError,
+    GenerationError,
+    ReproError,
+    SchemaError,
+    SemQLError,
+    SqlSyntaxError,
+    TrainingError,
+)
+from repro.experiments.reporting import percentage, render_table
+
+
+def test_spider_json_round_trip(tmp_path):
+    split = Split(
+        name="s",
+        pairs=[
+            NLSQLPair(question="How many singers?", sql="SELECT COUNT(*) FROM singer", db_id="concert_singer"),
+            NLSQLPair(question="List names.", sql="SELECT name FROM singer", db_id="concert_singer"),
+        ],
+    )
+    path = tmp_path / "spider.json"
+    split.to_spider_json(path)
+    loaded = Split.from_spider_json(path)
+    assert [p.question for p in loaded] == [p.question for p in split]
+    assert [p.sql for p in loaded] == [p.sql for p in split]
+    assert all(p.source == "spider" for p in loaded)
+
+
+def test_spider_json_layout(tmp_path):
+    import json
+
+    split = Split(
+        name="s",
+        pairs=[NLSQLPair(question="q", sql="SELECT a FROM t", db_id="d")],
+    )
+    path = tmp_path / "spider.json"
+    split.to_spider_json(path)
+    payload = json.loads(path.read_text())
+    assert payload == [{"question": "q", "query": "SELECT a FROM t", "db_id": "d"}]
+
+
+def test_split_extend_and_iter():
+    split = Split(name="s")
+    split.extend([NLSQLPair(question="q", sql="SELECT a FROM t", db_id="d")])
+    assert len(split) == 1
+    assert list(split)[0].question == "q"
+
+
+# --- error hierarchy ---------------------------------------------------------------
+
+
+def test_all_errors_derive_from_repro_error():
+    for error_cls in (
+        SqlSyntaxError,
+        SchemaError,
+        ExecutionError,
+        SemQLError,
+        GenerationError,
+        TrainingError,
+    ):
+        assert issubclass(error_cls, ReproError)
+
+
+def test_sql_syntax_error_carries_position():
+    error = SqlSyntaxError("bad token", position=17)
+    assert error.position == 17
+    assert "17" in str(error)
+
+
+def test_catching_repro_error_covers_library_failures(mini_db):
+    with pytest.raises(ReproError):
+        mini_db.execute("SELECT nope FROM specobj")
+    with pytest.raises(ReproError):
+        repro.parse("SELECT FROM")
+
+
+# --- reporting -------------------------------------------------------------------------
+
+
+def test_render_table_alignment():
+    text = render_table(
+        "Title",
+        ["A", "BBBB"],
+        [("x", 1), ("yyyy", 22222)],
+        note="note line",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "Title"
+    assert lines[1] == "====="
+    assert "A" in lines[2] and "BBBB" in lines[2]
+    assert "note line" in text
+    assert "22,222" in text  # thousands separator for ints
+
+
+def test_render_table_float_formatting():
+    text = render_table("T", ["v"], [(0.123456,), (1234.5,)])
+    assert "0.123" in text
+    assert "1,234.5" in text
+
+
+def test_percentage_formatting():
+    assert percentage(1, 4) == "1 (25.0%)"
+    assert percentage(0, 0) == "0 (0%)"

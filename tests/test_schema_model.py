@@ -1,0 +1,114 @@
+"""Unit tests for the schema model and enhanced schema."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema.enhanced import ColumnAnnotation, EnhancedSchema, default_enhanced_schema
+from repro.schema.model import Column, ColumnType, ForeignKey, Schema, TableDef
+
+I = ColumnType.INTEGER
+T = ColumnType.TEXT
+F = ColumnType.REAL
+
+
+def test_duplicate_column_rejected():
+    with pytest.raises(SchemaError):
+        TableDef("t", (Column("a", I), Column("a", T)))
+
+
+def test_primary_key_must_exist():
+    with pytest.raises(SchemaError):
+        TableDef("t", (Column("a", I),), primary_key="b")
+
+
+def test_duplicate_table_rejected():
+    table = TableDef("t", (Column("a", I),))
+    with pytest.raises(SchemaError):
+        Schema(name="s", tables=(table, table))
+
+
+def test_foreign_key_validated():
+    t1 = TableDef("t1", (Column("a", I),))
+    t2 = TableDef("t2", (Column("b", I),))
+    with pytest.raises(SchemaError):
+        Schema(name="s", tables=(t1, t2), foreign_keys=(ForeignKey("t1", "x", "t2", "b"),))
+    with pytest.raises(SchemaError):
+        Schema(name="s", tables=(t1, t2), foreign_keys=(ForeignKey("t1", "a", "t3", "b"),))
+
+
+def test_lookup_case_insensitive(mini_schema):
+    assert mini_schema.table("SPECOBJ").name == "specobj"
+    assert mini_schema.column("specobj", "Z").name == "z"
+
+
+def test_join_condition_either_direction(mini_schema):
+    fk = mini_schema.join_condition("photoobj", "specobj")
+    assert fk is not None and fk.table == "specobj"
+    assert mini_schema.join_condition("specobj", "photoobj") == fk
+
+
+def test_join_path_direct_and_bridge(mini_schema):
+    assert mini_schema.join_path("specobj", "photoobj") == ["specobj", "photoobj"]
+    path = mini_schema.join_path("neighbors", "specobj")
+    assert path == ["neighbors", "photoobj", "specobj"]
+
+
+def test_join_path_disconnected():
+    t1 = TableDef("a", (Column("x", I),))
+    t2 = TableDef("b", (Column("y", I),))
+    schema = Schema(name="s", tables=(t1, t2))
+    assert schema.join_path("a", "b") is None
+
+
+def test_readable_defaults_to_name_with_spaces():
+    column = Column("start_year", I)
+    assert column.readable == "start year"
+    table = TableDef("project_members", (column,))
+    assert table.readable == "project members"
+
+
+def test_total_columns(mini_schema):
+    assert mini_schema.total_columns() == 6 + 4 + 4
+
+
+def test_annotation_validation(mini_schema):
+    enhanced = EnhancedSchema(schema=mini_schema)
+    with pytest.raises(SchemaError):
+        enhanced.annotate("specobj", "nope", ColumnAnnotation())
+
+
+def test_math_group_requires_numeric(mini_schema):
+    enhanced = EnhancedSchema(schema=mini_schema)
+    with pytest.raises(SchemaError):
+        enhanced.mark_math_group("specobj", "g", "class")
+
+
+def test_math_columns_and_groups(mini_enhanced):
+    groups = mini_enhanced.math_groups("photoobj")
+    assert "photoobj:magnitude" in groups
+    columns = mini_enhanced.math_columns("photoobj", "photoobj:magnitude")
+    assert {c.name for c in columns} == {"u", "r"}
+
+
+def test_aggregatable_excludes_identifiers(mini_enhanced):
+    names = {c.name for c in mini_enhanced.aggregatable_columns("specobj")}
+    assert "specobjid" not in names
+    assert "z" in names
+
+
+def test_categorical_columns_profiled(mini_enhanced):
+    names = {c.name for c in mini_enhanced.categorical_columns("specobj")}
+    assert "class" in names
+
+
+def test_default_enhanced_schema_marks_ids(mini_schema):
+    enhanced = default_enhanced_schema(mini_schema)
+    assert not enhanced.annotation("specobj", "specobjid").aggregatable
+
+
+def test_readable_sql_rewrite(mini_enhanced):
+    readable = mini_enhanced.readable_sql(
+        "SELECT s.z FROM specobj AS s WHERE s.ra > 100"
+    )
+    assert "redshift" in readable
+    assert "right_ascension" in readable

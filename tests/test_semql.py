@@ -1,0 +1,142 @@
+"""Unit tests for SemQL conversion and template extraction."""
+
+import pytest
+
+from repro.errors import SemQLError
+from repro.semql import (
+    extract_template,
+    dedupe_templates,
+    semql_to_ast,
+    semql_to_sql,
+    signature_of,
+    sql_to_semql,
+)
+from repro.semql import nodes as sq
+from repro.sql import parse, to_sql
+
+
+def lift(sql, schema):
+    return sql_to_semql(parse(sql), schema)
+
+
+ROUND_TRIPS = [
+    "SELECT specobjid FROM specobj WHERE class = 'GALAXY' AND z > 0.5",
+    "SELECT COUNT(*), class FROM specobj GROUP BY class",
+    "SELECT COUNT(*) FROM specobj",
+    "SELECT class FROM specobj WHERE z > (SELECT AVG(z) FROM specobj)",
+    "SELECT objid FROM photoobj WHERE objid IN (SELECT bestobjid FROM specobj WHERE class = 'STAR')",
+    "SELECT class FROM specobj WHERE z BETWEEN 0.1 AND 0.4 ORDER BY z DESC LIMIT 3",
+    "SELECT class FROM specobj UNION SELECT subclass FROM specobj WHERE z > 1",
+    "SELECT DISTINCT class FROM specobj",
+    "SELECT MAX(u - r) FROM photoobj",
+    "SELECT class FROM specobj GROUP BY class HAVING COUNT(*) > 2",
+]
+
+
+@pytest.mark.parametrize("sql", ROUND_TRIPS)
+def test_sql_semql_round_trip_stable(sql, mini_schema):
+    z = lift(sql, mini_schema)
+    lowered = semql_to_sql(z, mini_schema)
+    again = semql_to_sql(lift(lowered, mini_schema), mini_schema)
+    assert lowered == again
+
+
+@pytest.mark.parametrize("sql", ROUND_TRIPS)
+def test_round_trip_preserves_execution(sql, mini_schema, mini_db):
+    """The SemQL round trip must not change query semantics."""
+    original = mini_db.execute(sql)
+    lowered = semql_to_sql(lift(sql, mini_schema), mini_schema)
+    roundtripped = mini_db.execute(lowered)
+    assert original.to_multiset() == roundtripped.to_multiset()
+
+
+def test_join_reconstructed_from_fk(mini_schema):
+    z = lift(
+        "SELECT T1.objid, T2.class FROM photoobj AS T1 "
+        "JOIN specobj AS T2 ON T2.bestobjid = T1.objid WHERE T2.z > 0.5",
+        mini_schema,
+    )
+    lowered = semql_to_sql(z, mini_schema)
+    assert "JOIN" in lowered and "bestobjid" in lowered
+
+
+def test_bridge_table_inserted(mini_schema):
+    # neighbors and specobj are only connected through photoobj.
+    z = lift(
+        "SELECT T1.neighbormode, T3.class FROM neighbors AS T1 "
+        "JOIN photoobj AS T2 ON T1.objid = T2.objid "
+        "JOIN specobj AS T3 ON T3.bestobjid = T2.objid",
+        mini_schema,
+    )
+    lowered = semql_to_sql(z, mini_schema)
+    assert lowered.count("JOIN") == 2
+    assert "photoobj" in lowered
+
+
+def test_count_star_keeps_from_table(mini_schema):
+    z = lift("SELECT COUNT(*) FROM neighbors", mini_schema)
+    assert semql_to_sql(z, mini_schema) == "SELECT COUNT(*) FROM neighbors"
+
+
+def test_unsupported_constructs_raise(mini_schema):
+    for sql in (
+        "SELECT a FROM specobj WHERE z IS NULL",
+        "SELECT z FROM specobj WHERE z IN (1, 2)",
+        "SELECT z FROM specobj LIMIT 3",
+        "SELECT AVG(x) FROM (SELECT z AS x FROM specobj) AS d",
+    ):
+        with pytest.raises(SemQLError):
+            lift(sql, mini_schema)
+
+
+def test_math_grammar_extension(mini_schema):
+    z = lift("SELECT objid FROM photoobj WHERE u - r < 2.22", mini_schema)
+    maths = [n for n in z.walk() if isinstance(n, sq.MathExpr)]
+    assert len(maths) == 1 and maths[0].op == "-"
+
+
+def test_template_anonymizes_all_leaves(mini_schema):
+    z = lift(
+        "SELECT specobjid FROM specobj WHERE class = 'GALAXY' AND z > 0.5",
+        mini_schema,
+    )
+    template = extract_template(z)
+    assert sq.is_template(template.tree)
+    assert template.n_tables == 1
+    assert template.n_columns == 3
+    assert template.n_values == 2
+    leaves = [n for n in template.tree.walk() if isinstance(n, (sq.TableLeaf, sq.ColumnLeaf, sq.ValueLeaf))]
+    assert leaves == []
+
+
+def test_template_shares_positions_for_repeated_leaves(mini_schema):
+    z = lift("SELECT z FROM specobj WHERE z > 0.5", mini_schema)
+    template = extract_template(z)
+    # column `z` appears twice but uses one position.
+    assert template.n_columns == 1
+
+
+def test_template_signature_dedupe(mini_schema):
+    z1 = lift("SELECT z FROM specobj WHERE class = 'GALAXY'", mini_schema)
+    z2 = lift("SELECT ra FROM specobj WHERE subclass = 'AGN'", mini_schema)
+    t1, t2 = extract_template(z1), extract_template(z2)
+    assert t1.signature == t2.signature
+    assert len(dedupe_templates([t1, t2])) == 1
+
+
+def test_signature_distinguishes_operators(mini_schema):
+    z1 = lift("SELECT z FROM specobj WHERE z > 0.5", mini_schema)
+    z2 = lift("SELECT z FROM specobj WHERE z < 0.5", mini_schema)
+    assert signature_of(extract_template(z1).tree) != signature_of(extract_template(z2).tree)
+
+
+def test_cannot_lower_template(mini_schema):
+    z = lift("SELECT z FROM specobj WHERE z > 0.5", mini_schema)
+    template = extract_template(z)
+    with pytest.raises(SemQLError):
+        semql_to_ast(template.tree, mini_schema)
+
+
+def test_unknown_alias_raises(mini_schema):
+    with pytest.raises(SemQLError):
+        lift("SELECT nope.z FROM specobj AS s", mini_schema)

@@ -1,0 +1,98 @@
+"""Tests for MiniSpider: domains, the query sampler and corpus assembly."""
+
+import random
+
+import pytest
+
+from repro.schema.introspect import profile_database
+from repro.spider import DOMAIN_BUILDERS, build_corpus
+from repro.spider.sampler import QuerySampler
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_corpus(train_per_db=20, dev_per_db=8)
+
+
+@pytest.mark.parametrize("name", sorted(DOMAIN_BUILDERS))
+def test_domain_builders_produce_populated_dbs(name):
+    database = DOMAIN_BUILDERS[name](random.Random(1))
+    assert database.row_count() > 0
+    for fk in database.schema.foreign_keys:
+        child = set(database.table(fk.table).column_values(fk.column))
+        child.discard(None)
+        parent = set(database.table(fk.ref_table).column_values(fk.ref_column))
+        assert child <= parent
+
+
+def test_spider_profile_small_schemas():
+    """Spider's Table-1 profile: a few tables and a couple dozen columns."""
+    for name, builder in DOMAIN_BUILDERS.items():
+        database = builder(random.Random(0))
+        assert 2 <= len(database.schema.tables) <= 4
+        assert database.schema.total_columns() <= 25
+
+
+def test_sampler_produces_executable_queries():
+    database = DOMAIN_BUILDERS["employees"](random.Random(2))
+    enhanced = profile_database(database)
+    sampler = QuerySampler(database, enhanced, random.Random(3))
+    queries = sampler.sample_many(30)
+    assert len(queries) >= 25
+    for sql in queries:
+        assert database.try_execute(sql) is not None
+
+
+def test_sampler_queries_distinct():
+    database = DOMAIN_BUILDERS["movies"](random.Random(2))
+    enhanced = profile_database(database)
+    sampler = QuerySampler(database, enhanced, random.Random(9))
+    queries = sampler.sample_many(40)
+    assert len(queries) == len(set(queries))
+
+
+def test_sampler_covers_hardness_spectrum():
+    database = DOMAIN_BUILDERS["concert_singer"](random.Random(2))
+    enhanced = profile_database(database)
+    sampler = QuerySampler(database, enhanced, random.Random(4))
+    from repro.spider.hardness import hardness_distribution
+
+    counts = hardness_distribution(sampler.sample_many(80))
+    assert counts["easy"] > 0 and counts["medium"] > 0
+    assert counts["hard"] + counts["extra"] > 0
+
+
+def test_corpus_sizes(corpus):
+    n_dbs = len(corpus.databases)
+    assert len(corpus.train) == pytest.approx(20 * n_dbs, abs=2 * n_dbs)
+    assert len(corpus.dev) > 0
+    assert set(p.db_id for p in corpus.train) == set(corpus.databases)
+
+
+def test_corpus_train_dev_disjoint_sql(corpus):
+    train_sql = {(p.db_id, p.sql) for p in corpus.train}
+    dev_sql = {(p.db_id, p.sql) for p in corpus.dev}
+    assert not train_sql & dev_sql
+
+
+def test_corpus_questions_nonempty(corpus):
+    for pair in list(corpus.train)[:50]:
+        assert pair.question.strip()
+        assert pair.question[-1] in ".?"
+
+
+def test_corpus_gold_sql_executes(corpus):
+    for pair in list(corpus.dev):
+        assert corpus.databases[pair.db_id].try_execute(pair.sql) is not None
+
+
+def test_corpus_deterministic():
+    a = build_corpus(train_per_db=5, dev_per_db=2, seed=42)
+    b = build_corpus(train_per_db=5, dev_per_db=2, seed=42)
+    assert [p.sql for p in a.train] == [p.sql for p in b.train]
+    assert [p.question for p in a.train] == [p.question for p in b.train]
+
+
+def test_corpus_domain_subset():
+    corpus = build_corpus(train_per_db=5, dev_per_db=2, domains=["pets", "movies"])
+    assert set(corpus.databases) == {"pets", "movies"}

@@ -1,0 +1,142 @@
+"""Unit tests for the SQL parser and printer (round-trip properties)."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sql import ast, parse, parse_expression, to_sql
+
+
+ROUND_TRIP_QUERIES = [
+    "SELECT a FROM t",
+    "SELECT DISTINCT a, b FROM t",
+    "SELECT s.specobjid FROM specobj AS s WHERE s.subclass = 'STARBURST'",
+    "SELECT COUNT(*) FROM t WHERE x > 1 AND y < 2",
+    "SELECT COUNT(DISTINCT a) FROM t",
+    "SELECT AVG(z) FROM specobj GROUP BY class HAVING COUNT(*) > 3",
+    "SELECT a FROM t ORDER BY b DESC LIMIT 5",
+    "SELECT a FROM t WHERE b BETWEEN 1 AND 2",
+    "SELECT a FROM t WHERE b NOT BETWEEN 1 AND 2",
+    "SELECT a FROM t WHERE b IN (1, 2, 3)",
+    "SELECT a FROM t WHERE b NOT IN (SELECT c FROM u)",
+    "SELECT a FROM t WHERE b LIKE '%x%'",
+    "SELECT a FROM t WHERE b NOT LIKE '%x%'",
+    "SELECT a FROM t WHERE b IS NULL",
+    "SELECT a FROM t WHERE b IS NOT NULL",
+    "SELECT a FROM t WHERE NOT EXISTS (SELECT 1 FROM u)",
+    "SELECT a FROM t UNION SELECT a FROM u",
+    "SELECT a FROM t INTERSECT SELECT a FROM u",
+    "SELECT a FROM t EXCEPT SELECT a FROM u",
+    "SELECT p.u - p.r FROM photoobj AS p WHERE p.u - p.r < 2.22",
+    "SELECT AVG(price) FROM (SELECT price FROM items WHERE q > 3) AS d",
+    "SELECT x FROM t WHERE y > (SELECT AVG(y) FROM t)",
+    "SELECT t.* FROM t",
+    "SELECT * FROM t",
+    "SELECT a FROM t WHERE x = 1 OR y = 2 AND z = 3",
+]
+
+
+@pytest.mark.parametrize("sql", ROUND_TRIP_QUERIES)
+def test_round_trip_is_stable(sql):
+    once = to_sql(parse(sql))
+    twice = to_sql(parse(once))
+    assert once == twice
+
+
+def test_structural_equality_of_reparsed_queries():
+    sql = "SELECT a, b FROM t WHERE c = 'x' AND d > 2"
+    assert parse(sql) == parse(to_sql(parse(sql)))
+
+
+def test_join_with_alias_and_condition():
+    query = parse(
+        "SELECT T1.a FROM t AS T1 JOIN u AS T2 ON T1.id = T2.tid WHERE T2.b = 1"
+    )
+    select = query.select
+    assert [r.binding for r in select.table_refs()] == ["T1", "T2"]
+    assert isinstance(select.joins[0].condition, ast.Comparison)
+
+
+def test_implicit_alias_without_as():
+    query = parse("SELECT s.a FROM specobj s")
+    assert query.select.from_tables[0].alias == "s"
+
+
+def test_left_join_treated_as_join():
+    query = parse("SELECT a FROM t LEFT JOIN u ON t.id = u.tid")
+    assert len(query.select.joins) == 1
+
+
+def test_negative_number_literal():
+    expr = parse_expression("-3.5")
+    assert isinstance(expr, ast.UnaryMinus)
+
+
+def test_arithmetic_precedence():
+    expr = parse_expression("a + b * c")
+    assert isinstance(expr, ast.BinaryOp)
+    assert expr.op == "+"
+    assert isinstance(expr.right, ast.BinaryOp) and expr.right.op == "*"
+
+
+def test_boolean_precedence_or_over_and():
+    expr = parse_expression("a = 1 OR b = 2 AND c = 3")
+    assert isinstance(expr, ast.BoolOp) and expr.op == "or"
+    assert isinstance(expr.operands[1], ast.BoolOp)
+    assert expr.operands[1].op == "and"
+
+
+def test_nary_and_flattened():
+    expr = parse_expression("a = 1 AND b = 2 AND c = 3")
+    assert isinstance(expr, ast.BoolOp)
+    assert len(expr.operands) == 3
+
+
+def test_limit_parses_integer():
+    assert parse("SELECT a FROM t LIMIT 10").select.limit == 10
+
+
+def test_trailing_garbage_raises():
+    with pytest.raises(SqlSyntaxError):
+        parse("SELECT a FROM t garbage extra ,")
+
+
+def test_missing_from_table_raises():
+    with pytest.raises(SqlSyntaxError):
+        parse("SELECT a FROM WHERE x = 1")
+
+
+def test_unbalanced_parens_raise():
+    with pytest.raises(SqlSyntaxError):
+        parse("SELECT a FROM t WHERE (x = 1")
+
+
+def test_semicolon_accepted():
+    assert to_sql(parse("SELECT a FROM t;")) == "SELECT a FROM t"
+
+
+def test_null_true_false_literals():
+    query = parse("SELECT a FROM t WHERE b = NULL OR c = TRUE OR d = FALSE")
+    literals = ast.literals(query)
+    assert {l.value for l in literals} == {None, True, False}
+
+
+def test_column_refs_helper():
+    query = parse("SELECT a, t.b FROM t WHERE c > 1")
+    names = {c.column for c in ast.column_refs(query)}
+    assert names == {"a", "b", "c"}
+
+
+def test_set_op_chain_right_associative():
+    query = parse("SELECT a FROM t UNION SELECT a FROM u UNION SELECT a FROM v")
+    assert query.set_op == "union"
+    assert query.right.set_op == "union"
+
+
+def test_union_all_flag():
+    query = parse("SELECT a FROM t UNION ALL SELECT a FROM u")
+    assert query.set_all is True
+
+
+def test_or_inside_and_printed_with_parens():
+    sql = to_sql(parse("SELECT a FROM t WHERE (x = 1 OR y = 2) AND z = 3"))
+    assert "(" in sql and to_sql(parse(sql)) == sql

@@ -1,0 +1,83 @@
+"""Unit tests for the SQL lexer."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sql.tokens import Token, TokenType, tokenize
+
+
+def kinds(text):
+    return [(t.type, t.value) for t in tokenize(text)[:-1]]
+
+
+def test_keywords_are_case_insensitive():
+    assert kinds("SELECT select SeLeCt") == [
+        (TokenType.KEYWORD, "select"),
+        (TokenType.KEYWORD, "select"),
+        (TokenType.KEYWORD, "select"),
+    ]
+
+
+def test_identifiers_preserve_case():
+    tokens = kinds("myTable Other_col2")
+    assert tokens == [
+        (TokenType.IDENT, "myTable"),
+        (TokenType.IDENT, "Other_col2"),
+    ]
+
+
+def test_numbers_integer_and_decimal_and_exponent():
+    values = [v for _, v in kinds("42 3.14 1e5 2.5E-3")]
+    assert values == ["42", "3.14", "1e5", "2.5E-3"]
+
+
+def test_number_followed_by_dot_member_access():
+    # "T1.col" must lex as IDENT DOT IDENT, not a malformed number.
+    tokens = kinds("T1.col")
+    assert tokens == [
+        (TokenType.IDENT, "T1"),
+        (TokenType.PUNCT, "."),
+        (TokenType.IDENT, "col"),
+    ]
+
+
+def test_single_quoted_string_with_escape():
+    tokens = kinds("'it''s'")
+    assert tokens == [(TokenType.STRING, "it's")]
+
+
+def test_double_quoted_string():
+    tokens = kinds('"GALAXY"')
+    assert tokens == [(TokenType.STRING, "GALAXY")]
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(SqlSyntaxError):
+        tokenize("SELECT 'oops")
+
+
+def test_multi_character_operators_greedy():
+    values = [v for _, v in kinds("a <= b >= c <> d != e")]
+    assert "<=" in values and ">=" in values and "<>" in values and "!=" in values
+
+
+def test_unknown_character_raises_with_position():
+    with pytest.raises(SqlSyntaxError) as excinfo:
+        tokenize("SELECT @")
+    assert excinfo.value.position == 7
+
+
+def test_eof_token_terminates_stream():
+    tokens = tokenize("SELECT 1")
+    assert tokens[-1].type is TokenType.EOF
+
+
+def test_is_keyword_helper():
+    token = Token(TokenType.KEYWORD, "select", 0)
+    assert token.is_keyword("select", "from")
+    assert not token.is_keyword("from")
+
+
+def test_whitespace_only_input():
+    tokens = tokenize("   \n\t ")
+    assert len(tokens) == 1 and tokens[0].type is TokenType.EOF

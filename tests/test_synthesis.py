@@ -1,0 +1,216 @@
+"""Tests for the four pipeline phases and the end-to-end pipeline."""
+
+import random
+
+import pytest
+
+from repro.datasets.records import NLSQLPair
+from repro.metrics import EquivalenceJudge
+from repro.semql import nodes as sq
+from repro.synthesis import (
+    AugmentationPipeline,
+    Discriminator,
+    DiscriminatorConfig,
+    GenerationConfig,
+    PipelineConfig,
+    SqlGenerator,
+    extract_templates,
+)
+from repro.synthesis.generation import column_pool
+
+
+# --- Phase 1: seeding ---------------------------------------------------------
+
+
+def test_extract_templates_dedupes(mini_schema):
+    pairs = [
+        NLSQLPair(question="a", sql="SELECT z FROM specobj WHERE class = 'GALAXY'", db_id="d"),
+        NLSQLPair(question="b", sql="SELECT ra FROM specobj WHERE subclass = 'AGN'", db_id="d"),
+        NLSQLPair(question="c", sql="SELECT COUNT(*) FROM specobj", db_id="d"),
+    ]
+    result = extract_templates(pairs, mini_schema)
+    assert result.n_unique == 2
+    assert result.skipped == []
+
+
+def test_extract_templates_reports_skips(mini_schema):
+    pairs = [
+        NLSQLPair(question="a", sql="SELECT z FROM specobj WHERE z IS NULL", db_id="d"),
+        NLSQLPair(question="b", sql="SELECT z FROM specobj", db_id="d"),
+    ]
+    result = extract_templates(pairs, mini_schema)
+    assert result.n_unique == 1
+    assert len(result.skipped) == 1
+
+
+# --- Phase 2: generation (Algorithm 1) -------------------------------------------
+
+
+@pytest.fixture()
+def generator(mini_db, mini_enhanced):
+    return SqlGenerator(
+        mini_db,
+        mini_enhanced,
+        random.Random(17),
+        config=GenerationConfig(queries_per_template=10, require_nonempty=True),
+    )
+
+
+def template_of(sql, schema):
+    from repro.semql import extract_template, sql_to_semql
+    from repro.sql import parse
+
+    return extract_template(sql_to_semql(parse(sql), schema), source_sql=sql)
+
+
+def test_instantiation_produces_executable_nonempty_sql(
+    generator, mini_db, mini_schema
+):
+    template = template_of("SELECT z FROM specobj WHERE class = 'GALAXY'", mini_schema)
+    for _ in range(5):
+        sql = generator.instantiate(template)
+        assert sql is not None
+        result = mini_db.execute(sql)
+        assert result.rows
+
+
+def test_instantiation_respects_aggregatable_constraint(
+    generator, mini_schema, mini_enhanced
+):
+    """AVG must never land on an identifier column (the paper's
+    ``AVG(specobjid)`` anti-example)."""
+    from repro.sql import ast, parse
+
+    template = template_of("SELECT AVG(z) FROM specobj", mini_schema)
+    for _ in range(15):
+        sql = generator.instantiate(template)
+        assert sql is not None
+        query = parse(sql)
+        call = query.select.items[0].expr
+        assert isinstance(call, ast.FuncCall)
+        column = call.args[0]
+        table = query.select.from_tables[0].name
+        annotation = mini_enhanced.annotation(table, column.column)
+        assert annotation.aggregatable, sql
+
+
+def test_instantiation_group_by_uses_categorical(generator, mini_schema, mini_enhanced):
+    from repro.sql import parse
+
+    template = template_of("SELECT COUNT(*), class FROM specobj GROUP BY class", mini_schema)
+    for _ in range(10):
+        sql = generator.instantiate(template)
+        assert sql is not None
+        query = parse(sql)
+        key = query.select.group_by[0]
+        table = query.select.from_tables[0].name
+        assert mini_enhanced.annotation(table, key.column).categorical, sql
+
+
+def test_instantiation_math_stays_in_group(generator, mini_schema):
+    from repro.sql import ast, parse
+
+    template = template_of(
+        "SELECT objid FROM photoobj WHERE u - r < 2.0", mini_schema
+    )
+    for _ in range(10):
+        sql = generator.instantiate(template)
+        assert sql is not None
+        query = parse(sql)
+        ops = [n for n in query.walk() if isinstance(n, ast.BinaryOp)]
+        assert ops, sql
+        names = {ops[0].left.column, ops[0].right.column}
+        assert names <= {"u", "r"}, sql
+        assert len(names) == 2
+
+
+def test_generate_round_robin_hits_target(generator, mini_schema):
+    templates = [
+        template_of("SELECT z FROM specobj WHERE class = 'GALAXY'", mini_schema),
+        template_of("SELECT COUNT(*) FROM specobj", mini_schema),
+    ]
+    queries = generator.generate(templates)
+    assert len(queries) == len(set(queries))
+    assert len(queries) >= 3
+
+
+def test_column_pool_contexts(mini_enhanced):
+    assert {c.name for c in column_pool(mini_enhanced, "specobj", "group")} >= {"class"}
+    assert all(
+        c.type.is_numeric for c in column_pool(mini_enhanced, "specobj", "avg")
+    )
+    assert all(
+        c.type.value == "text" for c in column_pool(mini_enhanced, "specobj", "like")
+    )
+
+
+# --- Phase 4: discrimination -------------------------------------------------------
+
+
+def test_discriminator_selects_consensus():
+    discriminator = Discriminator(DiscriminatorConfig(top_k=2))
+    candidates = [
+        "find the redshift of all galaxies",
+        "show the redshift of galaxies",
+        "list the redshift of the galaxies",
+        "what is the redshift of galaxies",
+        "count the french project members",  # semantic outlier
+    ]
+    selected = discriminator.select(candidates)
+    assert len(selected) == 2
+    assert "count the french project members" not in selected
+
+
+def test_discriminator_dedupes():
+    discriminator = Discriminator(DiscriminatorConfig(top_k=2))
+    assert discriminator.select(["same", "same", "same"]) == ["same"]
+
+
+def test_discriminator_invalid_k():
+    with pytest.raises(ValueError):
+        Discriminator(DiscriminatorConfig(top_k=0))
+
+
+# --- end-to-end ------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def sdss_pipeline_report(sdss_domain):
+    pipeline = AugmentationPipeline(
+        sdss_domain, config=PipelineConfig(target_queries=60)
+    )
+    return pipeline.run()
+
+
+def test_pipeline_produces_pairs(sdss_pipeline_report):
+    report = sdss_pipeline_report
+    assert report.n_generated_sql >= 50
+    # top-2 candidate selection → up to two questions per query.
+    assert report.n_pairs >= report.n_generated_sql
+
+
+def test_pipeline_pairs_execute(sdss_domain, sdss_pipeline_report):
+    for pair in sdss_pipeline_report.split.pairs:
+        assert sdss_domain.database.try_execute(pair.sql) is not None
+
+
+def test_pipeline_sets_domain_synth(sdss_domain, sdss_pipeline_report):
+    assert sdss_domain.synth is sdss_pipeline_report.split
+    assert all(p.source == "synth" for p in sdss_domain.synth)
+
+
+def test_pipeline_quality_is_silver_not_perfect(sdss_domain, sdss_pipeline_report):
+    """Table 4's property: mostly correct, never perfect."""
+    judge = EquivalenceJudge(sdss_domain.enhanced, lexicon=sdss_domain.lexicon)
+    rate = judge.judge_rate(
+        [(p.question, p.sql) for p in sdss_pipeline_report.split.pairs]
+    )
+    assert 0.6 < rate <= 1.0
+
+
+def test_pipeline_deterministic(sdss_domain):
+    config = PipelineConfig(target_queries=20)
+    a = AugmentationPipeline(sdss_domain, config=config).run()
+    b = AugmentationPipeline(sdss_domain, config=config).run()
+    assert [p.sql for p in a.split.pairs] == [p.sql for p in b.split.pairs]
+    assert [p.question for p in a.split.pairs] == [p.question for p in b.split.pairs]

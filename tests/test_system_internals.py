@@ -1,0 +1,142 @@
+"""Unit tests for system-internal helpers of SmBoP and T5."""
+
+import random
+
+import pytest
+
+from repro.datasets.records import NLSQLPair
+from repro.nl2sql.smbop import SmBoP, _as_int, _drop_last
+from repro.nl2sql.t5 import T5Seq2Seq
+from repro.semql import nodes as sq
+
+
+def test_as_int_normalises_whole_floats():
+    assert _as_int(3.0) == 3 and isinstance(_as_int(3.0), int)
+    assert _as_int(3.5) == 3.5
+
+
+def test_drop_last_unwraps_filter_node():
+    condition = sq.Condition(
+        op="=",
+        attribute=sq.A(agg="none", column=sq.StarLeaf()),
+        value=sq.ValueLeaf(value=1),
+    )
+    tree = sq.FilterNode(op="and", left=condition, right=condition)
+    assert _drop_last(tree) is condition
+    assert _drop_last(condition) is None
+
+
+def test_smbop_filter_boundary():
+    boundary = SmBoP._filter_boundary("Find the name of singers whose age is 20.")
+    assert boundary == "Find the name of singers ".__len__()
+    no_boundary = SmBoP._filter_boundary("Find all names")
+    assert no_boundary == len("Find all names")
+
+
+@pytest.fixture()
+def smbop(mini_db, mini_enhanced):
+    system = SmBoP()
+    system.register_database("mini_sdss", mini_db, mini_enhanced)
+    return system
+
+
+def test_smbop_count_question(smbop, mini_db):
+    smbop.train(
+        [
+            NLSQLPair(
+                question="How many spectroscopic objects are there?",
+                sql="SELECT COUNT(*) FROM specobj",
+                db_id="mini_sdss",
+            )
+        ]
+    )
+    predicted = smbop.predict(
+        "How many spectroscopic objects are there whose spectroscopic class is GALAXY?",
+        "mini_sdss",
+    )
+    assert predicted is not None
+    result = mini_db.execute(predicted)
+    assert result.rows == [(3,)]
+
+
+def test_smbop_superlative(smbop, mini_db):
+    smbop.train(
+        [
+            NLSQLPair(
+                question="Find the redshift of spectroscopic objects.",
+                sql="SELECT z FROM specobj",
+                db_id="mini_sdss",
+            )
+        ]
+    )
+    predicted = smbop.predict(
+        "Find the redshift of spectroscopic objects with the highest redshift.",
+        "mini_sdss",
+    )
+    assert predicted is not None
+    assert "ORDER BY" in predicted and "LIMIT 1" in predicted
+
+
+def test_smbop_projection_prior_counts(smbop):
+    pairs = [
+        NLSQLPair(
+            question="Show the redshift.",
+            sql="SELECT z FROM specobj",
+            db_id="mini_sdss",
+        )
+    ] * 3 + [
+        NLSQLPair(
+            question="Show the class.",
+            sql="SELECT class FROM specobj",
+            db_id="mini_sdss",
+        )
+    ]
+    smbop.train(pairs)
+    prior = smbop._projection_prior("mini_sdss", "specobj")
+    assert prior[0] == "z"
+
+
+@pytest.fixture()
+def t5(mini_db, mini_enhanced):
+    system = T5Seq2Seq()
+    system.register_database("mini_sdss", mini_db, mini_enhanced)
+    return system
+
+
+def test_t5_memory_grows_with_training(t5):
+    assert len(t5._memory) == 0
+    t5.train(
+        [
+            NLSQLPair(
+                question="Show the redshift of spectroscopic objects.",
+                sql="SELECT z FROM specobj",
+                db_id="mini_sdss",
+            )
+        ]
+    )
+    assert len(t5._memory) == 1
+
+
+def test_t5_naive_adapt_substitutes_literals(t5):
+    from repro.nl2sql.linking import Links, ValueLink
+
+    links = Links()
+    links.values = [ValueLink(table="specobj", column="class", value="QSO", score=2.0)]
+    links.numbers = [0.9]
+    adapted = t5._naive_adapt(
+        "SELECT z FROM specobj WHERE class = 'GALAXY' AND z > 0.5", links
+    )
+    assert "'QSO'" in adapted
+    assert "0.9" in adapted
+
+
+def test_t5_nearest_prefers_same_db(t5, mini_db, mini_enhanced):
+    t5.register_database("other", mini_db, mini_enhanced)
+    t5.train(
+        [
+            NLSQLPair(question="Show the redshift.", sql="SELECT z FROM specobj", db_id="other"),
+            NLSQLPair(question="Show the redshift.", sql="SELECT z FROM specobj", db_id="mini_sdss"),
+        ]
+    )
+    neighbours = t5._nearest("Show the redshift.", "mini_sdss")
+    assert neighbours[0][1].db_id == "mini_sdss"
