@@ -158,6 +158,13 @@ def main() -> None:
         f"{report.seeding.n_unique} templates from {len(seeds)} seeds "
         f"-> {report.n_generated_sql} SQL queries -> {report.n_pairs} NL/SQL pairs"
     )
+    stats = report.generation
+    print(
+        f"oracle budget: {stats.candidates} candidates, "
+        f"{stats.static_rejected} rejected by the static analyzer without "
+        f"executing, {stats.executed} executed "
+        f"({stats.runtime_rejected} rejected at runtime, {stats.accepted} accepted)"
+    )
     for pair in report.split.pairs[:8]:
         print(f"  NL : {pair.question}")
         print(f"  SQL: {pair.sql}")

@@ -1,0 +1,56 @@
+"""Schema-aware static analysis for benchmark SQL ("sqllint").
+
+This package checks parsed :mod:`repro.sql.ast` trees against a
+:class:`~repro.schema.model.Schema` (and optionally an
+:class:`~repro.schema.enhanced.EnhancedSchema`) *without executing them*.
+Five passes produce structured :class:`Diagnostic` records:
+
+1. **names** — table/column/alias resolution, ambiguity;
+2. **typecheck** — comparison/arithmetic/aggregate operand types;
+3. **joins** — foreign-key conformance and cartesian-product detection;
+4. **aggregates** — GROUP BY discipline, aggregate placement;
+5. **cost** — cardinality heuristics from profiled column statistics that
+   prove predicates (and whole queries) statically empty.
+
+Three integration points use it: the synthesis pipeline pre-filters
+generated candidates before the (expensive) execution oracle
+(:func:`rejects_execution`), the evaluation metrics triage failed
+predictions (:mod:`repro.metrics.triage`), and the ``sciencebenchmark
+lint`` CLI command gates benchmark releases (:func:`lint_domain`).
+"""
+
+from repro.analysis.analyzer import (
+    EXECUTION_FATAL_RULES,
+    analyze,
+    build_context,
+    rejects_execution,
+)
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Severity,
+    count_severity,
+    has_errors,
+    sort_diagnostics,
+)
+from repro.analysis.lint import (
+    LintEntry,
+    LintReport,
+    check_database_integrity,
+    lint_domain,
+)
+
+__all__ = [
+    "EXECUTION_FATAL_RULES",
+    "Diagnostic",
+    "LintEntry",
+    "LintReport",
+    "Severity",
+    "analyze",
+    "build_context",
+    "check_database_integrity",
+    "count_severity",
+    "has_errors",
+    "lint_domain",
+    "rejects_execution",
+    "sort_diagnostics",
+]

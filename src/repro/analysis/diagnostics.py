@@ -1,0 +1,57 @@
+"""Structured diagnostics emitted by the static analyzer.
+
+Every analysis pass reports :class:`Diagnostic` records instead of raising:
+a rule identifier (``pass.rule-name``), a severity, a human-readable message
+and a dotted node path into the query (``query.select.where``).  Downstream
+consumers — the generation pre-filter, the lint CLI and the failure triage —
+act on the records without ever executing the query.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings gate the lint command (non-zero exit) and, for the
+    rules known to be execution-fatal, the generation pre-filter.
+    ``WARNING`` findings flag queries that execute but are almost certainly
+    wrong (cartesian products, statically empty predicates).  ``INFO``
+    findings are stylistic (e.g. aggregating an identifier column).
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+
+_ORDER = {Severity.ERROR: 0, Severity.WARNING: 1, Severity.INFO: 2}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of the static analyzer."""
+
+    rule: str
+    severity: Severity
+    message: str
+    path: str = "query"
+
+    def render(self) -> str:
+        return f"{self.severity.value}[{self.rule}] at {self.path}: {self.message}"
+
+
+def has_errors(diagnostics: list[Diagnostic]) -> bool:
+    return any(d.severity is Severity.ERROR for d in diagnostics)
+
+
+def count_severity(diagnostics: list[Diagnostic], severity: Severity) -> int:
+    return sum(1 for d in diagnostics if d.severity is severity)
+
+
+def sort_diagnostics(diagnostics: list[Diagnostic]) -> list[Diagnostic]:
+    """Stable order: errors first, then warnings, then info."""
+    return sorted(diagnostics, key=lambda d: _ORDER[d.severity])

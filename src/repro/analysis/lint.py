@@ -1,0 +1,142 @@
+"""Benchmark-level linting: whole splits and dataset integrity.
+
+The ``sciencebenchmark lint`` CLI command drives this module.  It applies the
+static analyzer to every gold query of a domain's seed and dev splits and
+additionally checks the *data* itself — referential integrity of every
+declared foreign key — so a benchmark release cannot ship dangling
+references.
+
+Rules
+-----
+``data.broken-fk``  a child-table value has no matching parent row
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.database import Database
+from repro.analysis.analyzer import analyze
+from repro.analysis.diagnostics import Diagnostic, Severity, sort_diagnostics
+
+
+@dataclass(frozen=True)
+class LintEntry:
+    """Diagnostics for one gold query."""
+
+    split: str
+    index: int
+    sql: str
+    diagnostics: tuple[Diagnostic, ...]
+
+
+@dataclass
+class LintReport:
+    """Everything ``sciencebenchmark lint`` found for one domain."""
+
+    domain: str
+    n_queries: int = 0
+    entries: list[LintEntry] = field(default_factory=list)
+    integrity: list[Diagnostic] = field(default_factory=list)
+
+    def _all_diagnostics(self):
+        for entry in self.entries:
+            yield from entry.diagnostics
+        yield from self.integrity
+
+    @property
+    def n_errors(self) -> int:
+        return sum(1 for d in self._all_diagnostics() if d.severity is Severity.ERROR)
+
+    @property
+    def n_warnings(self) -> int:
+        return sum(
+            1 for d in self._all_diagnostics() if d.severity is Severity.WARNING
+        )
+
+    @property
+    def has_errors(self) -> bool:
+        return self.n_errors > 0
+
+    def render(self) -> str:
+        lines = [f"== {self.domain}: {self.n_queries} queries linted =="]
+        for entry in self.entries:
+            lines.append(f"  [{entry.split}#{entry.index}] {entry.sql}")
+            for diag in sort_diagnostics(list(entry.diagnostics)):
+                lines.append(f"    {diag.render()}")
+        for diag in self.integrity:
+            lines.append(f"  {diag.render()}")
+        lines.append(
+            f"  {self.n_errors} error(s), {self.n_warnings} warning(s)"
+            if (self.entries or self.integrity)
+            else "  clean"
+        )
+        return "\n".join(lines)
+
+
+def lint_domain(domain, min_severity: Severity = Severity.WARNING) -> LintReport:
+    """Lint every seed/dev gold query of a :class:`BenchmarkDomain`.
+
+    Only queries with at least one diagnostic at ``min_severity`` or above
+    appear in the report (errors always do).
+    """
+    report = LintReport(domain=domain.name)
+    keep = _severity_filter(min_severity)
+    for split in (domain.seed, domain.dev):
+        for i, pair in enumerate(split):
+            diagnostics = [
+                d
+                for d in analyze(pair.sql, domain.database.schema, domain.enhanced)
+                if keep(d)
+            ]
+            report.n_queries += 1
+            if diagnostics:
+                report.entries.append(
+                    LintEntry(
+                        split=split.name,
+                        index=i,
+                        sql=pair.sql,
+                        diagnostics=tuple(diagnostics),
+                    )
+                )
+    report.integrity = check_database_integrity(domain.database)
+    return report
+
+
+def check_database_integrity(database: Database) -> list[Diagnostic]:
+    """Verify every declared foreign key actually resolves in the data."""
+    diagnostics: list[Diagnostic] = []
+    for fk in database.schema.foreign_keys:
+        child = database.table(fk.table)
+        parent = database.table(fk.ref_table)
+        parent_values = set(parent.column_values(fk.ref_column))
+        dangling = [
+            v
+            for v in child.column_values(fk.column)
+            if v is not None and v not in parent_values
+        ]
+        if dangling:
+            sample = sorted({repr(v) for v in dangling})[:3]
+            diagnostics.append(
+                Diagnostic(
+                    rule="data.broken-fk",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"{len(dangling)} row(s) of {fk.table}.{fk.column} "
+                        f"reference no {fk.ref_table}.{fk.ref_column} "
+                        f"(e.g. {', '.join(sample)})"
+                    ),
+                    path=f"data.{fk.table}.{fk.column}",
+                )
+            )
+    return diagnostics
+
+
+def _severity_filter(min_severity: Severity):
+    order = {Severity.ERROR: 0, Severity.WARNING: 1, Severity.INFO: 2}
+    threshold = order[min_severity]
+
+    def keep(diagnostic: Diagnostic) -> bool:
+        return order[diagnostic.severity] <= threshold
+
+    return keep

@@ -6,9 +6,11 @@ Commands
 ``figures``    regenerate the Figure 1 / Figure 2 walk-throughs
 ``augment``    run the pipeline for one domain and write the Synth split
 ``stats``      print the per-domain split statistics
+``lint``       static-analyze the gold queries and data of the domains
 
 All commands accept ``--preset quick|full`` (default quick) and are fully
-deterministic.
+deterministic.  Failures exit non-zero: 1 for benchmark errors (including
+lint findings), 2 for usage errors.
 """
 
 from __future__ import annotations
@@ -42,19 +44,38 @@ def main(argv: list[str] | None = None) -> int:
 
     sub.add_parser("stats", help="print split statistics for all domains")
 
+    lint = sub.add_parser(
+        "lint", help="static-analyze gold queries and data integrity"
+    )
+    lint.add_argument(
+        "domains", nargs="*", default=[], metavar="domain",
+        help="domains to lint (default: cordis sdss oncomx)",
+    )
+    lint.add_argument(
+        "--strict", action="store_true",
+        help="also fail on warnings, not only errors",
+    )
+
     args = parser.parse_args(argv)
+    from repro.errors import ReproError
     from repro.experiments.runner import get_suite
 
     suite = get_suite(args.preset)
 
-    if args.command == "tables":
-        return _tables(suite, args.which)
-    if args.command == "figures":
-        return _figures(suite)
-    if args.command == "augment":
-        return _augment(suite, args.domain, args.out)
-    if args.command == "stats":
-        return _stats(suite)
+    try:
+        if args.command == "tables":
+            return _tables(suite, args.which)
+        if args.command == "figures":
+            return _figures(suite)
+        if args.command == "augment":
+            return _augment(suite, args.domain, args.out)
+        if args.command == "stats":
+            return _stats(suite)
+        if args.command == "lint":
+            return _lint(suite, args.domains, args.strict)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     return 2
 
 
@@ -108,6 +129,30 @@ def _augment(suite, domain_name: str, out: str | None) -> int:
         synth.to_json(out)
         print(f"written to {out}")
     return 0
+
+
+def _lint(suite, domain_names: list[str], strict: bool) -> int:
+    """Lint the gold queries and data of the requested domains.
+
+    Builds the bare domains directly — linting must not trigger the
+    (expensive) synthesis pipeline that ``suite.domain()`` runs.
+    """
+    from repro.analysis import lint_domain
+    from repro.experiments.runner import DOMAIN_BUILDERS
+
+    names = domain_names or list(DOMAIN_BUILDERS)
+    failed = False
+    for name in names:
+        if name not in DOMAIN_BUILDERS:
+            print(f"unknown domain {name!r} (choose from "
+                  f"{', '.join(DOMAIN_BUILDERS)})", file=sys.stderr)
+            return 2
+        domain = DOMAIN_BUILDERS[name](scale=suite.config.domain_scale)
+        report = lint_domain(domain)
+        print(report.render())
+        if report.has_errors or (strict and report.n_warnings):
+            failed = True
+    return 1 if failed else 0
 
 
 def _stats(suite) -> int:

@@ -21,7 +21,7 @@ from repro.datasets.programs import Program, expand_programs
 from repro.datasets.records import BenchmarkDomain, Split
 from repro.engine.database import Database, create_database
 from repro.nlgen.lexicon import DomainLexicon
-from repro.schema.enhanced import ColumnAnnotation, EnhancedSchema
+from repro.schema.enhanced import EnhancedSchema
 from repro.schema.introspect import profile_database
 from repro.schema.model import Column, ColumnType, ForeignKey, Schema, TableDef
 

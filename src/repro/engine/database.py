@@ -11,7 +11,7 @@ from __future__ import annotations
 from collections.abc import Iterable
 
 from repro.errors import ExecutionError, SchemaError
-from repro.schema.model import Schema, TableDef
+from repro.schema.model import Schema
 from repro.engine.executor import Executor, Result
 from repro.engine.table import Table
 

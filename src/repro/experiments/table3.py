@@ -27,7 +27,6 @@ from repro.llm.models import (
 from repro.metrics.bleu import corpus_bleu
 from repro.metrics.embedding_score import embedding_score
 from repro.metrics.equivalence import EquivalenceJudge
-from repro.nlgen.realizer import Realizer
 
 
 @dataclass

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from repro.experiments.reporting import render_table
 from repro.experiments.runner import SYSTEM_CLASSES, BenchmarkSuite
 from repro.metrics.execution import ExecutionAccuracy
+from repro.metrics.triage import format_triage, merge_triage
 
 DOMAIN_REGIMES = ("zero", "seed", "synth", "both")
 SPIDER_REGIMES = ("zero", "plus-synth", "synth-only")
@@ -34,21 +35,27 @@ class Table5Cell:
     regime: str
     accuracy: float
     n_eval: int
+    #: Static-analyzer failure triage of the wrong predictions
+    #: (category → count, see :data:`repro.metrics.triage.TRIAGE_CATEGORIES`).
+    triage: dict = field(default_factory=dict)
 
 
 @dataclass
 class Table5Result:
     cells: list[Table5Cell] = field(default_factory=list)
 
-    def accuracy(self, system: str, domain: str, regime: str) -> float:
+    def cell(self, system: str, domain: str, regime: str) -> Table5Cell:
         for cell in self.cells:
             if (
                 cell.system == system
                 and cell.domain == domain
                 and cell.regime == regime
             ):
-                return cell.accuracy
+                return cell
         raise KeyError((system, domain, regime))
+
+    def accuracy(self, system: str, domain: str, regime: str) -> float:
+        return self.cell(system, domain, regime).accuracy
 
 
 def evaluate_cell(
@@ -61,15 +68,24 @@ def evaluate_cell(
     for pair in pairs:
         if domain_name is None:
             database = suite.corpus.databases[pair.db_id]
+            enhanced = None
         else:
-            database = suite.domain(domain_name).database
-        accuracy.add(database, pair.sql, system.predict(pair.question, pair.db_id))
+            domain = suite.domain(domain_name)
+            database = domain.database
+            enhanced = domain.enhanced
+        accuracy.add(
+            database,
+            pair.sql,
+            system.predict(pair.question, pair.db_id),
+            enhanced=enhanced,
+        )
     return Table5Cell(
         system=system_name,
         domain=domain_name or "spider",
         regime=regime,
         accuracy=accuracy.accuracy,
         n_eval=accuracy.total,
+        triage=accuracy.triage,
     )
 
 
@@ -114,17 +130,24 @@ def render_table5(result: Table5Result, systems=tuple(SYSTEM_CLASSES)) -> str:
         }
         for regime in regimes:
             row = [f"{_REGIME_LABELS[regime]}", domain.upper()]
+            pooled: dict = {}
             for system in systems:
-                accuracy = result.accuracy(system, domain, regime)
-                delta = accuracy - zero[system]
+                cell = result.cell(system, domain, regime)
+                delta = cell.accuracy - zero[system]
                 if regime == regimes[0]:
-                    row.append(f"{accuracy:.2f}")
+                    row.append(f"{cell.accuracy:.2f}")
                 else:
-                    row.append(f"{accuracy:.2f} ({delta:+.2f})")
+                    row.append(f"{cell.accuracy:.2f} ({delta:+.2f})")
+                merge_triage(pooled, cell.triage)
+            row.append(format_triage(pooled))
             rows.append(row)
     return render_table(
         "Table 5 — execution accuracy by system and training regime",
-        ["Train set", "Dev set", *(s for s in systems)],
+        ["Train set", "Dev set", *(s for s in systems), "Failure triage"],
         rows,
-        note="Numbers in brackets: change vs the zero-shot baseline (paper's convention).",
+        note=(
+            "Numbers in brackets: change vs the zero-shot baseline (paper's "
+            "convention). Failure triage pools the static analyzer's "
+            "classification of wrong predictions across systems."
+        ),
     )

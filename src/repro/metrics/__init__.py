@@ -10,6 +10,12 @@ from repro.metrics.execution import (
     execution_match,
     results_match,
 )
+from repro.metrics.triage import (
+    TRIAGE_CATEGORIES,
+    format_triage,
+    merge_triage,
+    triage_prediction,
+)
 
 __all__ = [
     "BleuScore",
@@ -25,4 +31,8 @@ __all__ = [
     "ExecutionAccuracy",
     "execution_match",
     "results_match",
+    "TRIAGE_CATEGORIES",
+    "format_triage",
+    "merge_triage",
+    "triage_prediction",
 ]

@@ -46,19 +46,37 @@ def execution_match(database: Database, gold_sql: str, predicted_sql: str | None
 
 @dataclass
 class ExecutionAccuracy:
-    """Accumulator producing the accuracy numbers of Table 5."""
+    """Accumulator producing the accuracy numbers of Table 5.
+
+    Besides the headline accuracy, each failed prediction is triaged by the
+    static analyzer (:mod:`repro.metrics.triage`) into a failure category;
+    the per-category counts land in ``triage``.
+    """
 
     total: int = 0
     correct: int = 0
     failures: list[tuple[str, str | None]] = field(default_factory=list)
+    triage: dict[str, int] = field(default_factory=dict)
 
-    def add(self, database: Database, gold_sql: str, predicted_sql: str | None) -> bool:
+    def add(
+        self,
+        database: Database,
+        gold_sql: str,
+        predicted_sql: str | None,
+        enhanced=None,
+    ) -> bool:
         matched = execution_match(database, gold_sql, predicted_sql)
         self.total += 1
         if matched:
             self.correct += 1
         else:
             self.failures.append((gold_sql, predicted_sql))
+            # Imported here: triage pulls in repro.analysis, which this
+            # low-level module must not require at import time.
+            from repro.metrics.triage import triage_prediction
+
+            category = triage_prediction(database, gold_sql, predicted_sql, enhanced)
+            self.triage[category] = self.triage.get(category, 0) + 1
         return matched
 
     @property

@@ -42,6 +42,24 @@ class ColumnAnnotation:
         return self.math_group is not None
 
 
+@dataclass(frozen=True)
+class ColumnStats:
+    """Value statistics of one column at profiling time.
+
+    The static analyzer's cost pass uses these to prove predicates
+    unsatisfiable (``year > max(year)``) without executing.  The engine's
+    databases are frozen after population, so profiled statistics stay exact.
+    """
+
+    n_rows: int
+    n_distinct: int
+    n_null: int
+    min_value: int | float | str | None = None
+    max_value: int | float | str | None = None
+    #: The full distinct-value set when small enough to store.
+    values: frozenset | None = None
+
+
 @dataclass
 class EnhancedSchema:
     """A schema plus per-column annotations (the paper's "enhanced schema").
@@ -53,10 +71,13 @@ class EnhancedSchema:
 
     schema: Schema
     annotations: dict[tuple[str, str], ColumnAnnotation] = field(default_factory=dict)
+    stats: dict[tuple[str, str], ColumnStats] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         for table, column in self.annotations:
             self.schema.column(table, column)  # raises SchemaError if missing
+        for table, column in self.stats:
+            self.schema.column(table, column)
 
     # -- annotation access ---------------------------------------------------
 
@@ -91,6 +112,23 @@ class EnhancedSchema:
                 )
             current = self.annotation(table, column)
             self.annotate(table, column, replace(current, math_group=group))
+
+    # -- column statistics (used by the static analyzer's cost pass) ---------
+
+    def record_stats(self, table: str, column: str, stats: ColumnStats) -> None:
+        self.schema.column(table, column)  # validate
+        self.stats[(table.lower(), column.lower())] = stats
+
+    def column_stats(self, table: str, column: str) -> ColumnStats | None:
+        return self.stats.get((table.lower(), column.lower()))
+
+    def table_rows(self, table: str) -> int | None:
+        """Profiled row count of ``table`` (None when never profiled)."""
+        lowered = table.lower()
+        for (stats_table, _), stats in self.stats.items():
+            if stats_table == lowered:
+                return stats.n_rows
+        return None
 
     # -- constrained column pools (used by the Phase-2 samplers) -------------
 

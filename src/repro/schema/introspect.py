@@ -22,10 +22,13 @@ vary them):
 from __future__ import annotations
 
 from repro.engine.database import Database
-from repro.schema.enhanced import ColumnAnnotation, EnhancedSchema
-from repro.schema.model import ColumnType
+from repro.schema.enhanced import ColumnAnnotation, ColumnStats, EnhancedSchema
 
 _IDENTIFIER_SUFFIXES = ("id", "_key", "_code", "_uri", "_url")
+
+#: Distinct-value sets up to this size are stored verbatim in the profile,
+#: letting the analyzer's cost pass decide membership exactly.
+_MAX_STORED_VALUES = 50
 
 
 def profile_database(
@@ -52,9 +55,12 @@ def profile_database(
                 or (table_def.primary_key or "").lower() == column.name.lower()
                 or _identifier_name(column.name)
             )
+            values = table.column_values(column.name)
+            non_null = [v for v in values if v is not None]
+            distinct_values = set(non_null)
             categorical = False
             if rows:
-                distinct = len(set(table.column_values(column.name))) or 1
+                distinct = len(set(values)) or 1
                 low_ratio = distinct / rows <= max_categorical_ratio
                 # Small-table fallback: a handful of repeating values is
                 # categorical even when the ratio test is too coarse.
@@ -76,7 +82,30 @@ def profile_database(
                     math_group=math_group,
                 ),
             )
+            enhanced.record_stats(
+                table_def.name, column.name, _column_stats(rows, non_null, distinct_values)
+            )
     return enhanced
+
+
+def _column_stats(n_rows: int, non_null: list, distinct_values: set) -> ColumnStats:
+    try:
+        min_value = min(non_null) if non_null else None
+        max_value = max(non_null) if non_null else None
+    except TypeError:  # mixed-type column; no usable ordering
+        min_value = max_value = None
+    return ColumnStats(
+        n_rows=n_rows,
+        n_distinct=len(distinct_values),
+        n_null=n_rows - len(non_null),
+        min_value=min_value,
+        max_value=max_value,
+        values=(
+            frozenset(distinct_values)
+            if len(distinct_values) <= _MAX_STORED_VALUES
+            else None
+        ),
+    )
 
 
 def _identifier_name(name: str) -> bool:

@@ -20,7 +20,6 @@ from repro.engine.database import Database
 from repro.schema.enhanced import EnhancedSchema
 from repro.schema.model import Column, ColumnType
 from repro.sql import parse, to_sql
-from repro.sql import ast
 
 
 class QuerySampler:

@@ -189,9 +189,11 @@ def _print_bool_op(node: ast.BoolOp) -> str:
     rendered = []
     for operand in node.operands:
         text = to_sql(operand)
-        # An OR nested inside an AND (or vice versa) needs parentheses to
-        # survive a re-parse with the conventional precedence.
-        if isinstance(operand, ast.BoolOp) and operand.op != node.op:
+        # Any nested BoolOp needs parentheses: a different op to survive a
+        # re-parse with the conventional precedence, the same op because the
+        # parser flattens unparenthesized chains — ``a AND (b AND c)`` would
+        # otherwise come back as the three-operand ``a AND b AND c``.
+        if isinstance(operand, ast.BoolOp):
             text = f"({text})"
         rendered.append(text)
     return word.join(rendered)

@@ -1,7 +1,7 @@
 """The four-phase automatic training data generation pipeline (Figure 1)."""
 
 from repro.synthesis.discriminator import Discriminator, DiscriminatorConfig
-from repro.synthesis.generation import GenerationConfig, SqlGenerator
+from repro.synthesis.generation import GenerationConfig, GenerationStats, SqlGenerator
 from repro.synthesis.pipeline import (
     AugmentationPipeline,
     PipelineConfig,
@@ -18,6 +18,7 @@ __all__ = [
     "augment_domain",
     "SqlGenerator",
     "GenerationConfig",
+    "GenerationStats",
     "SqlToNlTranslator",
     "TranslationConfig",
     "Discriminator",

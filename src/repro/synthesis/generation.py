@@ -25,6 +25,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from repro.analysis import analyze, rejects_execution
 from repro.engine.database import Database
 from repro.errors import GenerationError, ReproError
 from repro.nlgen.lexicon import render_value
@@ -45,6 +46,30 @@ class GenerationConfig:
     max_attempts: int = 30
     require_nonempty: bool = True
     max_result_rows: int | None = None  # skip queries flooding millions of rows
+    #: Run the static analyzer on each lowered candidate and skip execution
+    #: when it is provably doomed (would error, or — under
+    #: ``require_nonempty`` — provably returns no rows).  The filter is
+    #: sound, so it never changes *which* queries are generated for a fixed
+    #: seed; it only avoids wasted executions.
+    static_prefilter: bool = True
+
+
+@dataclass
+class GenerationStats:
+    """Counters of one generation run (how the oracle budget was spent)."""
+
+    candidates: int = 0  #: successfully lowered template instantiations
+    static_rejected: int = 0  #: skipped by the analyzer without executing
+    executed: int = 0  #: candidates sent to the execution oracle
+    runtime_rejected: int = 0  #: executions that failed or were filtered
+    accepted: int = 0  #: candidates that survived all checks
+
+    def merge(self, other: "GenerationStats") -> None:
+        self.candidates += other.candidates
+        self.static_rejected += other.static_rejected
+        self.executed += other.executed
+        self.runtime_rejected += other.runtime_rejected
+        self.accepted += other.accepted
 
 
 class SqlGenerator:
@@ -62,6 +87,7 @@ class SqlGenerator:
         self.schema = enhanced.schema
         self.rng = rng
         self.config = config or GenerationConfig()
+        self.stats = GenerationStats()
 
     # -- public API ---------------------------------------------------------------
 
@@ -86,18 +112,41 @@ class SqlGenerator:
                 sql = semql_to_sql(tree, self.schema)
             except (GenerationError, ReproError):
                 continue
+            self.stats.candidates += 1
+            if self.config.static_prefilter and self._statically_doomed(sql):
+                self.stats.static_rejected += 1
+                continue
+            self.stats.executed += 1
             result = self.database.try_execute(sql)
             if result is None:
+                self.stats.runtime_rejected += 1
                 continue
             if self.config.require_nonempty and not result.rows:
+                self.stats.runtime_rejected += 1
                 continue
             if (
                 self.config.max_result_rows is not None
                 and len(result.rows) > self.config.max_result_rows
             ):
+                self.stats.runtime_rejected += 1
                 continue
+            self.stats.accepted += 1
             return sql
         return None
+
+    def _statically_doomed(self, sql: str) -> bool:
+        """Whether the analyzer proves the oracle would reject ``sql``.
+
+        Only *sound* verdicts count: execution-fatal rules, or a statically
+        empty result when ``require_nonempty`` demands rows.  Sampling and
+        retries are untouched — the candidate stream for a fixed seed is
+        identical with the filter on or off; doomed candidates merely skip
+        the execution step.
+        """
+        diagnostics = analyze(sql, self.schema, self.enhanced)
+        return rejects_execution(
+            diagnostics, require_nonempty=self.config.require_nonempty
+        )
 
     # -- Algorithm 1 ---------------------------------------------------------------
 

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from repro.datasets.records import BenchmarkDomain, NLSQLPair, Split
 from repro.llm.base import SqlToNlModel
 from repro.synthesis.discriminator import Discriminator, DiscriminatorConfig
-from repro.synthesis.generation import GenerationConfig, SqlGenerator
+from repro.synthesis.generation import GenerationConfig, GenerationStats, SqlGenerator
 from repro.synthesis.seeding import SeedingResult, extract_templates
 from repro.synthesis.translation import SqlToNlTranslator, TranslationConfig
 
@@ -39,6 +39,9 @@ class PipelineReport:
     n_generated_sql: int
     n_pairs: int
     split: Split
+    #: How the generation phase spent its execution-oracle budget, including
+    #: candidates the static analyzer rejected without executing.
+    generation: GenerationStats | None = None
 
 
 class AugmentationPipeline:
@@ -96,6 +99,7 @@ class AugmentationPipeline:
             n_generated_sql=len(queries),
             n_pairs=len(pairs),
             split=split,
+            generation=generator.stats,
         )
 
     def _generate_queries(

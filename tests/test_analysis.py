@@ -1,0 +1,228 @@
+"""Tests for the schema-aware static analyzer (repro.analysis)."""
+
+import pytest
+
+from repro.analysis import (
+    Severity,
+    analyze,
+    check_database_integrity,
+    lint_domain,
+    rejects_execution,
+)
+from repro.datasets import cordis, oncomx, sdss
+from repro.engine.database import create_database
+from repro.schema.introspect import profile_database
+from repro.schema.model import Column, ColumnType, ForeignKey, Schema, TableDef
+from repro.sql import ast
+
+
+@pytest.fixture(scope="module")
+def mini():
+    schema = Schema(
+        name="mini",
+        tables=(
+            TableDef(
+                "projects",
+                (
+                    Column("id", ColumnType.INTEGER),
+                    Column("title", ColumnType.TEXT),
+                    Column("cost", ColumnType.REAL),
+                    Column("year", ColumnType.INTEGER),
+                ),
+                primary_key="id",
+            ),
+            TableDef(
+                "people",
+                (
+                    Column("id", ColumnType.INTEGER),
+                    Column("name", ColumnType.TEXT),
+                    Column("project_id", ColumnType.INTEGER),
+                ),
+                primary_key="id",
+            ),
+        ),
+        foreign_keys=(ForeignKey("people", "project_id", "projects", "id"),),
+    )
+    database = create_database(
+        schema,
+        {
+            "projects": [(1, "alpha", 10.0, 2019), (2, "beta", 20.0, 2021)],
+            "people": [(1, "ann", 1), (2, "bob", 2)],
+        },
+    )
+    enhanced = profile_database(database)
+    return schema, enhanced, database
+
+
+def rules_of(diagnostics):
+    return {d.rule for d in diagnostics}
+
+
+# -- one deliberately broken query per rule -----------------------------------
+
+BROKEN = [
+    ("SELECT title FROM", "syntax.error"),
+    ("SELECT title FROM nope", "name.unknown-table"),
+    ("SELECT bogus FROM projects", "name.unknown-column"),
+    ("SELECT T9.title FROM projects AS T1", "name.dangling-alias"),
+    (
+        "SELECT T1.title FROM projects AS T1, people AS T1",
+        "name.duplicate-binding",
+    ),
+    (
+        "SELECT id FROM projects AS T1 JOIN people AS T2 ON T1.id = T2.project_id",
+        "name.ambiguous-column",
+    ),
+    ("SELECT title FROM projects WHERE cost > 'abc'", "type.incompatible-comparison"),
+    ("SELECT title FROM projects WHERE year LIKE 'a%'", "type.like-non-text"),
+    ("SELECT title + 1 FROM projects", "type.math-on-non-numeric"),
+    ("SELECT SUM(title) FROM projects", "type.aggregate-non-numeric"),
+    (
+        "SELECT title FROM projects WHERE year BETWEEN 2025 AND 2020",
+        "type.between-reversed",
+    ),
+    ("SELECT title FROM projects WHERE SUM(cost) > 5", "agg.aggregate-in-where"),
+    (
+        "SELECT COUNT(*) FROM projects GROUP BY SUM(cost)",
+        "agg.aggregate-in-group-by",
+    ),
+    ("SELECT SUM(MAX(cost)) FROM projects", "agg.nested-aggregate"),
+    ("SELECT title, COUNT(*) FROM projects GROUP BY year", "agg.ungrouped-column"),
+    (
+        "SELECT T1.title FROM projects AS T1 JOIN people AS T2 ON T1.id = T2.id",
+        "join.non-fk-equijoin",
+    ),
+    (
+        "SELECT T1.title, T2.name FROM projects AS T1, people AS T2",
+        "join.cartesian-product",
+    ),
+    (
+        "SELECT title FROM projects WHERE year > 3000",
+        "cost.unsatisfiable-predicate",
+    ),
+    (
+        "SELECT title FROM projects WHERE year > 2020 AND year < 2020",
+        "cost.contradictory-filter",
+    ),
+    ("SELECT title FROM projects WHERE year > 3000", "cost.empty-result"),
+    ("SELECT AVG(cost) FROM projects WHERE year > 3000", "cost.vacuous-aggregate"),
+    ("SELECT title FROM projects LIMIT 0", "cost.limit-zero"),
+    ("SELECT AVG(id) FROM projects", "type.non-aggregatable"),
+]
+
+
+@pytest.mark.parametrize("sql,rule", BROKEN, ids=[rule for _, rule in BROKEN])
+def test_broken_query_fires_rule(mini, sql, rule):
+    schema, enhanced, _ = mini
+    assert rule in rules_of(analyze(sql, schema, enhanced))
+
+
+def test_having_without_group_by_rule(mini):
+    # The parser only accepts HAVING after GROUP BY, so this shape can only
+    # be built directly as an AST (e.g. by a buggy generator).
+    schema, enhanced, _ = mini
+    query = ast.Query(
+        select=ast.Select(
+            items=(ast.SelectItem(ast.ColumnRef(None, "title")),),
+            from_tables=(ast.TableRef("projects"),),
+            having=ast.Comparison(
+                ">", ast.FuncCall("count", (ast.Star(),)), ast.Literal(1)
+            ),
+        )
+    )
+    assert "agg.having-without-group-by" in rules_of(analyze(query, schema, enhanced))
+
+
+def test_clean_query_has_no_diagnostics(mini):
+    schema, enhanced, _ = mini
+    sql = (
+        "SELECT T1.title FROM projects AS T1 JOIN people AS T2 "
+        "ON T1.id = T2.project_id WHERE T1.year = 2019"
+    )
+    assert analyze(sql, schema, enhanced) == []
+
+
+def test_analysis_without_enhanced_schema_skips_cost(mini):
+    schema, _, _ = mini
+    assert analyze("SELECT title FROM projects WHERE year > 3000", schema) == []
+
+
+# -- rejects_execution soundness ----------------------------------------------
+
+
+def test_rejected_queries_fail_or_return_empty(mini):
+    schema, enhanced, database = mini
+    cases = [
+        "SELECT bogus FROM projects",
+        "SELECT SUM(title) FROM projects",
+        "SELECT title FROM projects WHERE SUM(cost) > 5",
+        "SELECT title FROM projects WHERE year > 3000",
+        "SELECT title FROM projects WHERE year IS NULL",
+        "SELECT title FROM projects LIMIT 0",
+        "SELECT title FROM projects WHERE cost > "
+        "(SELECT MAX(cost) FROM projects WHERE year > 3000)",
+    ]
+    for sql in cases:
+        diagnostics = analyze(sql, schema, enhanced)
+        assert rejects_execution(diagnostics), sql
+        result = database.try_execute(sql)
+        assert result is None or not result.rows, sql
+
+
+def test_warnings_alone_do_not_reject(mini):
+    schema, enhanced, _ = mini
+    sql = "SELECT T1.title FROM projects AS T1 JOIN people AS T2 ON T1.id = T2.id"
+    diagnostics = analyze(sql, schema, enhanced)
+    assert diagnostics  # the non-FK join warning fired ...
+    assert not rejects_execution(diagnostics)  # ... but does not reject
+
+
+def test_empty_result_needs_require_nonempty(mini):
+    schema, enhanced, _ = mini
+    diagnostics = analyze("SELECT title FROM projects WHERE year > 3000", schema, enhanced)
+    assert rejects_execution(diagnostics, require_nonempty=True)
+    assert not rejects_execution(diagnostics, require_nonempty=False)
+
+
+# -- benchmark domains lint clean ---------------------------------------------
+
+
+@pytest.mark.parametrize("builder", [cordis.build, sdss.build, oncomx.build])
+def test_domain_gold_queries_have_no_errors(builder):
+    domain = builder(scale=0.15)
+    for split in (domain.seed, domain.dev):
+        for pair in split:
+            diagnostics = analyze(pair.sql, domain.database.schema, domain.enhanced)
+            errors = [d for d in diagnostics if d.severity is Severity.ERROR]
+            assert errors == [], f"{pair.sql}: {[d.render() for d in errors]}"
+
+
+def test_lint_domain_reports_clean_domain():
+    domain = sdss.build(scale=0.15)
+    report = lint_domain(domain)
+    assert report.n_queries == len(domain.seed) + len(domain.dev)
+    assert not report.has_errors
+    assert "sdss" in report.render()
+
+
+# -- dataset referential integrity --------------------------------------------
+
+
+def test_integrity_clean_database(mini):
+    _, _, database = mini
+    assert check_database_integrity(database) == []
+
+
+def test_integrity_flags_broken_fk(mini):
+    schema, _, _ = mini
+    broken = create_database(
+        schema,
+        {
+            "projects": [(1, "alpha", 10.0, 2019)],
+            "people": [(1, "ann", 1), (2, "bob", 99)],  # 99 → nothing
+        },
+    )
+    diagnostics = check_database_integrity(broken)
+    assert [d.rule for d in diagnostics] == ["data.broken-fk"]
+    assert diagnostics[0].severity is Severity.ERROR
+    assert "people.project_id" in diagnostics[0].message

@@ -58,6 +58,16 @@ def test_augment_command_writes_json(tiny_suite, tmp_path, capsys):
     assert len(split) > 0
 
 
+def test_lint_command(tiny_suite, capsys):
+    assert cli.main(["lint", "cordis"]) == 0
+    out = capsys.readouterr().out
+    assert "cordis" in out and "queries linted" in out
+
+
+def test_lint_command_rejects_unknown_domain(tiny_suite, capsys):
+    assert cli.main(["lint", "nope"]) == 2
+
+
 def test_requires_command():
     with pytest.raises(SystemExit):
         cli.main([])

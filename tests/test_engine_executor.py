@@ -4,7 +4,7 @@ import pytest
 
 from repro.engine import create_database
 from repro.errors import ExecutionError, SchemaError
-from repro.schema.model import Column, ColumnType, ForeignKey, Schema, TableDef
+from repro.schema.model import Column, ColumnType, Schema
 
 I = ColumnType.INTEGER
 F = ColumnType.REAL

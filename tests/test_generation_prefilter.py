@@ -1,0 +1,77 @@
+"""The static pre-filter must save executions without changing the output."""
+
+import random
+
+from repro.datasets import cordis
+from repro.engine.database import create_database
+from repro.schema.introspect import profile_database
+from repro.schema.model import Column, ColumnType, Schema, TableDef
+from repro.synthesis import AugmentationPipeline, PipelineConfig
+from repro.synthesis.generation import GenerationConfig, SqlGenerator
+from repro.synthesis.seeding import extract_templates
+from repro.datasets.records import NLSQLPair
+
+
+def run_pipeline(prefilter: bool):
+    domain = cordis.build(scale=0.2)
+    config = PipelineConfig(
+        target_queries=50,
+        seed=7,
+        generation=GenerationConfig(static_prefilter=prefilter),
+    )
+    return AugmentationPipeline(domain, config=config).run()
+
+
+def test_prefilter_preserves_generated_queries():
+    with_filter = run_pipeline(True)
+    without_filter = run_pipeline(False)
+    assert [p.sql for p in with_filter.split.pairs] == [
+        p.sql for p in without_filter.split.pairs
+    ]
+    # Same candidate stream, differently partitioned between the analyzer
+    # and the execution oracle.
+    on, off = with_filter.generation, without_filter.generation
+    assert on.candidates == off.candidates
+    assert on.accepted == off.accepted
+    assert off.static_rejected == 0
+    assert on.static_rejected + on.runtime_rejected == off.runtime_rejected
+    assert on.executed == off.executed - on.static_rejected
+
+
+def test_prefilter_saves_executions_on_narrow_range():
+    # A one-row integer column: any sampled range predicate ``x > v`` draws
+    # v == max(x), which the analyzer proves empty — every such candidate
+    # must be rejected without executing.
+    schema = Schema(
+        name="narrow",
+        tables=(
+            TableDef(
+                "t",
+                (Column("x", ColumnType.INTEGER), Column("label", ColumnType.TEXT)),
+            ),
+        ),
+        foreign_keys=(),
+    )
+    database = create_database(schema, {"t": [(5, "only")]})
+    enhanced = profile_database(database)
+    seeds = [NLSQLPair(question="q", sql="SELECT label FROM t WHERE x > 3", db_id="narrow")]
+    templates = extract_templates(seeds, schema).templates
+    generator = SqlGenerator(
+        database,
+        enhanced,
+        random.Random(3),
+        config=GenerationConfig(queries_per_template=5, max_attempts=5),
+    )
+    generator.generate(templates)
+    assert generator.stats.static_rejected > 0
+    assert generator.stats.executed < generator.stats.candidates
+
+
+def test_pipeline_report_exposes_generation_stats():
+    report = run_pipeline(True)
+    stats = report.generation
+    assert stats is not None
+    assert stats.candidates == (
+        stats.static_rejected + stats.executed
+    )
+    assert stats.executed == stats.runtime_rejected + stats.accepted

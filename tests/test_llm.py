@@ -7,7 +7,6 @@ from repro.llm import (
     GPT2_PROFILE,
     GPT3_PROFILE,
     GPT3_ZERO_PROFILE,
-    SqlToNlModel,
     default_generator,
     make_model,
 )

@@ -3,7 +3,6 @@ schema linking and guided instantiation."""
 
 import pytest
 
-from repro.datasets.records import NLSQLPair
 from repro.nl2sql.features import (
     comparator_intents,
     extract_limit,

@@ -1,6 +1,5 @@
 """Printer edge cases: escaping, parenthesisation, literal rendering."""
 
-import pytest
 
 from repro.sql import ast, parse, parse_expression, to_sql
 

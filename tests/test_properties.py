@@ -20,7 +20,7 @@ from hypothesis import strategies as st
 from repro.embeddings import SentenceEmbedder, geometric_median_ranking
 from repro.metrics.bleu import corpus_bleu
 from repro.spider.hardness import HARDNESS_LEVELS, classify_hardness
-from repro.sql import ast, parse, to_sql
+from repro.sql import parse, to_sql
 
 # ---------------------------------------------------------------------------
 # Strategy: generate small SQL queries over the mini schema.

@@ -1,6 +1,5 @@
 """Unit tests for system-internal helpers of SmBoP and T5."""
 
-import random
 
 import pytest
 
