@@ -24,6 +24,7 @@ from repro.engine import Database, create_database
 from repro.errors import ReproError
 from repro.metrics import ExecutionAccuracy, execution_match
 from repro.nl2sql import SmBoP, T5Seq2Seq, ValueNet
+from repro.runtime import Runtime
 from repro.schema import Column, ColumnType, EnhancedSchema, ForeignKey, Schema, TableDef
 from repro.spider import build_corpus, classify_hardness
 from repro.sql import parse, to_sql
@@ -51,9 +52,22 @@ def build_domain(name: str, scale: float = 1.0, seed: int | None = None) -> Benc
     return builder(scale=scale, seed=seed)
 
 
+def __getattr__(name):
+    # Lazy: repro.experiments imports this package's submodules, so a direct
+    # top-level import of Suite here would be circular at package init time.
+    if name in ("Suite", "BenchmarkSuite"):
+        from repro.experiments.runner import BenchmarkSuite
+
+        return BenchmarkSuite
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "build_domain",
     "augment_domain",
+    "Suite",
+    "BenchmarkSuite",
+    "Runtime",
     "AugmentationPipeline",
     "PipelineConfig",
     "BenchmarkDomain",

@@ -9,8 +9,13 @@ Commands
 ``lint``       static-analyze the gold queries and data of the domains
 
 All commands accept ``--preset quick|full`` (default quick) and are fully
-deterministic.  Failures exit non-zero: 1 for benchmark errors (including
-lint findings), 2 for usage errors.
+deterministic: for a fixed seed, ``--workers 4`` produces byte-identical
+output to ``--workers 1``.  Artifacts are built through the task-graph
+runtime — ``--workers`` fans independent tasks across processes,
+``--cache-dir``/``--no-cache`` control the content-addressed artifact cache
+(default ``.repro-cache/``), and ``--timings`` prints the per-task runtime
+report to stderr.  Failures exit non-zero: 1 for benchmark errors
+(including lint findings), 2 for usage errors.
 """
 
 from __future__ import annotations
@@ -19,32 +24,74 @@ import argparse
 import sys
 
 
-def main(argv: list[str] | None = None) -> int:
+def _add_shared_flags(parser: argparse.ArgumentParser, suppress: bool) -> None:
+    """Preset + runtime flags, accepted before *or* after the subcommand.
+
+    The subparser copies use ``SUPPRESS`` defaults so a flag given before the
+    subcommand is not clobbered by the subparser's default afterwards.
+    """
+
+    def default(value):
+        return argparse.SUPPRESS if suppress else value
+
+    parser.add_argument(
+        "--preset", choices=("quick", "full"), default=default("quick"),
+        help="experiment scale preset (default: quick)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=default(1), metavar="N",
+        help="worker processes for independent artifact builds (default: 1)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=default(".repro-cache"), metavar="PATH",
+        help="artifact cache directory (default: .repro-cache)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", default=default(False),
+        help="disable the content-addressed artifact cache",
+    )
+    parser.add_argument(
+        "--timings", action="store_true", default=default(False),
+        help="print the runtime report (per-task wall time, cache hits) to stderr",
+    )
+
+
+def _parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="sciencebenchmark",
         description="ScienceBenchmark (VLDB 2023) reproduction harness",
     )
-    parser.add_argument(
-        "--preset", choices=("quick", "full"), default="quick",
-        help="experiment scale preset (default: quick)",
-    )
+    _add_shared_flags(parser, suppress=False)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    tables = sub.add_parser("tables", help="regenerate paper tables")
+    def add_command(*args, **kwargs):
+        command = sub.add_parser(*args, **kwargs)
+        _add_shared_flags(command, suppress=True)
+        return command
+
+    tables = add_command("tables", help="regenerate paper tables")
     tables.add_argument(
         "which", nargs="*", default=["1", "2", "4"],
         help="table numbers (1-5); default: the fast ones (1, 2, 4)",
     )
 
-    sub.add_parser("figures", help="regenerate Figure 1 and Figure 2")
+    add_command("figures", help="regenerate Figure 1 and Figure 2")
 
-    augment = sub.add_parser("augment", help="run the pipeline for one domain")
+    augment = add_command("augment", help="run the pipeline for one domain")
     augment.add_argument("domain", choices=("cordis", "sdss", "oncomx"))
     augment.add_argument("--out", default=None, help="write the Synth split as JSON")
+    augment.add_argument(
+        "--target", type=int, default=None, metavar="N",
+        help="override the pipeline's target query count",
+    )
+    augment.add_argument(
+        "--seed", type=int, default=None, metavar="S",
+        help="override the pipeline's RNG seed",
+    )
 
-    sub.add_parser("stats", help="print split statistics for all domains")
+    add_command("stats", help="print split statistics for all domains")
 
-    lint = sub.add_parser(
+    lint = add_command(
         "lint", help="static-analyze gold queries and data integrity"
     )
     lint.add_argument(
@@ -55,74 +102,113 @@ def main(argv: list[str] | None = None) -> int:
         "--strict", action="store_true",
         help="also fail on warnings, not only errors",
     )
+    return parser
 
-    args = parser.parse_args(argv)
+
+def _config_for(args):
+    from repro.experiments.config import full, quick
+
+    return {"quick": quick, "full": full}[args.preset]()
+
+
+def _build_suite(args):
+    """One suite per invocation, wired to the requested runtime policy."""
+    from repro.experiments.runner import Suite
+    from repro.runtime import Runtime
+
+    cache_dir = None if args.no_cache else args.cache_dir
+    runtime = Runtime(workers=args.workers, cache_dir=cache_dir)
+    return Suite.from_config(_config_for(args), runtime=runtime)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parser().parse_args(argv)
     from repro.errors import ReproError
-    from repro.experiments.runner import get_suite
-
-    suite = get_suite(args.preset)
 
     try:
-        if args.command == "tables":
-            return _tables(suite, args.which)
-        if args.command == "figures":
-            return _figures(suite)
-        if args.command == "augment":
-            return _augment(suite, args.domain, args.out)
-        if args.command == "stats":
-            return _stats(suite)
         if args.command == "lint":
-            return _lint(suite, args.domains, args.strict)
+            # Lint never builds the suite: it constructs bare domains itself
+            # and must not pay for (or trigger) the synthesis pipeline.
+            return _lint(args)
+        suite = _build_suite(args)
+        if args.command == "tables":
+            code = _tables(suite, args.which)
+        elif args.command == "figures":
+            code = _figures(suite)
+        elif args.command == "augment":
+            code = _augment(suite, args.domain, args.out, args.target, args.seed)
+        elif args.command == "stats":
+            code = _stats(suite)
+        else:  # pragma: no cover - argparse enforces the choices
+            return 2
+        if args.timings:
+            print(suite.runtime.report.render(), file=sys.stderr)
+        return code
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    return 2
 
 
 def _tables(suite, which: list[str]) -> int:
-    renderers = {
-        "1": lambda: __import__("repro.experiments.table1", fromlist=["render_table1"]).render_table1(suite),
-        "2": lambda: __import__("repro.experiments.table2", fromlist=["render_table2"]).render_table2(suite),
-        "3": lambda: __import__("repro.experiments.table3", fromlist=["render_table3"]).render_table3(suite),
-        "4": lambda: __import__("repro.experiments.table4", fromlist=["render_table4"]).render_table4(suite),
-        "5": _table5_renderer(suite),
-    }
+    from repro.experiments import registry
+
+    names = registry.available(kind="table")
     for number in which:
-        if number not in renderers:
+        if number not in names:
             print(f"unknown table {number!r} (choose 1-5)", file=sys.stderr)
             return 2
-        print(renderers[number]())
+    # Prefetch every requested table's artifacts in one batch so independent
+    # tasks (domains, corpus, Table-5 cells) fan across the workers.
+    prefetch = [
+        task for number in which for task in registry.required_tasks(number, suite.config)
+    ]
+    suite.ensure(prefetch)
+    for number in which:
+        print(registry.render(number, suite))
         print()
     return 0
 
 
-def _table5_renderer(suite):
-    def run():
-        from repro.experiments.table5 import compute_table5, render_table5
-
-        result = compute_table5(suite)
-        return render_table5(result)
-
-    return run
-
-
 def _figures(suite) -> int:
-    from repro.experiments.figures import (
-        render_figure1,
-        render_figure2,
-        run_figure1,
-        run_figure2,
-    )
+    from repro.experiments import registry
 
-    print(render_figure1(run_figure1(suite)))
+    suite.ensure(
+        registry.required_tasks("figure1", suite.config)
+        + registry.required_tasks("figure2", suite.config)
+    )
+    print(registry.render("figure1", suite))
     print()
-    print(render_figure2(run_figure2(suite)))
+    print(registry.render("figure2", suite))
     return 0
 
 
-def _augment(suite, domain_name: str, out: str | None) -> int:
-    domain = suite.domain(domain_name)
-    synth = domain.synth
+def _augment(
+    suite, domain_name: str, out: str | None, target: int | None, seed: int | None
+) -> int:
+    if target is None and seed is None:
+        # Default run: the suite's own Synth artifact (graph-built, cached).
+        synth = suite.domain(domain_name).synth
+    else:
+        # Overrides map onto an explicit PipelineConfig over a bare domain.
+        import random
+
+        from repro.experiments.tasks import DOMAIN_BUILDERS
+        from repro.llm.models import GPT3_PROFILE, make_model
+        from repro.runtime import derive_seed
+        from repro.synthesis import augment_domain
+
+        if seed is None:
+            seed = derive_seed(suite.config.seed, f"augment:{domain_name}")
+        if target is None:
+            target = suite.config.synth_targets.get(domain_name, 300)
+        domain = DOMAIN_BUILDERS[domain_name](scale=suite.config.domain_scale)
+        synth = augment_domain(
+            domain,
+            target_queries=target,
+            seed=seed,
+            model=make_model(GPT3_PROFILE, seed=seed),
+            rng=random.Random(seed),
+        )
     print(f"{domain_name}: {len(synth)} synthetic pairs "
           f"({synth.hardness_counts()})")
     if out:
@@ -131,31 +217,35 @@ def _augment(suite, domain_name: str, out: str | None) -> int:
     return 0
 
 
-def _lint(suite, domain_names: list[str], strict: bool) -> int:
+def _lint(args) -> int:
     """Lint the gold queries and data of the requested domains.
 
     Builds the bare domains directly — linting must not trigger the
     (expensive) synthesis pipeline that ``suite.domain()`` runs.
     """
     from repro.analysis import lint_domain
-    from repro.experiments.runner import DOMAIN_BUILDERS
+    from repro.experiments.tasks import DOMAIN_BUILDERS
 
-    names = domain_names or list(DOMAIN_BUILDERS)
+    config = _config_for(args)
+    names = args.domains or list(DOMAIN_BUILDERS)
     failed = False
     for name in names:
         if name not in DOMAIN_BUILDERS:
             print(f"unknown domain {name!r} (choose from "
                   f"{', '.join(DOMAIN_BUILDERS)})", file=sys.stderr)
             return 2
-        domain = DOMAIN_BUILDERS[name](scale=suite.config.domain_scale)
+        domain = DOMAIN_BUILDERS[name](scale=config.domain_scale)
         report = lint_domain(domain)
         print(report.render())
-        if report.has_errors or (strict and report.n_warnings):
+        if report.has_errors or (args.strict and report.n_warnings):
             failed = True
     return 1 if failed else 0
 
 
 def _stats(suite) -> int:
+    from repro.experiments.tasks import CORPUS_TASK, DOMAINS, domain_task
+
+    suite.ensure([CORPUS_TASK, *(domain_task(name) for name in DOMAINS)])
     for name, domain in suite.domains().items():
         print(f"{name}:")
         for split in (domain.seed, domain.dev, domain.synth):

@@ -1,6 +1,13 @@
 """Experiment harness: one module per paper table/figure plus the runner."""
 
 from repro.experiments.config import ExperimentConfig, full, quick
-from repro.experiments.runner import BenchmarkSuite, get_suite
+from repro.experiments.runner import BenchmarkSuite, Suite, get_suite
 
-__all__ = ["ExperimentConfig", "quick", "full", "BenchmarkSuite", "get_suite"]
+__all__ = [
+    "ExperimentConfig",
+    "quick",
+    "full",
+    "BenchmarkSuite",
+    "Suite",
+    "get_suite",
+]

@@ -142,3 +142,13 @@ def render_figure2(demo: Figure2Demo) -> str:
     ]
     parts.extend(f"  - {sql}" for sql in demo.applications)
     return "\n".join(parts)
+
+
+def render_figure1_from_suite(suite: BenchmarkSuite) -> str:
+    """Registry entry point: run and render the Figure-1 walk-through."""
+    return render_figure1(run_figure1(suite))
+
+
+def render_figure2_from_suite(suite: BenchmarkSuite) -> str:
+    """Registry entry point: run and render the Figure-2 demo."""
+    return render_figure2(run_figure2(suite))

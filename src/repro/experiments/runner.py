@@ -1,105 +1,112 @@
-"""The benchmark suite: lazy, cached construction of every shared artifact.
+"""The benchmark suite: a handle over the task-graph runtime.
 
-Tables 1–5 all consume the same underlying objects — the three domain
+Tables 1–5 all consume the same underlying artifacts — the three domain
 databases, the MiniSpider corpus, the synthetic splits, trained systems.
-:class:`BenchmarkSuite` builds each exactly once per configuration;
-``get_suite()`` returns a process-wide instance so the individual benchmark
-modules do not re-build the world.
+:class:`Suite` maps each onto a node of the deterministic task graph
+(:mod:`repro.experiments.tasks`) and delegates materialization to a
+:class:`~repro.runtime.Runtime`, which adds process-level parallelism and a
+content-addressed disk cache without changing any output byte.
+
+Public API::
+
+    suite = Suite.from_config(quick(), runtime=Runtime(workers=4,
+                                                       cache_dir=".repro-cache"))
+    suite.domain("sdss")        # task "domain:sdss"
+    suite.corpus                # task "corpus"
+    suite.ensure([...])         # fan a batch of tasks across the workers
+
+``get_suite()`` remains as a deprecated shim over ``Suite.from_config``.
 """
 
 from __future__ import annotations
 
 import random
+import warnings
 from functools import lru_cache
+from typing import Any
 
-from repro.datasets import cordis, oncomx, sdss
-from repro.datasets.records import BenchmarkDomain, NLSQLPair, Split
+from repro.datasets.records import BenchmarkDomain, Split
 from repro.experiments.config import ExperimentConfig, quick
-from repro.llm.models import GPT3_PROFILE, make_model
-from repro.nl2sql import SmBoP, T5Seq2Seq, ValueNet
-from repro.spider.corpus import SpiderCorpus, build_corpus
-from repro.synthesis import AugmentationPipeline, PipelineConfig
+from repro.experiments.tasks import (
+    CORPUS_TASK,
+    DOMAIN_BUILDERS,
+    DOMAIN_REGIMES,
+    SPIDER_REGIMES,
+    SYNTH_SPIDER_TASK,
+    SYSTEM_CLASSES,
+    Table5Cell,
+    build_suite_graph,
+    domain_task,
+    eval_task,
+    train_task,
+)
+from repro.runtime import Runtime
+from repro.spider.corpus import SpiderCorpus
 
-DOMAIN_BUILDERS = {"cordis": cordis.build, "sdss": sdss.build, "oncomx": oncomx.build}
-
-SYSTEM_CLASSES = {
-    "valuenet": ValueNet,
-    "t5-large": T5Seq2Seq,
-    "smbop": SmBoP,
-}
+__all__ = [
+    "BenchmarkSuite",
+    "Suite",
+    "get_suite",
+    "DOMAIN_BUILDERS",
+    "SYSTEM_CLASSES",
+]
 
 
 class BenchmarkSuite:
-    """Cached builder of all experiment inputs."""
+    """Lazy, cached access to every experiment input, backed by the graph."""
 
-    def __init__(self, config: ExperimentConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: ExperimentConfig | None = None,
+        runtime: Runtime | None = None,
+    ) -> None:
         self.config = config or quick()
-        self._domains: dict[str, BenchmarkDomain] = {}
-        self._corpus: SpiderCorpus | None = None
-        self._synth_spider: Split | None = None
+        self.runtime = runtime or Runtime()
+        self.graph = build_suite_graph(self.config)
+        self._artifacts: dict[str, Any] = {}
+
+    @classmethod
+    def from_config(
+        cls, config: ExperimentConfig, runtime: Runtime | None = None
+    ) -> "BenchmarkSuite":
+        """The public constructor: explicit config, explicit runtime."""
+        return cls(config=config, runtime=runtime)
+
+    # -- graph access ---------------------------------------------------------
+
+    def ensure(self, names: list[str] | tuple[str, ...]) -> dict[str, Any]:
+        """Materialize a batch of tasks (fanned across the runtime's workers)."""
+        missing = [n for n in dict.fromkeys(names) if n not in self._artifacts]
+        if missing:
+            self._artifacts.update(self.runtime.run(self.graph, missing))
+        return {name: self._artifacts[name] for name in names}
+
+    def artifact(self, name: str) -> Any:
+        """One task's artifact (computed, cache-loaded or memoized)."""
+        if name not in self._artifacts:
+            self.ensure([name])
+        return self._artifacts[name]
 
     # -- shared artifacts -----------------------------------------------------
 
     def domain(self, name: str) -> BenchmarkDomain:
         """One ScienceBenchmark domain, with its Synth split materialised."""
-        if name not in self._domains:
-            builder = DOMAIN_BUILDERS[name]
-            domain = builder(scale=self.config.domain_scale)
-            pipeline = AugmentationPipeline(
-                domain,
-                model=make_model(GPT3_PROFILE, seed=self.config.seed),
-                config=PipelineConfig(
-                    target_queries=self.config.synth_targets.get(name, 300),
-                    seed=self.config.seed,
-                ),
-            )
-            pipeline.run()
-            self._domains[name] = domain
-        return self._domains[name]
+        if name not in DOMAIN_BUILDERS:
+            raise KeyError(name)
+        return self.artifact(domain_task(name))
 
     def domains(self) -> dict[str, BenchmarkDomain]:
+        self.ensure([domain_task(name) for name in DOMAIN_BUILDERS])
         return {name: self.domain(name) for name in DOMAIN_BUILDERS}
 
     @property
     def corpus(self) -> SpiderCorpus:
-        if self._corpus is None:
-            self._corpus = build_corpus(
-                train_per_db=self.config.spider_train_per_db,
-                dev_per_db=self.config.spider_dev_per_db,
-                seed=self.config.seed,
-            )
-        return self._corpus
+        return self.artifact(CORPUS_TASK)
 
     @property
     def synth_spider(self) -> Split:
-        """Synthetic Spider data (the 'Synth Spider' control of Table 5):
-        the pipeline applied to each MiniSpider database, seeded with that
-        database's own training pairs."""
-        if self._synth_spider is None:
-            corpus = self.corpus
-            pairs: list[NLSQLPair] = []
-            for db_id, database in corpus.databases.items():
-                db_train = [p for p in corpus.train.pairs if p.db_id == db_id]
-                pseudo_domain = BenchmarkDomain(
-                    name=db_id,
-                    database=database,
-                    enhanced=corpus.enhanced[db_id],
-                    lexicon=None,
-                    seed=Split(name=f"{db_id}-seed", pairs=db_train),
-                    dev=Split(name=f"{db_id}-dev", pairs=[]),
-                )
-                pipeline = AugmentationPipeline(
-                    pseudo_domain,
-                    model=make_model(GPT3_PROFILE, seed=self.config.seed),
-                    config=PipelineConfig(
-                        target_queries=self.config.synth_spider_per_db,
-                        seed=self.config.seed,
-                    ),
-                )
-                report = pipeline.run()
-                pairs.extend(report.split.pairs)
-            self._synth_spider = Split(name="spider-synth", pairs=pairs)
-        return self._synth_spider
+        """Synthetic Spider data (the 'Synth Spider' control of Table 5)."""
+        return self.artifact(SYNTH_SPIDER_TASK)
 
     # -- trained systems --------------------------------------------------------
 
@@ -114,33 +121,38 @@ class BenchmarkSuite:
                 system.register_database(name, domain.database, domain.enhanced)
         return system
 
+    def _check_regime(self, domain_name: str | None, regime: str) -> str:
+        if domain_name is None:
+            if regime not in SPIDER_REGIMES:
+                raise ValueError(f"unknown Spider regime {regime!r}")
+            return "spider"
+        if regime not in DOMAIN_REGIMES:
+            raise ValueError(f"unknown regime {regime!r}")
+        if domain_name not in DOMAIN_BUILDERS:
+            raise KeyError(domain_name)
+        return domain_name
+
     def train_regime(self, system_name: str, domain_name: str | None, regime: str):
-        """Train a system under one Table-5 regime.
+        """A system trained under one Table-5 regime.
 
         Regimes: ``zero`` (Spider train only), ``seed``, ``synth``, ``both``
         (Spider + the respective domain splits); for the Spider control rows,
         ``domain_name`` is None and regimes are ``zero`` / ``plus-synth`` /
         ``synth-only``.
         """
-        system = self.make_system(system_name, include_domains=domain_name is not None)
-        pairs = list(self.corpus.train.pairs)
-        if domain_name is None:
-            if regime == "plus-synth":
-                pairs = pairs + list(self.synth_spider.pairs)
-            elif regime == "synth-only":
-                pairs = list(self.synth_spider.pairs)
-            elif regime != "zero":
-                raise ValueError(f"unknown Spider regime {regime!r}")
-        else:
-            domain = self.domain(domain_name)
-            if regime in ("seed", "both"):
-                pairs += list(domain.seed.pairs)
-            if regime in ("synth", "both"):
-                pairs += list(domain.synth.pairs)
-            if regime not in ("zero", "seed", "synth", "both"):
-                raise ValueError(f"unknown regime {regime!r}")
-        system.train(pairs)
-        return system
+        if system_name not in SYSTEM_CLASSES:
+            raise KeyError(system_name)
+        target = self._check_regime(domain_name, regime)
+        return self.artifact(train_task(system_name, target, regime))
+
+    def eval_cell(
+        self, system_name: str, domain_name: str | None, regime: str
+    ) -> Table5Cell:
+        """One evaluated Table-5 cell (training included, via the graph)."""
+        if system_name not in SYSTEM_CLASSES:
+            raise KeyError(system_name)
+        target = self._check_regime(domain_name, regime)
+        return self.artifact(eval_task(system_name, target, regime))
 
     def dev_pairs(self, domain_name: str | None):
         """The evaluation split for one domain (or the Spider control)."""
@@ -155,6 +167,10 @@ class BenchmarkSuite:
         return random.Random(f"{self.config.seed}:{salt}")
 
 
+#: The name the redesigned API is documented under.
+Suite = BenchmarkSuite
+
+
 @lru_cache(maxsize=2)
 def _suite_for(name: str) -> BenchmarkSuite:
     from repro.experiments import config as config_module
@@ -164,5 +180,14 @@ def _suite_for(name: str) -> BenchmarkSuite:
 
 
 def get_suite(preset: str = "quick") -> BenchmarkSuite:
-    """Process-wide shared suite (presets: ``quick`` or ``full``)."""
+    """Deprecated process-wide shared suite (presets: ``quick`` or ``full``).
+
+    Use ``Suite.from_config(quick(), runtime=Runtime(...))`` instead; this
+    shim keeps returning a process-global, sequential, uncached suite.
+    """
+    warnings.warn(
+        "get_suite() is deprecated; use Suite.from_config(config, runtime=...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return _suite_for(preset)

@@ -20,24 +20,26 @@ from dataclasses import dataclass, field
 
 from repro.experiments.reporting import render_table
 from repro.experiments.runner import SYSTEM_CLASSES, BenchmarkSuite
-from repro.metrics.execution import ExecutionAccuracy
+from repro.experiments.tasks import (
+    DOMAIN_REGIMES,
+    DOMAINS,
+    SPIDER_REGIMES,
+    Table5Cell,
+    eval_grid,
+)
 from repro.metrics.triage import format_triage, merge_triage
 
-DOMAIN_REGIMES = ("zero", "seed", "synth", "both")
-SPIDER_REGIMES = ("zero", "plus-synth", "synth-only")
-DOMAINS = ("cordis", "sdss", "oncomx")
-
-
-@dataclass
-class Table5Cell:
-    system: str
-    domain: str  # "spider" for the control rows
-    regime: str
-    accuracy: float
-    n_eval: int
-    #: Static-analyzer failure triage of the wrong predictions
-    #: (category → count, see :data:`repro.metrics.triage.TRIAGE_CATEGORIES`).
-    triage: dict = field(default_factory=dict)
+__all__ = [
+    "DOMAIN_REGIMES",
+    "SPIDER_REGIMES",
+    "DOMAINS",
+    "Table5Cell",
+    "Table5Result",
+    "evaluate_cell",
+    "compute_table5",
+    "render_table5",
+    "render_table5_from_suite",
+]
 
 
 @dataclass
@@ -61,32 +63,12 @@ class Table5Result:
 def evaluate_cell(
     suite: BenchmarkSuite, system_name: str, domain_name: str | None, regime: str
 ) -> Table5Cell:
-    """Train one system under one regime and measure execution accuracy."""
-    system = suite.train_regime(system_name, domain_name, regime)
-    pairs = suite.dev_pairs(domain_name)
-    accuracy = ExecutionAccuracy()
-    for pair in pairs:
-        if domain_name is None:
-            database = suite.corpus.databases[pair.db_id]
-            enhanced = None
-        else:
-            domain = suite.domain(domain_name)
-            database = domain.database
-            enhanced = domain.enhanced
-        accuracy.add(
-            database,
-            pair.sql,
-            system.predict(pair.question, pair.db_id),
-            enhanced=enhanced,
-        )
-    return Table5Cell(
-        system=system_name,
-        domain=domain_name or "spider",
-        regime=regime,
-        accuracy=accuracy.accuracy,
-        n_eval=accuracy.total,
-        triage=accuracy.triage,
-    )
+    """Train one system under one regime and measure execution accuracy.
+
+    Delegates to the ``eval:<system>:<target>:<regime>`` graph task, so the
+    cell is cached and its training reused across calls.
+    """
+    return suite.eval_cell(system_name, domain_name, regime)
 
 
 def compute_table5(
@@ -95,16 +77,11 @@ def compute_table5(
     domains: tuple[str, ...] = DOMAINS,
     include_spider_control: bool = True,
 ) -> Table5Result:
-    result = Table5Result()
-    for domain in domains:
-        for regime in DOMAIN_REGIMES:
-            for system in systems:
-                result.cells.append(evaluate_cell(suite, system, domain, regime))
-    if include_spider_control:
-        for regime in SPIDER_REGIMES:
-            for system in systems:
-                result.cells.append(evaluate_cell(suite, system, None, regime))
-    return result
+    """Evaluate the requested grid; independent cells fan across the
+    runtime's workers because the whole batch is requested at once."""
+    names = eval_grid(systems, domains, include_spider_control)
+    artifacts = suite.ensure(names)
+    return Table5Result(cells=[artifacts[name] for name in names])
 
 
 _REGIME_LABELS = {
@@ -151,3 +128,8 @@ def render_table5(result: Table5Result, systems=tuple(SYSTEM_CLASSES)) -> str:
             "classification of wrong predictions across systems."
         ),
     )
+
+
+def render_table5_from_suite(suite: BenchmarkSuite) -> str:
+    """Registry entry point: the full Table-5 grid for one suite."""
+    return render_table5(compute_table5(suite))

@@ -1,0 +1,23 @@
+"""Parallel task-graph runtime with a content-addressed artifact cache.
+
+Generic substrate: :class:`TaskGraph` declares the work, :class:`Runtime`
+executes it (inline or across worker processes) and :class:`ArtifactCache`
+persists completed artifacts by content hash.  The concrete benchmark graph
+lives in :mod:`repro.experiments.tasks`.
+"""
+
+from repro.runtime.cache import ArtifactCache
+from repro.runtime.graph import GRAPH_FORMAT, Task, TaskGraph, derive_seed
+from repro.runtime.scheduler import RunReport, Runtime, TaskRecord, execute_task
+
+__all__ = [
+    "ArtifactCache",
+    "GRAPH_FORMAT",
+    "Task",
+    "TaskGraph",
+    "derive_seed",
+    "Runtime",
+    "RunReport",
+    "TaskRecord",
+    "execute_task",
+]

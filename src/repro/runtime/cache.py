@@ -1,0 +1,71 @@
+"""Content-addressed artifact cache.
+
+Completed task artifacts are pickled under ``<root>/<key[:2]>/<key>.pkl``
+where ``key`` is the task's content hash, so a cache entry is valid for
+exactly one (body, params, upstream-artifacts) combination and never goes
+stale on a config change — a changed config simply hashes to a different
+key.  Writes are atomic (temp file + ``os.replace``) so a crashed or
+concurrent run cannot leave a half-written entry behind, and unreadable
+entries are treated as misses and deleted rather than propagated.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+from typing import Any
+
+
+class ArtifactCache:
+    """Disk cache keyed by content hash; ``root=None`` disables it."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else None
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.root is not None
+
+    def path_for(self, key: str) -> Path:
+        if self.root is None:
+            raise ValueError("cache is disabled")
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def load(self, key: str) -> tuple[bool, Any]:
+        """Return ``(hit, artifact)``; corrupted entries count as misses
+        and are removed so the task is recomputed and the entry rewritten."""
+        if self.root is None:
+            return False, None
+        path = self.path_for(key)
+        if not path.exists():
+            self.misses += 1
+            return False, None
+        try:
+            payload = pickle.loads(path.read_bytes())
+            if payload["key"] != key:
+                raise ValueError("cache entry key mismatch")
+            artifact = payload["artifact"]
+        except Exception:
+            self.corrupt += 1
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return False, None
+        self.hits += 1
+        return True, artifact
+
+    def store(self, key: str, task_name: str, artifact: Any) -> None:
+        if self.root is None:
+            return
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"key": key, "task": task_name, "artifact": artifact}
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        tmp.write_bytes(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+        os.replace(tmp, path)

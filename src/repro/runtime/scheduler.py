@@ -1,0 +1,205 @@
+"""The runtime: executes a :class:`~repro.runtime.graph.TaskGraph`.
+
+``Runtime.run(graph, targets)`` materializes the requested artifacts:
+
+1. targets are resolved depth-first, consulting the in-process memo and the
+   disk cache by content hash — a cached task prunes its whole upstream
+   subgraph (a warm ``tables 5`` never even loads the trained systems'
+   inputs);
+2. what remains is computed, either inline (``workers=1``) or fanned across
+   a :class:`~concurrent.futures.ProcessPoolExecutor`, submitting every task
+   whose dependencies are satisfied.
+
+Because each task body is pure in (params, dependency artifacts), the
+schedule cannot influence any artifact: parallel and sequential runs are
+bit-identical.  Per-task wall time and cache hit/miss counters are appended
+to ``Runtime.report`` (rendered by the CLI's ``--timings``).
+"""
+
+from __future__ import annotations
+
+import importlib
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.runtime.cache import ArtifactCache
+from repro.runtime.graph import TaskGraph
+
+
+def resolve_fn(fn_path: str) -> Callable[[dict, dict], Any]:
+    """Resolve a ``"module.path:function"`` task body."""
+    module_name, sep, attr = fn_path.partition(":")
+    if not sep or not attr:
+        raise ValueError(f"task fn must look like 'module:function', got {fn_path!r}")
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def execute_task(fn_path: str, params: dict, inputs: dict) -> tuple[Any, float]:
+    """Run one task body; module-level so worker processes can import it.
+
+    Returns ``(artifact, seconds)`` with the time measured where the work
+    actually happened.
+    """
+    start = time.perf_counter()
+    artifact = resolve_fn(fn_path)(params, inputs)
+    return artifact, time.perf_counter() - start
+
+
+@dataclass
+class TaskRecord:
+    """How one task was satisfied during a run."""
+
+    name: str
+    status: str  # "computed" | "hit" (disk cache) | "memo" (in-process)
+    seconds: float
+    key: str  # content hash
+
+
+@dataclass
+class RunReport:
+    """Accumulated task records across every ``Runtime.run`` call."""
+
+    records: list[TaskRecord] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def count(self, status: str) -> int:
+        return sum(1 for r in self.records if r.status == status)
+
+    @property
+    def computed(self) -> int:
+        return self.count("computed")
+
+    @property
+    def cache_hits(self) -> int:
+        return self.count("hit")
+
+    @property
+    def memoized(self) -> int:
+        return self.count("memo")
+
+    def task_seconds(self) -> float:
+        return sum(r.seconds for r in self.records)
+
+    def all_cached(self) -> bool:
+        """True when no task had to be computed (a fully warm run)."""
+        return bool(self.records) and self.computed == 0
+
+    def render(self) -> str:
+        lines = ["== runtime report =="]
+        width = max((len(r.name) for r in self.records), default=4)
+        for record in sorted(self.records, key=lambda r: r.name):
+            lines.append(
+                f"{record.name:<{width}}  {record.key[:10]}  "
+                f"{record.status:<8}  {record.seconds:8.3f}s"
+            )
+        lines.append(
+            f"runtime: {len(self.records)} tasks | computed={self.computed} "
+            f"cache-hits={self.cache_hits} memo={self.memoized} | "
+            f"task-time {self.task_seconds():.2f}s"
+        )
+        return "\n".join(lines)
+
+
+class Runtime:
+    """Execution policy for a task graph: worker count and artifact cache.
+
+    One runtime can serve many suites and many ``run`` calls; completed
+    artifacts stay memoized in-process by content hash.
+    """
+
+    def __init__(self, workers: int = 1, cache_dir: str | None = None) -> None:
+        self.workers = max(1, int(workers))
+        self.cache = ArtifactCache(cache_dir)
+        self._memo: dict[str, Any] = {}
+        self.report = RunReport()
+
+    def run(self, graph: TaskGraph, targets: list[str] | tuple[str, ...]) -> dict[str, Any]:
+        """Materialize ``targets``; returns ``{task name: artifact}``."""
+        targets = list(dict.fromkeys(targets))
+        resolved: dict[str, Any] = {}
+        pending: list[str] = []  # topological: deps are planned first
+        planned: set[str] = set()
+
+        def plan(name: str) -> None:
+            if name in planned:
+                return
+            planned.add(name)
+            key = graph.content_hash(name)
+            if key in self._memo:
+                resolved[name] = self._memo[key]
+                self.report.records.append(TaskRecord(name, "memo", 0.0, key))
+                return
+            start = time.perf_counter()
+            hit, artifact = self.cache.load(key)
+            if hit:
+                self._memo[key] = artifact
+                resolved[name] = artifact
+                self.report.records.append(
+                    TaskRecord(name, "hit", time.perf_counter() - start, key)
+                )
+                return
+            for dep in graph.task(name).dep_names():
+                plan(dep)
+            pending.append(name)
+
+        for target in targets:
+            plan(target)
+
+        if pending:
+            if self.workers == 1 or len(pending) == 1:
+                self._run_sequential(graph, pending, resolved)
+            else:
+                self._run_parallel(graph, pending, resolved)
+        return {name: resolved[name] for name in targets}
+
+    # -- execution ------------------------------------------------------------
+
+    def _finish(
+        self, graph: TaskGraph, name: str, artifact: Any, seconds: float, resolved: dict
+    ) -> None:
+        key = graph.content_hash(name)
+        self.cache.store(key, name, artifact)
+        self._memo[key] = artifact
+        resolved[name] = artifact
+        self.report.records.append(TaskRecord(name, "computed", seconds, key))
+
+    def _inputs(self, graph: TaskGraph, name: str, resolved: dict) -> dict:
+        return {role: resolved[dep] for role, dep in graph.task(name).deps}
+
+    def _run_sequential(self, graph: TaskGraph, pending: list[str], resolved: dict) -> None:
+        for name in pending:
+            task = graph.task(name)
+            artifact, seconds = execute_task(
+                task.fn, task.params, self._inputs(graph, name, resolved)
+            )
+            self._finish(graph, name, artifact, seconds, resolved)
+
+    def _run_parallel(self, graph: TaskGraph, pending: list[str], resolved: dict) -> None:
+        in_flight: dict[str, Any] = {}
+        remaining = list(pending)
+        with ProcessPoolExecutor(max_workers=min(self.workers, len(pending))) as pool:
+
+            def launch() -> None:
+                for name in list(remaining):
+                    task = graph.task(name)
+                    if all(dep in resolved for dep in task.dep_names()):
+                        in_flight[name] = pool.submit(
+                            execute_task,
+                            task.fn,
+                            task.params,
+                            self._inputs(graph, name, resolved),
+                        )
+                        remaining.remove(name)
+
+            launch()
+            while in_flight:
+                done, _ = wait(set(in_flight.values()), return_when=FIRST_COMPLETED)
+                for name in [n for n, fut in in_flight.items() if fut in done]:
+                    future = in_flight.pop(name)
+                    artifact, seconds = future.result()
+                    self._finish(graph, name, artifact, seconds, resolved)
+                launch()

@@ -45,13 +45,23 @@ class PipelineReport:
 
 
 class AugmentationPipeline:
-    """Figure 1: automatic training data generation for one domain."""
+    """Figure 1: automatic training data generation for one domain.
+
+    Randomness and parallelism are injectable: callers may pass an explicit
+    ``rng`` (instead of the pipeline seeding ``random.Random(config.seed)``
+    itself) and an ``executor`` whose ``map`` fans the per-query translation
+    and selection phases out — ``executor.map`` preserves input order and
+    every query is translated independently (the model derives its RNG from
+    the SQL text), so any executor yields the same split as the serial path.
+    """
 
     def __init__(
         self,
         domain: BenchmarkDomain,
         model: SqlToNlModel | None = None,
         config: PipelineConfig | None = None,
+        rng: random.Random | None = None,
+        executor=None,
     ) -> None:
         self.domain = domain
         self.config = config or PipelineConfig()
@@ -59,10 +69,27 @@ class AugmentationPipeline:
             domain, model=model, config=self.config.translation
         )
         self.discriminator = Discriminator(self.config.discriminator)
+        self._rng = rng
+        self._executor = executor
 
-    def run(self) -> PipelineReport:
-        """Execute all four phases and return the synthetic split."""
-        rng = random.Random(self.config.seed)
+    def __getstate__(self):
+        # Executors cannot cross process boundaries; drop them so the
+        # pipeline itself stays picklable for executor.map workers.
+        state = self.__dict__.copy()
+        state["_executor"] = None
+        return state
+
+    def run(self, rng: random.Random | None = None, executor=None) -> PipelineReport:
+        """Execute all four phases and return the synthetic split.
+
+        ``rng``/``executor`` override the constructor-injected ones; with
+        neither injected, each run uses a fresh ``random.Random(config.seed)``
+        and runs serially (the legacy behaviour).
+        """
+        if rng is None:
+            rng = self._rng if self._rng is not None else random.Random(self.config.seed)
+        if executor is None:
+            executor = self._executor
 
         # Phase 1 — Seeding.
         seeding = extract_templates(self.domain.seed.pairs, self.domain.database.schema)
@@ -77,20 +104,12 @@ class AugmentationPipeline:
         )
         queries = self._generate_queries(generator, seeding)
 
-        # Phase 3 + 4 — translate and select.
-        pairs: list[NLSQLPair] = []
-        for sql in queries:
-            candidates = self.translator.candidates(sql)
-            best = self.discriminator.select(candidates)
-            for question in best:
-                pairs.append(
-                    NLSQLPair(
-                        question=question,
-                        sql=sql,
-                        db_id=self.domain.name,
-                        source="synth",
-                    )
-                )
+        # Phase 3 + 4 — translate and select, independently per query.
+        if executor is None:
+            pair_lists = [self._pairs_for(sql) for sql in queries]
+        else:
+            pair_lists = list(executor.map(self._pairs_for, queries))
+        pairs: list[NLSQLPair] = [pair for chunk in pair_lists for pair in chunk]
 
         split = Split(name=f"{self.domain.name}-synth", pairs=pairs)
         self.domain.synth = split
@@ -101,6 +120,20 @@ class AugmentationPipeline:
             split=split,
             generation=generator.stats,
         )
+
+    def _pairs_for(self, sql: str) -> list[NLSQLPair]:
+        """Phases 3+4 for one generated query: translate, then select."""
+        candidates = self.translator.candidates(sql)
+        best = self.discriminator.select(candidates)
+        return [
+            NLSQLPair(
+                question=question,
+                sql=sql,
+                db_id=self.domain.name,
+                source="synth",
+            )
+            for question in best
+        ]
 
     def _generate_queries(
         self, generator: SqlGenerator, seeding: SeedingResult
@@ -139,8 +172,14 @@ def augment_domain(
     target_queries: int = 1000,
     seed: int = 1234,
     model: SqlToNlModel | None = None,
+    rng: random.Random | None = None,
+    executor=None,
 ) -> Split:
-    """Convenience wrapper: run the pipeline and return the Synth split."""
+    """Convenience wrapper: run the pipeline and return the Synth split.
+
+    ``rng`` overrides the seed-derived RNG; ``executor`` (anything with an
+    order-preserving ``map``) parallelizes the translation phases.
+    """
     config = PipelineConfig(target_queries=target_queries, seed=seed)
     pipeline = AugmentationPipeline(domain, model=model, config=config)
-    return pipeline.run().split
+    return pipeline.run(rng=rng, executor=executor).split

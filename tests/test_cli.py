@@ -22,7 +22,7 @@ def tiny_suite(monkeypatch):
         dev_limit=10,
     )
     suite = BenchmarkSuite(config)
-    monkeypatch.setattr("repro.experiments.runner.get_suite", lambda preset="quick": suite)
+    monkeypatch.setattr(cli, "_build_suite", lambda args: suite)
     return suite
 
 
@@ -66,6 +66,38 @@ def test_lint_command(tiny_suite, capsys):
 
 def test_lint_command_rejects_unknown_domain(tiny_suite, capsys):
     assert cli.main(["lint", "nope"]) == 2
+
+
+def test_augment_command_with_overrides(tiny_suite, tmp_path, capsys):
+    out_file = tmp_path / "synth-small.json"
+    code = cli.main(
+        ["augment", "sdss", "--target", "12", "--seed", "5", "--out", str(out_file)]
+    )
+    assert code == 0
+    from repro.datasets.records import Split
+
+    split = Split.from_json(out_file)
+    assert 0 < len(split)
+
+
+def test_timings_flag_reports_runtime(tiny_suite, capsys):
+    assert cli.main(["--timings", "tables", "1"]) == 0
+    err = capsys.readouterr().err
+    assert "runtime:" in err and "computed=" in err
+
+
+def test_build_suite_wires_runtime_flags(tmp_path):
+    args = cli._parser().parse_args(
+        ["--workers", "3", "--cache-dir", str(tmp_path / "c"), "tables"]
+    )
+    suite = cli._build_suite(args)
+    assert suite.runtime.workers == 3
+    assert suite.runtime.cache.enabled
+    assert str(suite.runtime.cache.root) == str(tmp_path / "c")
+
+    args = cli._parser().parse_args(["--no-cache", "stats"])
+    suite = cli._build_suite(args)
+    assert not suite.runtime.cache.enabled
 
 
 def test_requires_command():
