@@ -7,6 +7,7 @@ Commands
 ``augment``    run the pipeline for one domain and write the Synth split
 ``stats``      print the per-domain split statistics
 ``lint``       static-analyze the gold queries and data of the domains
+``serve-bench`` benchmark the serving layer (batched vs unbatched replay)
 
 All commands accept ``--preset quick|full`` (default quick) and are fully
 deterministic: for a fixed seed, ``--workers 4`` produces byte-identical
@@ -102,6 +103,64 @@ def _parser() -> argparse.ArgumentParser:
         "--strict", action="store_true",
         help="also fail on warnings, not only errors",
     )
+
+    serve = add_command(
+        "serve-bench",
+        help="load-test the serving layer and report batched-vs-unbatched "
+             "throughput and latency percentiles",
+    )
+    serve.add_argument(
+        "--system", choices=("valuenet", "t5-large", "smbop"), default="valuenet",
+        help="NL-to-SQL system to serve (default: valuenet)",
+    )
+    serve.add_argument(
+        "--regime", choices=("zero", "seed", "synth", "both"), default="both",
+        help="training regime of the served systems (default: both)",
+    )
+    serve.add_argument(
+        "--domains", nargs="*", default=None, metavar="domain",
+        help="domains to serve (default: cordis sdss oncomx)",
+    )
+    serve.add_argument(
+        "--concurrency", type=int, default=16, metavar="N",
+        help="closed-loop client concurrency (default: 16)",
+    )
+    serve.add_argument(
+        "--repeat", type=int, default=4, metavar="N",
+        help="times each dev question appears in the stream (default: 4)",
+    )
+    serve.add_argument(
+        "--qps", type=float, default=None, metavar="Q",
+        help="open-loop request rate instead of the closed loop",
+    )
+    serve.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="cap the total request count",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=8, metavar="N",
+        help="micro-batch size limit of the batched arm (default: 8)",
+    )
+    serve.add_argument(
+        "--max-wait-ms", type=float, default=2.0, metavar="MS",
+        help="micro-batch coalescing window (default: 2.0)",
+    )
+    serve.add_argument(
+        "--execute", action="store_true",
+        help="also execute the predicted SQL against the domain databases",
+    )
+    serve.add_argument(
+        "--out", default="benchmarks/BENCH_serving.json", metavar="PATH",
+        help="report destination (default: benchmarks/BENCH_serving.json)",
+    )
+    serve.add_argument(
+        "--assert-speedup", type=float, default=None, metavar="MIN",
+        help="exit 1 unless batched/unbatched throughput >= MIN",
+    )
+    serve.add_argument(
+        "--assert-p95-ms", type=float, default=None, metavar="MS",
+        help="exit 1 unless the batched arm's p95 latency <= MS",
+    )
     return parser
 
 
@@ -139,6 +198,8 @@ def main(argv: list[str] | None = None) -> int:
             code = _augment(suite, args.domain, args.out, args.target, args.seed)
         elif args.command == "stats":
             code = _stats(suite)
+        elif args.command == "serve-bench":
+            code = _serve_bench(suite, args)
         else:  # pragma: no cover - argparse enforces the choices
             return 2
         if args.timings:
@@ -240,6 +301,72 @@ def _lint(args) -> int:
         if report.has_errors or (args.strict and report.n_warnings):
             failed = True
     return 1 if failed else 0
+
+
+def _serve_bench(suite, args) -> int:
+    """Warm-start the serving layer and replay dev questions through it."""
+    from repro.experiments.tasks import DOMAINS
+    from repro.serving import (
+        LoadProfile,
+        ServerConfig,
+        load_backends,
+        render_report,
+        run_serve_bench,
+        write_report,
+    )
+
+    domains = tuple(args.domains) if args.domains else DOMAINS
+    for name in domains:
+        if name not in DOMAINS:
+            print(f"unknown domain {name!r} (choose from {', '.join(DOMAINS)})",
+                  file=sys.stderr)
+            return 2
+
+    bundle = load_backends(
+        suite, domains=domains, system_name=args.system, regime=args.regime
+    )
+    start = "warm (all artifacts cached)" if bundle.warm else "cold (training ran)"
+    print(f"serving {args.system} [{args.regime}] on "
+          f"{', '.join(domains)} — start was {start}", file=sys.stderr)
+
+    questions = {
+        name: [pair.question for pair in suite.dev_pairs(name)] for name in domains
+    }
+    profile = LoadProfile(
+        concurrency=args.concurrency, repeat=args.repeat,
+        qps=args.qps, seed=suite.config.seed, limit=args.limit,
+    )
+    config = ServerConfig(
+        max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
+        execute=args.execute,
+    )
+    report = run_serve_bench(bundle.backends, questions, profile, config)
+    print(render_report(report))
+    if args.out:
+        path = write_report(report, args.out)
+        print(f"report written to {path}", file=sys.stderr)
+
+    code = 0
+    if args.assert_speedup is not None and report["speedup"] < args.assert_speedup:
+        print(f"FAIL: speedup {report['speedup']:.2f}x is below the required "
+              f"{args.assert_speedup:g}x", file=sys.stderr)
+        code = 1
+    if args.assert_p95_ms is not None:
+        p95 = report["arms"]["batched"]["latency"]["p95_ms"]
+        if p95 > args.assert_p95_ms:
+            print(f"FAIL: batched p95 {p95:.2f} ms exceeds the budget of "
+                  f"{args.assert_p95_ms:g} ms", file=sys.stderr)
+            code = 1
+    failures = sum(
+        report["arms"][arm]["statuses"].get(status, 0)
+        for arm in ("unbatched", "batched")
+        for status in ("rejected", "timeout", "failed")
+    )
+    if failures:
+        print(f"FAIL: {failures} requests did not produce an answer",
+              file=sys.stderr)
+        code = 1
+    return code
 
 
 def _stats(suite) -> int:

@@ -105,3 +105,19 @@ def required_tasks(name: str, config: ExperimentConfig) -> list[str]:
 
 def render(name: str, suite) -> str:
     return get_renderer(name)(suite)
+
+
+def serving_tasks(
+    system: str,
+    domains: tuple[str, ...] = tasks.DOMAINS,
+    regime: str = "both",
+) -> list[str]:
+    """Graph task names the serving layer warm-starts from.
+
+    Per served domain: the domain artifact (database + dev split) and the
+    trained system under ``regime``.  With a cache-backed runtime these all
+    resolve without retraining.
+    """
+    names = [tasks.domain_task(name) for name in domains]
+    names += [tasks.train_task(system, name, regime) for name in domains]
+    return names

@@ -192,7 +192,13 @@ def train_system_task(params: dict, inputs: dict):
 
 
 def eval_cell_task(params: dict, inputs: dict) -> Table5Cell:
-    """Measure execution accuracy of a trained system on its dev split."""
+    """Measure execution accuracy of a trained system on its dev split.
+
+    Predictions go through ``predict_all`` → ``predict_batch`` — the same
+    inference path the serving layer uses — so offline evaluation and
+    serving cannot drift apart (batched output is byte-identical to
+    per-question ``predict``).
+    """
     system = inputs["system"]
     domain_name = params["domain"]
     dev_limit = params["dev_limit"]
@@ -200,23 +206,13 @@ def eval_cell_task(params: dict, inputs: dict) -> Table5Cell:
     if domain_name is None:
         corpus: SpiderCorpus = inputs["corpus"]
         pairs = corpus.dev.pairs[:dev_limit] if dev_limit else list(corpus.dev.pairs)
-        for pair in pairs:
-            accuracy.add(
-                corpus.databases[pair.db_id],
-                pair.sql,
-                system.predict(pair.question, pair.db_id),
-                enhanced=None,
-            )
+        for pair, predicted in zip(pairs, system.predict_all(pairs)):
+            accuracy.add(corpus.databases[pair.db_id], pair.sql, predicted, enhanced=None)
     else:
         domain: BenchmarkDomain = inputs["domain"]
         pairs = domain.dev.pairs[:dev_limit] if dev_limit else list(domain.dev.pairs)
-        for pair in pairs:
-            accuracy.add(
-                domain.database,
-                pair.sql,
-                system.predict(pair.question, pair.db_id),
-                enhanced=domain.enhanced,
-            )
+        for pair, predicted in zip(pairs, system.predict_all(pairs)):
+            accuracy.add(domain.database, pair.sql, predicted, enhanced=domain.enhanced)
     return Table5Cell(
         system=params["system"],
         domain=domain_name or "spider",

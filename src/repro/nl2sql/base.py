@@ -19,6 +19,7 @@ Training populates two stores per system:
 from __future__ import annotations
 
 import abc
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.datasets.records import NLSQLPair
@@ -44,12 +45,16 @@ class NLToSQLSystem(abc.ABC):
 
     name: str = "abstract"
 
+    #: Bound of the per-system schema-linking memo (see :meth:`link`).
+    LINK_CACHE_SIZE = 512
+
     def __init__(self) -> None:
         self._contexts: dict[str, DomainContext] = {}
         self._linkers: dict[str, SchemaLinker] = {}
         self._lexicons: dict[str, LearnedLexicon] = {}
         self.templates = TemplateStore()
         self._trained = False
+        self._link_cache: OrderedDict[tuple[str, str], Links] = OrderedDict()
 
     # -- registration -------------------------------------------------------------
 
@@ -61,6 +66,7 @@ class NLToSQLSystem(abc.ABC):
         self._contexts[db_id] = context
         self._linkers[db_id] = SchemaLinker(database, enhanced)
         self._lexicons.setdefault(db_id, LearnedLexicon(db_id=db_id))
+        self._link_cache.clear()
 
     def context(self, db_id: str) -> DomainContext:
         try:
@@ -81,6 +87,8 @@ class NLToSQLSystem(abc.ABC):
             self.templates.observe(pair.question, pair.sql, context.database.schema)
             self._observe(pair, context)
         self._trained = True
+        # Training updates the lexicons, which feed linking.
+        self._link_cache.clear()
 
     def _observe(self, pair: NLSQLPair, context: DomainContext) -> None:
         """Hook for system-specific training statistics."""
@@ -88,8 +96,25 @@ class NLToSQLSystem(abc.ABC):
     # -- prediction -------------------------------------------------------------------
 
     def link(self, question: str, db_id: str) -> Links:
+        """Schema-link a question (memoized).
+
+        Linking is deterministic in (question, database, lexicon) and no
+        consumer mutates the returned :class:`Links`, so results are shared
+        through a bounded LRU — a micro-batch warms the memo once and every
+        decode inside the batch reuses it.  Training and registration clear
+        the memo because both change what linking would return.
+        """
+        key = (db_id, question)
+        cached = self._link_cache.get(key)
+        if cached is not None:
+            self._link_cache.move_to_end(key)
+            return cached
         lexicon = self._lexicons.get(db_id)
-        return self._linkers[db_id].link(question, learned=lexicon)
+        links = self._linkers[db_id].link(question, learned=lexicon)
+        self._link_cache[key] = links
+        if len(self._link_cache) > self.LINK_CACHE_SIZE:
+            self._link_cache.popitem(last=False)
+        return links
 
     def predict(self, question: str, db_id: str) -> str | None:
         """Predict SQL for a question over a registered database."""
@@ -101,5 +126,37 @@ class NLToSQLSystem(abc.ABC):
     def _predict(self, question: str, context: DomainContext) -> str | None:
         """System-specific decoding."""
 
+    def predict_batch(self, questions: list[str], db_id: str) -> list[str | None]:
+        """Predict SQL for a batch of questions over one database.
+
+        Byte-identical to calling :meth:`predict` per question — decoding is
+        deterministic and pure, which is what lets the serving layer batch
+        freely.  Exact duplicate questions decode once; schema linking is
+        shared through the link memo.
+        """
+        if not self._trained:
+            raise TrainingError(f"{self.name} must be trained before predicting")
+        context = self.context(db_id)
+        decoded: dict[str, str | None] = {}
+        results: list[str | None] = []
+        for question in questions:
+            if question not in decoded:
+                decoded[question] = self._predict(question, context)
+            results.append(decoded[question])
+        return results
+
     def predict_all(self, pairs: list[NLSQLPair]) -> list[str | None]:
-        return [self.predict(p.question, p.db_id) for p in pairs]
+        """Predictions for mixed-database pairs, batched per database.
+
+        Offline evaluation (Table 5) and serving share this one inference
+        path; outputs are identical to per-pair :meth:`predict` calls.
+        """
+        results: list[str | None] = [None] * len(pairs)
+        by_db: dict[str, list[int]] = {}
+        for index, pair in enumerate(pairs):
+            by_db.setdefault(pair.db_id, []).append(index)
+        for db_id, indices in by_db.items():
+            batch = self.predict_batch([pairs[i].question for i in indices], db_id)
+            for index, sql in zip(indices, batch):
+                results[index] = sql
+        return results

@@ -12,8 +12,12 @@ domain (the nonzero zero-shot rows of Table 5).
 from __future__ import annotations
 
 import re
+import weakref
+from functools import lru_cache
 
 import numpy as np
+
+from repro.textutil import normalize_question
 
 #: Feature names in vector order.
 FEATURE_NAMES = (
@@ -62,8 +66,8 @@ _NUMBER_RE = re.compile(r"(?<![\w.])\d+(?:\.\d+)?(?!\w|\.\d)")
 _LIMIT_RE = re.compile(r"\btop (\d+)\b|\bfirst (\d+)\b|\b(\d+) (?:closest|largest|smallest|highest|lowest|best)\b")
 
 
-def question_features(question: str) -> np.ndarray:
-    """The fixed feature vector of one question."""
+@lru_cache(maxsize=4096)
+def _question_features_tuple(question: str) -> tuple[float, ...]:
     lowered = f" {question.lower()} "
     vector = np.zeros(len(FEATURE_NAMES), dtype=np.float64)
     for i, name in enumerate(FEATURE_NAMES):
@@ -76,7 +80,86 @@ def question_features(question: str) -> np.ndarray:
     vector[FEATURE_NAMES.index("n_quoted")] = min(question.count("'") // 2, 3) / 3.0
     vector[FEATURE_NAMES.index("length")] = min(len(question.split()), 40) / 40.0
     vector[FEATURE_NAMES.index("limit_k")] = 1.0 if _LIMIT_RE.search(lowered) else 0.0
-    return vector
+    return tuple(vector)
+
+
+def question_features(question: str) -> np.ndarray:
+    """The fixed feature vector of one question.
+
+    The regex scan is memoized per question string (template retrieval,
+    structural digests and serving all re-derive the same vector); callers
+    receive a fresh array, so the memo cannot be mutated through a result.
+    """
+    return np.array(_question_features_tuple(question), dtype=np.float64)
+
+
+_LINK_NORM_RE = re.compile(r"[^a-z0-9.]+")
+
+
+def normalize_link_text(text: str) -> str:
+    """The linker's canonical token form, built on the shared question
+    normalization (casefold + whitespace collapse) with punctuation
+    stripped and the result space-padded for whole-phrase matching."""
+    collapsed = _LINK_NORM_RE.sub(" ", normalize_question(text)).strip()
+    tokens = [t.strip(".") for t in collapsed.split(" ") if t.strip(".")]
+    return f" {' '.join(tokens)} "
+
+
+class SchemaPhrases:
+    """Precomputed normalized readable phrases of one schema.
+
+    Schema linking matches every table/column readable name (singular and
+    plural) against each question; normalizing and pluralising those names
+    per request is pure rebuild cost under a serving workload, so the
+    phrases are derived once per schema and shared through
+    :func:`schema_phrases`.
+
+    ``tables`` holds one entry per table, in schema order::
+
+        (table_key, table_phrase, table_plural,
+         ((column_key, column_phrase, column_plural), ...))
+
+    where keys are lowercase schema names and phrases are
+    :func:`normalize_link_text` forms stripped of their padding.
+    """
+
+    __slots__ = ("tables",)
+
+    def __init__(self, schema) -> None:
+        from repro.nlgen.lexicon import _pluralise
+
+        self.tables = tuple(
+            (
+                table_def.name.lower(),
+                normalize_link_text(table_def.readable).strip(),
+                normalize_link_text(_pluralise(table_def.readable)).strip(),
+                tuple(
+                    (
+                        column.name.lower(),
+                        normalize_link_text(column.readable).strip(),
+                        normalize_link_text(_pluralise(column.readable)).strip(),
+                    )
+                    for column in table_def.columns
+                ),
+            )
+            for table_def in schema.tables
+        )
+
+
+_SCHEMA_PHRASES: weakref.WeakKeyDictionary = weakref.WeakKeyDictionary()
+
+
+def schema_phrases(schema) -> SchemaPhrases:
+    """The memoized :class:`SchemaPhrases` of a schema.
+
+    Weakly keyed by the (immutable) schema object, so the memo never
+    outlives the schemas it describes and equal schemas share one index.
+    """
+    index = _SCHEMA_PHRASES.get(schema)
+    if index is None:
+        index = SchemaPhrases(schema)
+        _SCHEMA_PHRASES[schema] = index
+    return index
 
 
 def extract_numbers(question: str) -> list[float]:

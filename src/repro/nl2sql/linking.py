@@ -17,12 +17,11 @@ The output :class:`Links` object is consumed by all three NL-to-SQL systems.
 
 from __future__ import annotations
 
-import re
 from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.engine.database import Database
-from repro.nl2sql.features import extract_numbers
+from repro.nl2sql.features import extract_numbers, normalize_link_text, schema_phrases
 from repro.nl2sql.lexicon import LearnedLexicon
 from repro.schema.enhanced import EnhancedSchema
 from repro.schema.model import ColumnType
@@ -31,13 +30,10 @@ from repro.schema.model import ColumnType
 #: free-text columns (project objectives, descriptions) produces noise.
 MAX_INDEXED_VALUES = 2000
 
-_NORM_RE = re.compile(r"[^a-z0-9.]+")
-
-
-def _normalize(text: str) -> str:
-    collapsed = _NORM_RE.sub(" ", text.lower()).strip()
-    tokens = [t.strip(".") for t in collapsed.split(" ") if t.strip(".")]
-    return f" {' '.join(tokens)} "
+#: Token normalization shared with the serving cache key (casefold +
+#: whitespace collapse, via :mod:`repro.textutil`) so equivalent questions
+#: link identically and hit the same cached result.
+_normalize = normalize_link_text
 
 
 @dataclass(frozen=True)
@@ -187,42 +183,36 @@ class SchemaLinker:
         links = Links()
         normalized = _normalize(question)
 
-        # 1. Static schema-name matching (singular and plural forms).
-        from repro.nlgen.lexicon import _pluralise
-
+        # 1. Static schema-name matching (singular and plural forms), against
+        #    the per-domain precomputed phrase index.
         mention_phrases: dict[str, str] = {}
         column_phrases: dict[tuple[str, str], str] = {}
-        for table_def in self.schema.tables:
-            t_phrase = _normalize(table_def.readable).strip()
-            t_plural = _normalize(_pluralise(table_def.readable)).strip()
+        for table_key, t_phrase, t_plural, columns in schema_phrases(self.schema).tables:
             score = max(
                 _phrase_match(normalized, t_phrase),
                 _phrase_match(normalized, t_plural),
             )
             if score:
                 # An explicit table mention is the strongest structural cue.
-                key = table_def.name.lower()
-                links.tables[key] += 2.0 * score
-                links.table_mentions.add(key)
+                links.tables[table_key] += 2.0 * score
+                links.table_mentions.add(table_key)
                 positions = [
                     (normalized.find(f" {p} "), p) for p in (t_phrase, t_plural)
                 ]
                 positions = [(pos, p) for pos, p in positions if pos >= 0]
                 if positions:
                     pos, phrase = min(positions)
-                    links.table_positions[key] = pos
-                    mention_phrases[key] = phrase
-            for column in table_def.columns:
-                c_phrase = _normalize(column.readable).strip()
-                c_plural = _normalize(_pluralise(column.readable)).strip()
+                    links.table_positions[table_key] = pos
+                    mention_phrases[table_key] = phrase
+            for column_key, c_phrase, c_plural in columns:
                 c_score = max(
                     _phrase_match(normalized, c_phrase),
                     _phrase_match(normalized, c_plural),
                 )
                 if c_score:
-                    key = (table_def.name.lower(), column.name.lower())
+                    key = (table_key, column_key)
                     links.columns[key] += c_score
-                    links.tables[table_def.name.lower()] += 0.3 * c_score
+                    links.tables[table_key] += 0.3 * c_score
                     hits = [
                         (normalized.find(f" {p} "), p) for p in (c_phrase, c_plural)
                     ]

@@ -35,6 +35,15 @@ class ArtifactCache:
             raise ValueError("cache is disabled")
         return self.root / key[:2] / f"{key}.pkl"
 
+    def contains(self, key: str) -> bool:
+        """Whether an entry for ``key`` exists on disk.
+
+        A cheap existence probe (no unpickling, no hit/miss accounting) for
+        callers that only need to know whether a start would be warm — a
+        present-but-corrupt entry still resolves to a recompute at load time.
+        """
+        return self.root is not None and self.path_for(key).exists()
+
     def load(self, key: str) -> tuple[bool, Any]:
         """Return ``(hit, artifact)``; corrupted entries count as misses
         and are removed so the task is recomputed and the entry rewritten."""

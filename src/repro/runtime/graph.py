@@ -27,7 +27,8 @@ from dataclasses import dataclass, field
 
 #: Bump to invalidate every content hash (and therefore every cache entry)
 #: when the artifact format or task semantics change incompatibly.
-GRAPH_FORMAT = 1
+#: 2: trained-system artifacts carry the schema-linking memo (serving).
+GRAPH_FORMAT = 2
 
 
 def derive_seed(base_seed: int, task_name: str) -> int:

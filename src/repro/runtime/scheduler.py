@@ -117,6 +117,24 @@ class Runtime:
         self._memo: dict[str, Any] = {}
         self.report = RunReport()
 
+    def probe(self, graph: TaskGraph, names: list[str] | tuple[str, ...]) -> dict[str, str]:
+        """How each task would be satisfied right now, without computing.
+
+        ``"memo"`` (already in-process), ``"cached"`` (disk artifact
+        present) or ``"compute"``.  The serving loader uses this to report
+        whether a start is warm before paying for :meth:`run`.
+        """
+        status: dict[str, str] = {}
+        for name in dict.fromkeys(names):
+            key = graph.content_hash(name)
+            if key in self._memo:
+                status[name] = "memo"
+            elif self.cache.contains(key):
+                status[name] = "cached"
+            else:
+                status[name] = "compute"
+        return status
+
     def run(self, graph: TaskGraph, targets: list[str] | tuple[str, ...]) -> dict[str, Any]:
         """Materialize ``targets``; returns ``{task name: artifact}``."""
         targets = list(dict.fromkeys(targets))

@@ -1,0 +1,53 @@
+"""Async NL-to-SQL inference service over trained benchmark systems.
+
+The subsystem turns the offline experiment artifacts into an online
+service: trained per-domain systems are warm-started from the runtime's
+artifact cache (:mod:`repro.serving.loader`), concurrent questions flow
+through bounded per-domain queues into a micro-batching scheduler
+(:mod:`repro.serving.scheduler`), decoded answers land in a normalized
+LRU result cache (:mod:`repro.serving.cache`), and every stage is
+observable (:mod:`repro.serving.metrics`).  ``serve-bench``
+(:mod:`repro.serving.loadgen`) replays dev-split questions to quantify
+what batching and caching buy.
+"""
+
+from repro.serving.cache import CachedResult, ResultCache
+from repro.serving.fallback import TemplateFallback
+from repro.serving.loader import ServingBundle, load_backends
+from repro.serving.loadgen import (
+    LoadProfile,
+    build_stream,
+    render_report,
+    replay,
+    run_serve_bench,
+    write_report,
+)
+from repro.serving.metrics import LatencyHistogram, ServerMetrics, ServerStats
+from repro.serving.request import STATUSES, ServeError, ServeResult
+from repro.serving.scheduler import BatchPolicy, collect_batch
+from repro.serving.server import DomainBackend, InferenceServer, ServerConfig
+
+__all__ = [
+    "BatchPolicy",
+    "CachedResult",
+    "DomainBackend",
+    "InferenceServer",
+    "LatencyHistogram",
+    "LoadProfile",
+    "ResultCache",
+    "STATUSES",
+    "ServeError",
+    "ServeResult",
+    "ServerConfig",
+    "ServerMetrics",
+    "ServerStats",
+    "ServingBundle",
+    "TemplateFallback",
+    "build_stream",
+    "collect_batch",
+    "load_backends",
+    "render_report",
+    "replay",
+    "run_serve_bench",
+    "write_report",
+]

@@ -1,0 +1,87 @@
+"""Bounded LRU result cache keyed by (domain, normalized question).
+
+The key goes through :func:`repro.textutil.normalize_question` — the same
+canonicalization schema linking is built on — so case/whitespace variants
+of one question share a single entry.  Only primary (non-degraded) results
+are cached; degraded answers must not outlive the incident that caused
+them.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.textutil import normalize_question
+
+
+@dataclass(frozen=True)
+class CachedResult:
+    """The cached payload of one served question."""
+
+    sql: str | None
+    rows: tuple | None = None
+
+
+class ResultCache:
+    """Bounded LRU with hit/miss/eviction accounting.
+
+    ``capacity <= 0`` disables the cache entirely (every lookup is a
+    silent miss and stores are dropped) — the unbatched benchmark arm and
+    byte-identity tests run in that mode.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        self.capacity = int(capacity)
+        self._entries: OrderedDict[tuple[str, str], CachedResult] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @staticmethod
+    def key(domain: str, question: str) -> tuple[str, str]:
+        return (domain, normalize_question(question))
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, domain: str, question: str) -> tuple[bool, CachedResult | None]:
+        """``(hit, entry)`` for a question; a hit refreshes recency."""
+        if not self.enabled:
+            return False, None
+        key = self.key(domain, question)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return False, None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return True, entry
+
+    def put(self, domain: str, question: str, entry: CachedResult) -> None:
+        if not self.enabled:
+            return
+        key = self.key(domain, question)
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def stats(self) -> dict:
+        lookups = self.hits + self.misses
+        return {
+            "capacity": self.capacity,
+            "size": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": (self.hits / lookups) if lookups else 0.0,
+        }

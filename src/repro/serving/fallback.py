@@ -1,0 +1,63 @@
+"""Template-only degraded-mode system.
+
+When a primary system raises at decode time, the server answers from this
+minimal, dependency-free system instead of failing the request.  It knows
+nothing a schema does not say: it grounds the question against the
+precomputed schema phrase index (:func:`repro.nl2sql.features.
+schema_phrases`) and emits one of two always-executable templates —
+``SELECT count(*) FROM t`` for counting questions, ``SELECT c FROM t``
+otherwise.  Deliberately unsophisticated: its job is to keep the service
+answering with *something valid* while the primary is failing, and to make
+degradation observable (every fallback answer increments ``degraded``).
+"""
+
+from __future__ import annotations
+
+from repro.nl2sql.features import normalize_link_text, schema_phrases
+
+_COUNT_HINTS = ("how many", "number of", "count")
+
+
+class TemplateFallback:
+    """Always-answers system over registered schemas (no training needed)."""
+
+    name = "template-fallback"
+
+    def __init__(self) -> None:
+        self._schemas: dict[str, object] = {}
+
+    def register_database(self, db_id: str, database, enhanced=None) -> None:
+        """Mirror of ``NLToSQLSystem.register_database`` (enhanced unused)."""
+        self._schemas[db_id] = database.schema
+
+    def predict(self, question: str, db_id: str) -> str:
+        schema = self._schemas[db_id]
+        normalized = normalize_link_text(question)
+
+        best: tuple[int, str, str | None] | None = None  # (position, table, column)
+        for table_key, t_phrase, t_plural, columns in schema_phrases(schema).tables:
+            for phrase in (t_phrase, t_plural):
+                position = normalized.find(f" {phrase} ") if phrase else -1
+                if position >= 0 and (best is None or position < best[0]):
+                    best = (position, table_key, None)
+            for column_key, c_phrase, c_plural in columns:
+                for phrase in (c_phrase, c_plural):
+                    position = normalized.find(f" {phrase} ") if phrase else -1
+                    if position >= 0 and (best is None or position < best[0]):
+                        best = (position, table_key, column_key)
+
+        if best is None:
+            table_key, column_key = schema.tables[0].name.lower(), None
+        else:
+            _, table_key, column_key = best
+
+        table = schema.table(table_key)
+        if any(hint in normalized for hint in _COUNT_HINTS):
+            return f"SELECT count(*) FROM {table.name}"
+        if column_key is None:
+            column_key = table.primary_key or table.columns[0].name
+        column = schema.column(table.name, column_key)
+        return f"SELECT {column.name} FROM {table.name}"
+
+    def predict_batch(self, questions: list[str], db_id: str) -> list[str]:
+        return [self.predict(question, db_id) for question in questions]

@@ -1,0 +1,211 @@
+"""Load generator: replay dev-split questions against an InferenceServer.
+
+``serve-bench`` runs the same request stream through two arms:
+
+* **unbatched** — ``max_batch=1`` and the result cache disabled: a naive
+  one-question-at-a-time service, the baseline.
+* **batched** — the full serving stack: micro-batch coalescing plus the
+  normalized-question result cache.
+
+Both arms start with cold link memos (cleared between arms) and replay an
+identical stream — each dev question repeated ``repeat`` times, shuffled
+with a fixed seed — so the speedup isolates exactly what the serving layer
+adds.  The report spells out per-arm cache hits and coalesced counts, so
+the source of the speedup is visible rather than implied.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import time
+from dataclasses import asdict, dataclass, replace
+from pathlib import Path
+
+from repro.serving.server import InferenceServer, ServerConfig
+
+
+@dataclass(frozen=True)
+class LoadProfile:
+    """Shape of one replayed load."""
+
+    concurrency: int = 16
+    #: Times each dev question appears in the stream.
+    repeat: int = 4
+    #: Open-loop pacing in requests/second (None = closed loop).
+    qps: float | None = None
+    seed: int = 2023
+    #: Cap on total requests after repeat+shuffle (None = no cap).
+    limit: int | None = None
+
+
+def build_stream(
+    questions_by_domain: dict[str, list[str]], profile: LoadProfile
+) -> list[tuple[str, str]]:
+    """The deterministic (domain, question) request stream for a profile."""
+    import random
+
+    stream = [
+        (domain, question)
+        for domain in sorted(questions_by_domain)
+        for question in questions_by_domain[domain]
+        for _ in range(profile.repeat)
+    ]
+    random.Random(profile.seed).shuffle(stream)
+    if profile.limit is not None:
+        stream = stream[: profile.limit]
+    return stream
+
+
+async def replay(
+    server: InferenceServer, stream: list[tuple[str, str]], profile: LoadProfile
+) -> list:
+    """Drive the stream through a started server; returns all ServeResults."""
+    results = []
+    if profile.qps:
+        interval = 1.0 / profile.qps
+
+        async def paced(domain: str, question: str, delay: float):
+            await asyncio.sleep(delay)
+            results.append(await server.submit(question, domain))
+
+        await asyncio.gather(
+            *(
+                paced(domain, question, index * interval)
+                for index, (domain, question) in enumerate(stream)
+            )
+        )
+    else:
+        iterator = iter(stream)
+
+        async def worker() -> None:
+            for domain, question in iterator:
+                results.append(await server.submit(question, domain))
+
+        await asyncio.gather(*(worker() for _ in range(profile.concurrency)))
+    return results
+
+
+def _percentiles(samples_ms: list[float]) -> dict:
+    """Exact nearest-rank percentiles (no histogram binning error)."""
+    if not samples_ms:
+        return {"mean_ms": 0.0, "p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0, "max_ms": 0.0}
+    ordered = sorted(samples_ms)
+
+    def at(q: float) -> float:
+        return ordered[max(1, math.ceil(q * len(ordered))) - 1]
+
+    return {
+        "mean_ms": sum(ordered) / len(ordered),
+        "p50_ms": at(0.50),
+        "p95_ms": at(0.95),
+        "p99_ms": at(0.99),
+        "max_ms": ordered[-1],
+    }
+
+
+def _reset_link_memos(backends: dict) -> None:
+    """Cold-start every arm identically (the link memo otherwise carries
+    warmth from the previous arm into the next one)."""
+    for backend in backends.values():
+        cache = getattr(backend.system, "_link_cache", None)
+        if cache is not None:
+            cache.clear()
+
+
+async def _run_arm(
+    backends: dict,
+    stream: list[tuple[str, str]],
+    profile: LoadProfile,
+    config: ServerConfig,
+) -> dict:
+    _reset_link_memos(backends)
+    server = InferenceServer(backends, config)
+    async with server:
+        started = time.perf_counter()
+        results = await replay(server, stream, profile)
+        wall_s = time.perf_counter() - started
+    stats = server.stats()
+
+    statuses: dict[str, int] = {}
+    for result in results:
+        statuses[result.status] = statuses.get(result.status, 0) + 1
+    answered = [r for r in results if r.ok]
+    totals_ms = [r.timings_ms["total"] for r in answered if "total" in r.timings_ms]
+    return {
+        "requests": len(results),
+        "answered": len(answered),
+        "statuses": statuses,
+        "wall_s": wall_s,
+        "throughput_qps": len(answered) / wall_s if wall_s > 0 else 0.0,
+        "latency": _percentiles(totals_ms),
+        "counters": stats.counters,
+        "cache": stats.cache,
+        "stage_latency_ms": stats.latency_ms,
+    }
+
+
+def run_serve_bench(
+    backends: dict,
+    questions_by_domain: dict[str, list[str]],
+    profile: LoadProfile | None = None,
+    config: ServerConfig | None = None,
+) -> dict:
+    """Run both benchmark arms and return the comparison report."""
+    profile = profile or LoadProfile()
+    config = config or ServerConfig()
+    stream = build_stream(questions_by_domain, profile)
+    unique = len({(domain, question) for domain, question in stream})
+
+    unbatched_config = replace(config, max_batch=1, cache_capacity=0)
+    unbatched = asyncio.run(_run_arm(backends, stream, profile, unbatched_config))
+    batched = asyncio.run(_run_arm(backends, stream, profile, config))
+
+    unbatched_qps = unbatched["throughput_qps"]
+    speedup = batched["throughput_qps"] / unbatched_qps if unbatched_qps else 0.0
+    return {
+        "schema_version": 1,
+        "benchmark": "serving",
+        "profile": asdict(profile),
+        "config": asdict(config),
+        "stream": {
+            "requests": len(stream),
+            "unique_questions": unique,
+            "domains": sorted(questions_by_domain),
+        },
+        "arms": {"unbatched": unbatched, "batched": batched},
+        "speedup": speedup,
+    }
+
+
+def write_report(report: dict, path: str | Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def render_report(report: dict) -> str:
+    """A short human-readable summary of one serve-bench report."""
+    lines = [
+        "serve-bench: {requests} requests over {domains} "
+        "({unique} unique questions)".format(
+            requests=report["stream"]["requests"],
+            domains=", ".join(report["stream"]["domains"]),
+            unique=report["stream"]["unique_questions"],
+        )
+    ]
+    for arm in ("unbatched", "batched"):
+        data = report["arms"][arm]
+        latency = data["latency"]
+        lines.append(
+            f"  {arm:>9}: {data['throughput_qps']:8.1f} req/s   "
+            f"p50 {latency['p50_ms']:7.2f} ms   "
+            f"p95 {latency['p95_ms']:7.2f} ms   "
+            f"p99 {latency['p99_ms']:7.2f} ms   "
+            f"cache_hits {data['counters']['cache_hits']}   "
+            f"coalesced {data['counters']['coalesced']}"
+        )
+    lines.append(f"  speedup (batched / unbatched): {report['speedup']:.2f}x")
+    return "\n".join(lines)

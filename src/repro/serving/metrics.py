@@ -1,0 +1,132 @@
+"""Serving observability: counters, per-stage latency histograms, snapshots.
+
+Histograms are fixed-layout geometric buckets (≈50µs … ≈80s) so recording
+is O(log buckets) with constant memory regardless of traffic volume;
+quantiles are interpolated within the winning bucket and clamped to the
+exact observed maximum.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+#: Pipeline stages with recorded latencies.  ``queue`` and ``total`` are
+#: per-request; ``link``/``decode``/``execute`` are per-batch durations.
+STAGES = ("queue", "link", "decode", "execute", "total")
+
+#: Monotonic counters kept by :class:`ServerMetrics`.
+COUNTERS = (
+    "served",      # requests resolved with an answer (ok or degraded)
+    "batches",     # predict_batch invocations
+    "batched",     # requests decoded as part of a batch of size >= 2
+    "coalesced",   # duplicate in-batch questions merged into one decode
+    "cache_hits",  # requests answered from the result cache
+    "rejected",    # admission rejections (bounded queue full)
+    "degraded",    # requests answered by the fallback system
+    "timeouts",    # requests that hit the per-request timeout
+    "failed",      # requests with no answer at all
+)
+
+
+class LatencyHistogram:
+    """Geometric-bucket latency histogram with interpolated quantiles."""
+
+    def __init__(
+        self, first_bound_s: float = 0.00005, growth: float = 1.5, buckets: int = 48
+    ) -> None:
+        bounds = []
+        bound = first_bound_s
+        for _ in range(buckets):
+            bounds.append(bound)
+            bound *= growth
+        self._bounds = bounds  # upper bounds; final bucket is overflow
+        self._counts = [0] * (buckets + 1)
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self._counts[bisect.bisect_left(self._bounds, seconds)] += 1
+        self.count += 1
+        self.total += seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile in seconds (0 when nothing was observed)."""
+        if not self.count:
+            return 0.0
+        rank = max(1, int(q * self.count + 0.5))
+        cumulative = 0
+        for index, bucket_count in enumerate(self._counts):
+            if not bucket_count:
+                continue
+            previous = cumulative
+            cumulative += bucket_count
+            if cumulative >= rank:
+                lower = self._bounds[index - 1] if index > 0 else 0.0
+                upper = (
+                    self._bounds[index] if index < len(self._bounds) else self.max
+                )
+                fraction = (rank - previous) / bucket_count
+                return min(lower + (upper - lower) * fraction, self.max)
+        return self.max
+
+    def summary(self) -> dict:
+        """Count / mean / p50 / p95 / p99 / max, times in milliseconds."""
+        return {
+            "count": self.count,
+            "mean_ms": self.mean * 1000.0,
+            "p50_ms": self.quantile(0.50) * 1000.0,
+            "p95_ms": self.quantile(0.95) * 1000.0,
+            "p99_ms": self.quantile(0.99) * 1000.0,
+            "max_ms": self.max * 1000.0,
+        }
+
+
+@dataclass(frozen=True)
+class ServerStats:
+    """One immutable observability snapshot of a running server."""
+
+    counters: dict
+    latency_ms: dict
+    cache: dict
+    pending: int
+
+    def as_dict(self) -> dict:
+        return {
+            "counters": dict(self.counters),
+            "latency_ms": {k: dict(v) for k, v in self.latency_ms.items()},
+            "cache": dict(self.cache),
+            "pending": self.pending,
+        }
+
+
+class ServerMetrics:
+    """Counters + per-stage histograms; mutated only on the event loop."""
+
+    def __init__(self) -> None:
+        self.counters = dict.fromkeys(COUNTERS, 0)
+        self.histograms = {stage: LatencyHistogram() for stage in STAGES}
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.counters[name] += n
+
+    def observe(self, stage: str, seconds: float) -> None:
+        self.histograms[stage].observe(seconds)
+
+    def snapshot(self, *, pending: int = 0, cache: dict | None = None) -> ServerStats:
+        return ServerStats(
+            counters=dict(self.counters),
+            latency_ms={
+                stage: histogram.summary()
+                for stage, histogram in self.histograms.items()
+            },
+            cache=dict(cache or {}),
+            pending=pending,
+        )

@@ -1,0 +1,51 @@
+"""Micro-batching: coalesce queued requests into bounded batches.
+
+The policy is the classic serving trade-off: wait at most ``max_wait_ms``
+after the first request for companions, never exceed ``max_batch``.  With
+``max_batch=1`` the collector degenerates to a plain queue read — that is
+the "unbatched" benchmark arm.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """How aggressively queued requests are coalesced."""
+
+    max_batch: int = 8
+    max_wait_ms: float = 2.0
+
+
+async def collect_batch(
+    queue: asyncio.Queue, policy: BatchPolicy, *, clock=time.perf_counter
+) -> list:
+    """Collect one micro-batch from ``queue``.
+
+    Waits (unboundedly) for the first item, then keeps collecting until the
+    batch is full or ``max_wait_ms`` has elapsed since the first item was
+    taken; whatever is immediately available at the deadline still joins
+    the batch.
+    """
+    first = await queue.get()
+    batch = [first]
+    if policy.max_batch <= 1:
+        return batch
+    deadline = clock() + policy.max_wait_ms / 1000.0
+    while len(batch) < policy.max_batch:
+        remaining = deadline - clock()
+        if remaining <= 0:
+            try:
+                batch.append(queue.get_nowait())
+            except asyncio.QueueEmpty:
+                break
+            continue
+        try:
+            batch.append(await asyncio.wait_for(queue.get(), timeout=remaining))
+        except asyncio.TimeoutError:
+            break
+    return batch

@@ -1,0 +1,392 @@
+"""The async NL-to-SQL inference server.
+
+Request lifecycle::
+
+    submit() ──> result cache ──hit──> ServeResult(cached=True)
+        │ queue full? ────────────────> status "rejected" (admission control)
+        ▼
+    per-domain bounded asyncio.Queue
+        ▼
+    worker: collect_batch (max_batch / max_wait_ms)  ──>  decode thread:
+        link warm → predict_batch → optional execute
+        │ primary raises ──> per-question retry ──> template fallback
+        ▼
+    futures resolved, latencies recorded, primary answers cached
+
+Determinism contract: a batch deduplicates only *exact* duplicate
+questions, and ``predict_batch`` is pure, so for any interleaving and any
+batch size the served SQL is byte-identical to calling ``system.predict``
+one question at a time (asserted across batch sizes and request orders in
+``tests/test_serving.py``).  The result cache is the one deliberate
+exception: it keys on the *normalized* question, treating case/whitespace
+variants as the same question.
+
+Robustness: admission is rejected explicitly when a domain's bounded queue
+is full (no unbounded growth), every request carries a timeout that
+surfaces as a structured ``timeout`` error, and a primary-system exception
+degrades the request to the template fallback instead of failing it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.serving.cache import CachedResult, ResultCache
+from repro.serving.metrics import ServerMetrics, ServerStats
+from repro.serving.request import ServeError, ServeResult
+from repro.serving.scheduler import BatchPolicy, collect_batch
+
+
+@dataclass
+class DomainBackend:
+    """Everything the server needs to answer questions for one domain."""
+
+    name: str
+    #: Primary system: ``predict(question, db_id)`` / ``predict_batch``.
+    system: object
+    #: Database for the optional execute stage (None disables it).
+    database: object | None = None
+    #: Degraded-mode system consulted when the primary raises.
+    fallback: object | None = None
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Scheduling and robustness knobs of one :class:`InferenceServer`."""
+
+    max_batch: int = 8
+    max_wait_ms: float = 2.0
+    #: Bounded per-domain queue; a full queue rejects admissions.
+    queue_limit: int = 64
+    request_timeout_s: float = 30.0
+    #: Result-cache entries (0 disables caching).
+    cache_capacity: int = 256
+    #: Also execute the predicted SQL and attach the result rows.
+    execute: bool = False
+
+
+class _Pending:
+    """One queued request awaiting its batch."""
+
+    __slots__ = ("question", "future", "enqueued_at", "abandoned")
+
+    def __init__(self, question: str, future: asyncio.Future, enqueued_at: float) -> None:
+        self.question = question
+        self.future = future
+        self.enqueued_at = enqueued_at
+        self.abandoned = False
+
+
+@dataclass
+class _Answer:
+    """Per-question outcome of a decoded batch."""
+
+    sql: str | None = None
+    status: str = "ok"
+    message: str | None = None
+    rows: tuple | None = None
+
+
+@dataclass
+class _BatchOutcome:
+    """What one decode-thread run produced for a batch's unique questions."""
+
+    answers: dict[str, _Answer] = field(default_factory=dict)
+    link_s: float = 0.0
+    decode_s: float = 0.0
+    execute_s: float = 0.0
+
+
+class InferenceServer:
+    """Serves concurrent NL questions over a set of domain backends."""
+
+    def __init__(
+        self,
+        backends: dict[str, DomainBackend] | list[DomainBackend],
+        config: ServerConfig | None = None,
+    ) -> None:
+        if not isinstance(backends, dict):
+            backends = {backend.name: backend for backend in backends}
+        self.backends = dict(backends)
+        self.config = config or ServerConfig()
+        self.cache = ResultCache(self.config.cache_capacity)
+        self.metrics = ServerMetrics()
+        # Queues exist from construction so admission control (and tests)
+        # do not depend on the workers having started yet.
+        self._queues = {
+            name: asyncio.Queue(maxsize=self.config.queue_limit)
+            for name in self.backends
+        }
+        self._workers: list[asyncio.Task] = []
+        self._executor: ThreadPoolExecutor | None = None
+        self._started = False
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._started:
+            return
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(1, len(self.backends)), thread_name_prefix="serve-decode"
+        )
+        for name in self.backends:
+            self._workers.append(
+                asyncio.create_task(self._worker(name), name=f"serve-{name}")
+            )
+        self._started = True
+
+    async def stop(self) -> None:
+        if not self._started:
+            return
+        for worker in self._workers:
+            worker.cancel()
+        await asyncio.gather(*self._workers, return_exceptions=True)
+        self._workers.clear()
+        # Fail whatever is still queued rather than leaving callers hanging.
+        for domain, queue in self._queues.items():
+            while True:
+                try:
+                    item = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if not item.future.done():
+                    self.metrics.count("failed")
+                    item.future.set_result(
+                        self._error_result(
+                            item.question, domain, "failed",
+                            ServeError("shutdown", "server stopped before decoding"),
+                        )
+                    )
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        self._started = False
+
+    async def __aenter__(self) -> "InferenceServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- the request path ---------------------------------------------------------
+
+    async def submit(self, question: str, domain: str) -> ServeResult:
+        """Serve one question; always resolves to a :class:`ServeResult`."""
+        started = time.perf_counter()
+        backend = self.backends.get(domain)
+        if backend is None:
+            self.metrics.count("failed")
+            return self._error_result(
+                question, domain, "failed",
+                ServeError("unknown-domain", f"domain {domain!r} is not served"),
+            )
+
+        hit, entry = self.cache.get(domain, question)
+        if hit:
+            self.metrics.count("served")
+            self.metrics.count("cache_hits")
+            total = time.perf_counter() - started
+            self.metrics.observe("total", total)
+            return ServeResult(
+                question=question, domain=domain, sql=entry.sql, rows=entry.rows,
+                status="ok", cached=True, timings_ms={"total": total * 1000.0},
+            )
+
+        queue = self._queues[domain]
+        if queue.full():
+            self.metrics.count("rejected")
+            return self._error_result(
+                question, domain, "rejected",
+                ServeError(
+                    "rejected",
+                    f"admission rejected: {domain!r} queue is at its limit "
+                    f"of {self.config.queue_limit}",
+                ),
+            )
+        item = _Pending(question, asyncio.get_running_loop().create_future(), started)
+        queue.put_nowait(item)
+        try:
+            result = await asyncio.wait_for(
+                asyncio.shield(item.future), self.config.request_timeout_s
+            )
+        except asyncio.TimeoutError:
+            item.abandoned = True
+            self.metrics.count("timeouts")
+            return self._error_result(
+                question, domain, "timeout",
+                ServeError(
+                    "timeout",
+                    f"no result within {self.config.request_timeout_s:g}s",
+                ),
+            )
+        total = time.perf_counter() - started
+        result.timings_ms["total"] = total * 1000.0
+        self.metrics.observe("total", total)
+        return result
+
+    def stats(self) -> ServerStats:
+        """A point-in-time observability snapshot."""
+        return self.metrics.snapshot(
+            pending=sum(queue.qsize() for queue in self._queues.values()),
+            cache=self.cache.stats(),
+        )
+
+    # -- batch execution ----------------------------------------------------------
+
+    async def _worker(self, domain: str) -> None:
+        backend = self.backends[domain]
+        queue = self._queues[domain]
+        policy = BatchPolicy(self.config.max_batch, self.config.max_wait_ms)
+        loop = asyncio.get_running_loop()
+        while True:
+            batch = await collect_batch(queue, policy)
+            now = time.perf_counter()
+            live: list[_Pending] = []
+            for item in batch:
+                if item.abandoned or item.future.done():
+                    continue
+                self.metrics.observe("queue", now - item.enqueued_at)
+                live.append(item)
+            if not live:
+                continue
+            questions = [item.question for item in live]
+            outcome = await loop.run_in_executor(
+                self._executor, self._decode_batch, backend, questions
+            )
+            self._resolve(backend, live, outcome)
+
+    def _decode_batch(self, backend: DomainBackend, questions: list[str]) -> _BatchOutcome:
+        """Runs in the decode thread: link warm → predict_batch → execute."""
+        outcome = _BatchOutcome()
+        unique = list(dict.fromkeys(questions))
+
+        # Stage 1: schema linking, warmed once per batch.  The systems' link
+        # memo makes every decode below reuse these results.
+        started = time.perf_counter()
+        link = getattr(backend.system, "link", None)
+        if link is not None:
+            for question in unique:
+                try:
+                    link(question, backend.name)
+                except Exception:
+                    pass  # linking trouble surfaces as a decode failure below
+        outcome.link_s = time.perf_counter() - started
+
+        # Stage 2: decoding, with per-question degradation on failure.
+        started = time.perf_counter()
+        try:
+            batch_sql = backend.system.predict_batch(unique, backend.name)
+            for question, sql in zip(unique, batch_sql):
+                outcome.answers[question] = _Answer(sql=sql)
+        except Exception:
+            for question in unique:
+                outcome.answers[question] = self._decode_one(backend, question)
+        outcome.decode_s = time.perf_counter() - started
+
+        # Stage 3: optional execution of the predicted SQL.
+        if self.config.execute and backend.database is not None:
+            started = time.perf_counter()
+            for answer in outcome.answers.values():
+                if answer.sql is None:
+                    continue
+                result = backend.database.try_execute(answer.sql)
+                if result is not None:
+                    answer.rows = tuple(result.rows)
+            outcome.execute_s = time.perf_counter() - started
+        return outcome
+
+    def _decode_one(self, backend: DomainBackend, question: str) -> _Answer:
+        try:
+            return _Answer(sql=backend.system.predict(question, backend.name))
+        except Exception as primary_exc:
+            if backend.fallback is None:
+                return _Answer(
+                    status="failed",
+                    message=f"primary system raised {type(primary_exc).__name__}: "
+                            f"{primary_exc} (no fallback configured)",
+                )
+            try:
+                sql = backend.fallback.predict(question, backend.name)
+            except Exception as fallback_exc:
+                return _Answer(
+                    status="failed",
+                    message=f"primary raised {type(primary_exc).__name__}, "
+                            f"fallback raised {type(fallback_exc).__name__}",
+                )
+            return _Answer(
+                sql=sql, status="degraded",
+                message=f"primary system raised {type(primary_exc).__name__}: "
+                        f"{primary_exc}",
+            )
+
+    def _resolve(
+        self, backend: DomainBackend, items: list[_Pending], outcome: _BatchOutcome
+    ) -> None:
+        """Back on the event loop: account the batch and resolve futures."""
+        n_unique = len(outcome.answers)
+        self.metrics.count("batches")
+        self.metrics.count("coalesced", len(items) - n_unique)
+        if len(items) >= 2:
+            self.metrics.count("batched", len(items))
+        self.metrics.observe("link", outcome.link_s)
+        self.metrics.observe("decode", outcome.decode_s)
+        if self.config.execute:
+            self.metrics.observe("execute", outcome.execute_s)
+
+        stage_ms = {
+            "link": outcome.link_s * 1000.0,
+            "decode": outcome.decode_s * 1000.0,
+        }
+        if self.config.execute:
+            stage_ms["execute"] = outcome.execute_s * 1000.0
+
+        cached: set[str] = set()
+        for item in items:
+            answer = outcome.answers[item.question]
+            if answer.status == "ok" and item.question not in cached:
+                self.cache.put(
+                    backend.name, item.question,
+                    CachedResult(sql=answer.sql, rows=answer.rows),
+                )
+                cached.add(item.question)
+            if answer.status == "failed":
+                self.metrics.count("failed")
+            else:
+                self.metrics.count("served")
+                if answer.status == "degraded":
+                    self.metrics.count("degraded")
+            if item.future.done():
+                continue  # timed out mid-decode; the result is discarded
+            error = None
+            if answer.status in ("degraded", "failed"):
+                kind = "degraded" if answer.status == "degraded" else "decode-failed"
+                error = ServeError(kind, answer.message or "")
+            item.future.set_result(
+                ServeResult(
+                    question=item.question,
+                    domain=backend.name,
+                    sql=answer.sql,
+                    rows=answer.rows,
+                    status=answer.status,
+                    error=error,
+                    batch_size=len(items),
+                    timings_ms={
+                        "queue": (time.perf_counter() - item.enqueued_at) * 1000.0,
+                        **stage_ms,
+                    },
+                )
+            )
+
+    # -- helpers ------------------------------------------------------------------
+
+    @staticmethod
+    def _error_result(
+        question: str, domain: str, status: str, error: ServeError
+    ) -> ServeResult:
+        return ServeResult(
+            question=question, domain=domain, status=status, error=error
+        )

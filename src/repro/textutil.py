@@ -1,0 +1,28 @@
+"""Shared text canonicalization.
+
+One authority for "are these two strings the same question?": schema
+linking and the serving result cache must agree on it, or equivalent
+questions miss the cache and (worse) link differently.  Everything that
+keys on question text goes through :func:`normalize_question`.
+"""
+
+from __future__ import annotations
+
+import re
+
+_WS_RE = re.compile(r"\s+")
+
+
+def collapse_whitespace(text: str) -> str:
+    """Collapse any whitespace run to a single space and strip the ends."""
+    return _WS_RE.sub(" ", text).strip()
+
+
+def normalize_question(text: str) -> str:
+    """Canonical form of a question: casefold + whitespace collapse.
+
+    Used as the serving result-cache key and as the first step of the
+    linker's token normalization, so ``"How  Many QUASARS?"`` and
+    ``"how many quasars?"`` hit the same cache entry and link identically.
+    """
+    return collapse_whitespace(text.casefold())

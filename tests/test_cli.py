@@ -58,6 +58,28 @@ def test_augment_command_writes_json(tiny_suite, tmp_path, capsys):
     assert len(split) > 0
 
 
+def test_serve_bench_command(tiny_suite, tmp_path, capsys):
+    import json
+
+    out_file = tmp_path / "bench.json"
+    argv = [
+        "serve-bench", "--domains", "sdss", "--concurrency", "4",
+        "--repeat", "2", "--limit", "12", "--out", str(out_file),
+    ]
+    assert cli.main(argv) == 0
+    report = json.loads(out_file.read_text())
+    assert set(report["arms"]) == {"unbatched", "batched"}
+    assert report["stream"]["domains"] == ["sdss"]
+    out = capsys.readouterr().out
+    assert "speedup" in out
+    # Same suite, now memoized: an unreachable speedup floor must fail.
+    assert cli.main(argv + ["--assert-speedup", "999"]) == 1
+
+
+def test_serve_bench_rejects_unknown_domain(tiny_suite, capsys):
+    assert cli.main(["serve-bench", "--domains", "nope"]) == 2
+
+
 def test_lint_command(tiny_suite, capsys):
     assert cli.main(["lint", "cordis"]) == 0
     out = capsys.readouterr().out

@@ -138,6 +138,20 @@ def test_runtime_memoizes_and_caches(tmp_path):
     assert changed.report.cache_hits == 2
 
 
+def test_probe_reports_memo_cache_and_compute(tmp_path):
+    runtime = Runtime(workers=1, cache_dir=str(tmp_path))
+    graph = _toy_graph()
+    assert runtime.probe(graph, ["a", "ab"]) == {"a": "compute", "ab": "compute"}
+    runtime.run(graph, ["a"])
+    # "a" is memoized in-process; "ab" was never built.
+    assert runtime.probe(graph, ["a", "ab"]) == {"a": "memo", "ab": "compute"}
+    # A fresh runtime over the same cache dir sees the disk entry.
+    warm = Runtime(workers=1, cache_dir=str(tmp_path))
+    assert warm.probe(graph, ["a", "ab"]) == {"a": "cached", "ab": "compute"}
+    # Probing never materializes anything.
+    assert warm.report.records == []
+
+
 def test_worker_exceptions_propagate():
     graph = TaskGraph()
     graph.add(Task("x", "tests.test_runtime:boom", {}))
