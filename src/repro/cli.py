@@ -8,6 +8,8 @@ Commands
 ``stats``      print the per-domain split statistics
 ``lint``       static-analyze the gold queries and data of the domains
 ``serve-bench`` benchmark the serving layer (batched vs unbatched replay)
+``chaos-bench`` replay the pipeline and a Table-5 slice under a named
+               fault schedule and assert byte-identical recovery
 
 All commands accept ``--preset quick|full`` (default quick) and are fully
 deterministic: for a fixed seed, ``--workers 4`` produces byte-identical
@@ -161,6 +163,37 @@ def _parser() -> argparse.ArgumentParser:
         "--assert-p95-ms", type=float, default=None, metavar="MS",
         help="exit 1 unless the batched arm's p95 latency <= MS",
     )
+
+    chaos = add_command(
+        "chaos-bench",
+        help="replay the pipeline and a Table-5 slice under a fault "
+             "schedule; verify recovery is byte-identical",
+    )
+    chaos.add_argument(
+        "--schedule", default="transient-small",
+        choices=("transient-small", "transient-heavy", "permanent-mix"),
+        help="named fault schedule (default: transient-small)",
+    )
+    chaos.add_argument(
+        "--domain", choices=("cordis", "sdss", "oncomx"), default="cordis",
+        help="domain for the augment replay (default: cordis)",
+    )
+    chaos.add_argument(
+        "--skip-tables", action="store_true",
+        help="skip the (slower) Table-5 runtime replay",
+    )
+    chaos.add_argument(
+        "--assert-identical", action="store_true",
+        help="exit 1 unless chaos output is byte-identical to fault-free",
+    )
+    chaos.add_argument(
+        "--max-dead-letter", type=int, default=None, metavar="N",
+        help="exit 1 when more than N queries were dead-lettered",
+    )
+    chaos.add_argument(
+        "--out", default="benchmarks/BENCH_resilience.json", metavar="PATH",
+        help="report destination (default: benchmarks/BENCH_resilience.json)",
+    )
     return parser
 
 
@@ -189,6 +222,10 @@ def main(argv: list[str] | None = None) -> int:
             # Lint never builds the suite: it constructs bare domains itself
             # and must not pay for (or trigger) the synthesis pipeline.
             return _lint(args)
+        if args.command == "chaos-bench":
+            # Chaos-bench owns its runtimes (baseline vs chaos vs repair
+            # caches must stay separate); it never touches the suite cache.
+            return _chaos_bench(args)
         suite = _build_suite(args)
         if args.command == "tables":
             code = _tables(suite, args.which)
@@ -365,6 +402,53 @@ def _serve_bench(suite, args) -> int:
     if failures:
         print(f"FAIL: {failures} requests did not produce an answer",
               file=sys.stderr)
+        code = 1
+    open_breakers = [
+        f"{arm}:{domain}"
+        for arm in ("unbatched", "batched")
+        for domain, snap in report["arms"][arm].get("breakers", {}).items()
+        if snap.get("state") == "open"
+    ]
+    if open_breakers:
+        print("FAIL: circuit breaker(s) ended the run open: "
+              + ", ".join(open_breakers), file=sys.stderr)
+        code = 1
+    return code
+
+
+def _chaos_bench(args) -> int:
+    """Run the resilience benchmark and enforce its gates."""
+    from repro.resilience.chaosbench import (
+        render_report,
+        run_chaos_bench,
+        write_report,
+    )
+
+    report = run_chaos_bench(
+        schedule=args.schedule,
+        domain=args.domain,
+        skip_tables=args.skip_tables,
+        workers=max(2, args.workers),
+    )
+    print(render_report(report))
+    if args.out:
+        path = write_report(report, args.out)
+        print(f"report written to {path}", file=sys.stderr)
+
+    code = 0
+    if args.assert_identical and not report["identical"]:
+        print("FAIL: chaos output is not byte-identical to the fault-free run",
+              file=sys.stderr)
+        code = 1
+    if (
+        args.max_dead_letter is not None
+        and report["dead_lettered"] > args.max_dead_letter
+    ):
+        print(f"FAIL: {report['dead_lettered']} dead-lettered queries exceed "
+              f"the budget of {args.max_dead_letter}", file=sys.stderr)
+        code = 1
+    if report["breaker_ended_open"]:
+        print("FAIL: a circuit breaker ended the run open", file=sys.stderr)
         code = 1
     return code
 

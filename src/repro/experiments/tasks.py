@@ -28,10 +28,13 @@ from repro.experiments.config import ExperimentConfig
 from repro.llm.models import GPT3_PROFILE, make_model
 from repro.metrics.execution import ExecutionAccuracy
 from repro.nl2sql import SmBoP, T5Seq2Seq, ValueNet
+from repro.resilience.faults import FaultPlan
+from repro.resilience.flaky import FlakyModel
+from repro.resilience.retry import RetryPolicy
 from repro.runtime import Task, TaskGraph, derive_seed
 from repro.spider.corpus import SpiderCorpus, build_corpus
 from repro.spider.domains import DOMAIN_BUILDERS as SPIDER_DB_BUILDERS
-from repro.synthesis import AugmentationPipeline, PipelineConfig
+from repro.synthesis import AugmentationPipeline, PipelineConfig, TranslationConfig
 
 DOMAIN_BUILDERS = {"cordis": cordis.build, "sdss": sdss.build, "oncomx": oncomx.build}
 
@@ -111,15 +114,37 @@ def eval_grid(
 # -- task bodies ---------------------------------------------------------------
 
 
+def _pipeline_resilience(params: dict, seed: int):
+    """(model, PipelineConfig kwargs) honouring optional chaos params.
+
+    ``params["fault"]`` wraps the model in a :class:`FlakyModel` under the
+    spec'd fault plan; ``params["retry"]`` overrides the translation retry
+    policy.  Both are JSON specs (they feed the content hash) and absent
+    entirely in fault-free graphs, keeping those cache keys unchanged.
+    """
+    model = make_model(GPT3_PROFILE, seed=seed)
+    if params.get("fault") is not None:
+        model = FlakyModel(model, FaultPlan.from_spec(params["fault"]))
+    extra = {}
+    if params.get("retry") is not None:
+        extra["translation"] = TranslationConfig(
+            retry=RetryPolicy.from_spec(params["retry"])
+        )
+    return model, extra
+
+
 def build_domain_task(params: dict, inputs: dict) -> BenchmarkDomain:
     """Build one domain and materialize its Synth split (Figure-1 pipeline)."""
     name = params["domain"]
     seed = params["seed"]
     domain = DOMAIN_BUILDERS[name](scale=params["scale"])
+    model, extra = _pipeline_resilience(params, seed)
     pipeline = AugmentationPipeline(
         domain,
-        model=make_model(GPT3_PROFILE, seed=seed),
-        config=PipelineConfig(target_queries=params["target_queries"], seed=seed),
+        model=model,
+        config=PipelineConfig(
+            target_queries=params["target_queries"], seed=seed, **extra
+        ),
     )
     pipeline.run(rng=random.Random(seed))
     return domain
@@ -148,10 +173,11 @@ def synth_spider_db(params: dict, inputs: dict) -> Split:
         seed=Split(name=f"{db_id}-seed", pairs=db_train),
         dev=Split(name=f"{db_id}-dev", pairs=[]),
     )
+    model, extra = _pipeline_resilience(params, seed)
     pipeline = AugmentationPipeline(
         pseudo_domain,
-        model=make_model(GPT3_PROFILE, seed=seed),
-        config=PipelineConfig(target_queries=params["per_db"], seed=seed),
+        model=model,
+        config=PipelineConfig(target_queries=params["per_db"], seed=seed, **extra),
     )
     return pipeline.run(rng=random.Random(seed)).split
 
@@ -226,10 +252,27 @@ def eval_cell_task(params: dict, inputs: dict) -> Table5Cell:
 # -- graph assembly ------------------------------------------------------------
 
 
-def build_suite_graph(config: ExperimentConfig) -> TaskGraph:
-    """The full artifact graph for one experiment configuration."""
+def build_suite_graph(
+    config: ExperimentConfig,
+    llm_fault_spec: dict | None = None,
+    retry_spec: dict | None = None,
+) -> TaskGraph:
+    """The full artifact graph for one experiment configuration.
+
+    ``llm_fault_spec``/``retry_spec`` (JSON specs from
+    :meth:`FaultPlan.to_spec` / :meth:`RetryPolicy.to_spec`) thread a chaos
+    schedule into the LLM-calling task bodies.  They are added to task
+    params only when given — params feed the content hash, so fault-free
+    graphs keep their existing cache keys, and chaos runs can never collide
+    with them.
+    """
     graph = TaskGraph()
     base = config.seed
+    chaos: dict = {}
+    if llm_fault_spec is not None:
+        chaos["fault"] = llm_fault_spec
+    if retry_spec is not None:
+        chaos["retry"] = retry_spec
 
     graph.add(
         Task(
@@ -254,6 +297,7 @@ def build_suite_graph(config: ExperimentConfig) -> TaskGraph:
                     "scale": config.domain_scale,
                     "target_queries": config.synth_targets.get(name, 300),
                     "seed": derive_seed(base, tname),
+                    **chaos,
                 },
             )
         )
@@ -269,6 +313,7 @@ def build_suite_graph(config: ExperimentConfig) -> TaskGraph:
                     "db_id": db_id,
                     "per_db": config.synth_spider_per_db,
                     "seed": derive_seed(base, tname),
+                    **chaos,
                 },
                 deps=(("corpus", CORPUS_TASK),),
             )

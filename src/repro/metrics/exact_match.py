@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import ReproError
 from repro.sql import ast, parse
 from repro.sql.printer import to_sql
 
@@ -51,11 +52,24 @@ def query_signature(query: ast.Query | str) -> QuerySignature:
     )
 
 
-def exact_match(gold: ast.Query | str, predicted: ast.Query | str) -> bool:
-    """True iff the two queries have identical component signatures."""
+def exact_match(
+    gold: ast.Query | str,
+    predicted: ast.Query | str,
+    diagnostics: dict[str, int] | None = None,
+) -> bool:
+    """True iff the two queries have identical component signatures.
+
+    An unparseable or structurally malformed *predicted* query counts as a
+    mismatch rather than an error.  Only parser/signature failure modes are
+    swallowed (never ``KeyboardInterrupt``/``SystemExit``); the swallowed
+    class is recorded in ``diagnostics`` (name -> count) when given.
+    """
     try:
         return query_signature(gold) == query_signature(predicted)
-    except Exception:
+    except (ReproError, AttributeError, TypeError) as exc:
+        if diagnostics is not None:
+            name = type(exc).__name__
+            diagnostics[name] = diagnostics.get(name, 0) + 1
         return False
 
 

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 from repro.engine.database import Database
 from repro.engine.executor import Result, _canonical
+from repro.errors import ReproError
 from repro.sql import ast, parse
 
 
@@ -30,8 +31,17 @@ def results_match(gold: Result, predicted: Result, ordered: bool) -> bool:
     return gold.to_multiset() == predicted.to_multiset()
 
 
-def execution_match(database: Database, gold_sql: str, predicted_sql: str | None) -> bool:
-    """True iff ``predicted_sql`` executes and matches ``gold_sql``'s result."""
+def execution_match(
+    database: Database,
+    gold_sql: str,
+    predicted_sql: str | None,
+    diagnostics: dict[str, int] | None = None,
+) -> bool:
+    """True iff ``predicted_sql`` executes and matches ``gold_sql``'s result.
+
+    ``diagnostics`` (error class name -> count) records gold-side parse
+    errors the ORDER BY check would otherwise swallow silently.
+    """
     if predicted_sql is None:
         return False
     gold_result = database.try_execute(gold_sql)
@@ -40,7 +50,7 @@ def execution_match(database: Database, gold_sql: str, predicted_sql: str | None
     predicted_result = database.try_execute(predicted_sql)
     if predicted_result is None:
         return False
-    ordered = _is_ordered(gold_sql)
+    ordered = _is_ordered(gold_sql, diagnostics)
     return results_match(gold_result, predicted_result, ordered)
 
 
@@ -57,6 +67,9 @@ class ExecutionAccuracy:
     correct: int = 0
     failures: list[tuple[str, str | None]] = field(default_factory=list)
     triage: dict[str, int] = field(default_factory=dict)
+    #: Error class name -> count for gold-side parse errors swallowed by
+    #: the ORDER BY check (diagnostics, not part of the accuracy).
+    parse_errors: dict[str, int] = field(default_factory=dict)
 
     def add(
         self,
@@ -65,7 +78,9 @@ class ExecutionAccuracy:
         predicted_sql: str | None,
         enhanced=None,
     ) -> bool:
-        matched = execution_match(database, gold_sql, predicted_sql)
+        matched = execution_match(
+            database, gold_sql, predicted_sql, diagnostics=self.parse_errors
+        )
         self.total += 1
         if matched:
             self.correct += 1
@@ -86,10 +101,15 @@ class ExecutionAccuracy:
         return self.correct / self.total
 
 
-def _is_ordered(sql: str) -> bool:
+def _is_ordered(sql: str, diagnostics: dict[str, int] | None = None) -> bool:
     try:
         query = parse(sql)
-    except Exception:
+    except ReproError as exc:
+        # Only the parser's own failure modes are downgraded to "unordered";
+        # anything else (including KeyboardInterrupt) propagates.
+        if diagnostics is not None:
+            name = type(exc).__name__
+            diagnostics[name] = diagnostics.get(name, 0) + 1
         return False
     return _query_is_ordered(query)
 

@@ -1,0 +1,71 @@
+"""Deterministic fault injection & recovery across every execution layer.
+
+The subsystem has three independent pieces that compose:
+
+* **fault plans** (:mod:`~repro.resilience.faults`) — seeded, stateless
+  schedules deciding *(site, identity, attempt)* → fault kind by pure hash,
+  so chaos runs reproduce bit-for-bit and never perturb artifact RNG;
+* **recovery primitives** — :class:`RetryPolicy` (exponential backoff with
+  deterministic jitter and budget caps) and :class:`CircuitBreaker`
+  (closed/open/half-open per dependency), both driven through an injectable
+  :mod:`~repro.resilience.clock`;
+* **accounting** — :class:`DeadLetter` records for permanently-failed work
+  and :class:`ResilienceStats` retry histograms, surfaced in pipeline and
+  runtime reports and in ``benchmarks/BENCH_resilience.json``.
+
+``chaos-bench`` (:mod:`~repro.resilience.chaosbench`) replays the pipeline
+and a Table-5 slice under a named schedule and asserts that with
+transient-only faults every output is byte-identical to the fault-free run.
+"""
+
+from repro.resilience.breaker import CircuitBreaker, CircuitOpenError
+from repro.resilience.clock import SYSTEM_CLOCK, FakeClock, SystemClock
+from repro.resilience.deadletter import DeadLetter, ResilienceStats
+from repro.resilience.faults import (
+    ALL_KINDS,
+    CACHE_KINDS,
+    PERMANENT_KINDS,
+    SCHEDULES,
+    TRANSIENT_ERRORS,
+    TRANSIENT_KINDS,
+    FaultError,
+    FaultPlan,
+    FaultRule,
+    MalformedCompletionError,
+    PermanentFault,
+    RateLimitFault,
+    TimeoutFault,
+    WorkerCrashFault,
+    raise_fault,
+)
+from repro.resilience.flaky import FlakyModel
+from repro.resilience.retry import RetryOutcome, RetryPolicy, call_with_retry
+
+__all__ = [
+    "ALL_KINDS",
+    "CACHE_KINDS",
+    "PERMANENT_KINDS",
+    "SCHEDULES",
+    "TRANSIENT_ERRORS",
+    "TRANSIENT_KINDS",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "DeadLetter",
+    "FakeClock",
+    "FaultError",
+    "FaultPlan",
+    "FaultRule",
+    "FlakyModel",
+    "MalformedCompletionError",
+    "PermanentFault",
+    "RateLimitFault",
+    "ResilienceStats",
+    "RetryOutcome",
+    "RetryPolicy",
+    "SYSTEM_CLOCK",
+    "SystemClock",
+    "TimeoutFault",
+    "WorkerCrashFault",
+    "call_with_retry",
+    "raise_fault",
+]

@@ -1,0 +1,133 @@
+"""A per-dependency circuit breaker (closed → open → half-open).
+
+Retries protect a *call*; the breaker protects the *system*: once a
+dependency has failed ``failure_threshold`` times in a row, further calls
+fast-fail (or degrade to a fallback) for ``reset_timeout_s`` instead of
+queueing up behind a dependency that is down.  After the cooldown the
+breaker admits ``half_open_max`` probe calls; one success closes it, one
+failure re-opens it.
+
+Time is injected (:mod:`repro.resilience.clock`), so state transitions are
+tested against a :class:`~repro.resilience.clock.FakeClock` with no real
+waiting.  All methods are thread-safe: the serving layer calls them from
+decode threads.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import ReproError
+from repro.resilience.clock import SYSTEM_CLOCK
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitOpenError(ReproError):
+    """Raised (or used as a fast-fail signal) when the circuit is open."""
+
+    def __init__(self, name: str, retry_in_s: float) -> None:
+        super().__init__(
+            f"circuit {name!r} is open; retry in {max(0.0, retry_in_s):.2f}s"
+        )
+        self.name = name
+        self.retry_in_s = retry_in_s
+
+
+class CircuitBreaker:
+    """State machine guarding one dependency."""
+
+    def __init__(
+        self,
+        name: str = "dependency",
+        failure_threshold: int = 5,
+        reset_timeout_s: float = 30.0,
+        half_open_max: int = 1,
+        clock=SYSTEM_CLOCK,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self.half_open_max = half_open_max
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._half_open_inflight = 0
+        #: Lifetime counters for observability/reports.
+        self.stats = {"opened": 0, "fast_failed": 0, "probes": 0}
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state_locked()
+
+    def _state_locked(self) -> str:
+        if self._state == OPEN and (
+            self.clock.now() - self._opened_at >= self.reset_timeout_s
+        ):
+            self._state = HALF_OPEN
+            self._half_open_inflight = 0
+        return self._state
+
+    def allow(self) -> bool:
+        """Whether a call may proceed right now (counts half-open probes)."""
+        with self._lock:
+            state = self._state_locked()
+            if state == CLOSED:
+                return True
+            if state == HALF_OPEN:
+                if self._half_open_inflight < self.half_open_max:
+                    self._half_open_inflight += 1
+                    self.stats["probes"] += 1
+                    return True
+                self.stats["fast_failed"] += 1
+                return False
+            self.stats["fast_failed"] += 1
+            return False
+
+    def check(self) -> None:
+        """:meth:`allow`, raising :class:`CircuitOpenError` when denied."""
+        if not self.allow():
+            with self._lock:
+                retry_in = self.reset_timeout_s - (self.clock.now() - self._opened_at)
+            raise CircuitOpenError(self.name, retry_in)
+
+    # -- outcomes -------------------------------------------------------------
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            if self._state_locked() == HALF_OPEN:
+                self._half_open_inflight = 0
+            self._state = CLOSED
+
+    def record_failure(self) -> None:
+        with self._lock:
+            state = self._state_locked()
+            if state == HALF_OPEN:
+                self._trip_locked()
+                return
+            self._consecutive_failures += 1
+            if state == CLOSED and self._consecutive_failures >= self.failure_threshold:
+                self._trip_locked()
+
+    def _trip_locked(self) -> None:
+        self._state = OPEN
+        self._opened_at = self.clock.now()
+        self._consecutive_failures = 0
+        self._half_open_inflight = 0
+        self.stats["opened"] += 1
+
+    def snapshot(self) -> dict:
+        """State + counters for reports (JSON-serializable)."""
+        with self._lock:
+            state = self._state_locked()
+            return {"state": state, **self.stats}

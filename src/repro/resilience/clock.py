@@ -1,0 +1,79 @@
+"""Injectable clocks: the seam that makes time-dependent code testable.
+
+Everything in the resilience layer that reads time or sleeps does so through
+a clock object with two methods — ``now()`` (monotonic seconds) and
+``sleep(seconds)`` — so tests and chaos runs can substitute a
+:class:`FakeClock` and advance time explicitly instead of waiting for it.
+
+Two fake modes exist because two kinds of callers exist:
+
+* **auto-advancing** (the default): ``sleep`` moves virtual time forward and
+  returns immediately.  Right for retry-backoff tests, which only care that
+  the *amounts* slept are correct.
+* **blocking**: ``sleep`` parks the calling thread until another thread
+  ``advance()``-s virtual time past the wake deadline.  Right for the
+  serving timeout tests, where a decode thread must verifiably *not finish*
+  until the test releases it — with zero real waiting and zero races.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+class SystemClock:
+    """The real thing: ``time.monotonic`` + ``time.sleep``."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+#: Shared default instance — stateless, safe to reuse everywhere.
+SYSTEM_CLOCK = SystemClock()
+
+
+class FakeClock:
+    """A virtual monotonic clock under explicit test control.
+
+    Thread-safe: ``advance`` may be called from any thread and wakes every
+    blocked sleeper whose deadline has passed.  ``sleeps`` records every
+    requested sleep duration, in call order, for assertions on backoff
+    schedules.
+    """
+
+    def __init__(self, start: float = 0.0, blocking: bool = False) -> None:
+        self._now = start
+        self._blocking = blocking
+        self._cond = threading.Condition()
+        self.sleeps: list[float] = []
+
+    def now(self) -> float:
+        with self._cond:
+            return self._now
+
+    def advance(self, seconds: float) -> None:
+        """Move virtual time forward and wake any blocked sleepers."""
+        if seconds < 0:
+            raise ValueError("time is monotonic; cannot advance backwards")
+        with self._cond:
+            self._now += seconds
+            self._cond.notify_all()
+
+    def sleep(self, seconds: float) -> None:
+        with self._cond:
+            self.sleeps.append(seconds)
+            deadline = self._now + max(0.0, seconds)
+            if not self._blocking:
+                self._now = deadline
+                self._cond.notify_all()
+                return
+            while self._now < deadline:
+                # The real-time timeout is a last-resort hang guard for a
+                # test that forgets to advance(); it never fires in a
+                # correctly written test.
+                self._cond.wait(timeout=10.0)

@@ -1,0 +1,75 @@
+"""Dead-letter records: where permanently-failed work goes instead of
+aborting the run.
+
+A pipeline that crashes on the first permanently-untranslatable query loses
+hours of work; a pipeline that silently drops it corrupts its accounting.
+The middle road is a structured record per casualty — what failed, where,
+why, after how many attempts — surfaced in the run's report and in
+``BENCH_resilience.json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """One permanently-failed unit of work."""
+
+    site: str  # "llm" | "task" | ...
+    identity: str  # SQL text, task name, ...
+    kind: str  # fault taxonomy kind or exception class name
+    reason: str  # human-readable failure description
+    attempts: int  # how many tries were spent before giving up
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+@dataclass
+class ResilienceStats:
+    """Recovery accounting for one run, aggregated across retried calls."""
+
+    #: Calls that needed at least one retry.
+    retried_calls: int = 0
+    #: Total extra attempts spent on retries.
+    retries: int = 0
+    #: fault kind -> times a call recovered from it (retry then success).
+    recovered: dict[str, int] = field(default_factory=dict)
+    #: attempts-needed -> number of calls (1 = first-try success).
+    retry_histogram: dict[int, int] = field(default_factory=dict)
+    #: Seconds spent sleeping between attempts (virtual under a FakeClock).
+    backoff_s: float = 0.0
+
+    def observe(self, attempts: int, recovered: dict[str, int], slept_s: float) -> None:
+        """Fold in one finished call's retry outcome."""
+        self.retry_histogram[attempts] = self.retry_histogram.get(attempts, 0) + 1
+        self.backoff_s += slept_s
+        if attempts > 1:
+            self.retried_calls += 1
+            self.retries += attempts - 1
+        for kind, count in recovered.items():
+            self.recovered[kind] = self.recovered.get(kind, 0) + count
+
+    def merge(self, other: "ResilienceStats") -> None:
+        self.retried_calls += other.retried_calls
+        self.retries += other.retries
+        self.backoff_s += other.backoff_s
+        for kind, count in other.recovered.items():
+            self.recovered[kind] = self.recovered.get(kind, 0) + count
+        for attempts, count in other.retry_histogram.items():
+            self.retry_histogram[attempts] = (
+                self.retry_histogram.get(attempts, 0) + count
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "retried_calls": self.retried_calls,
+            "retries": self.retries,
+            "recovered": dict(sorted(self.recovered.items())),
+            "retry_histogram": {
+                str(k): v for k, v in sorted(self.retry_histogram.items())
+            },
+            "backoff_s": self.backoff_s,
+        }

@@ -1,0 +1,212 @@
+"""Deterministic fault plans: reproducible chaos.
+
+A :class:`FaultPlan` decides, for every *(site, identity, attempt)* triple,
+whether to inject a synthetic fault and of which kind.  The decision is a
+pure hash of the plan seed and the triple — no RNG state, no wall clock —
+so a chaos run is reproducible bit-for-bit and, crucially, injection can
+never perturb the artifact RNG streams (which are keyed by task seed and
+SQL text, not by call order).
+
+Sites
+-----
+``"llm"``    SQL-to-NL model calls; identity is the SQL text
+``"task"``   runtime task executions; identity is the task name
+``"cache"``  artifact-cache writes; identity is the content-hash key
+
+Fault taxonomy
+--------------
+===============  =======  ==============================================
+kind             site     models
+===============  =======  ==============================================
+``rate-limit``   llm      API 429: the call never ran
+``timeout``      llm      API timeout: outcome unknown, call is retried
+``truncated``    llm      completion cut off mid-stream (fewer candidates)
+``malformed``    llm      completion arrived but is unusable (empty text)
+``permanent``    llm      a query the model can never translate
+``worker-crash`` task     a worker process dying mid-task
+``cache-tear``   cache    a crash mid-write leaving a torn cache entry
+===============  =======  ==============================================
+
+Transient faults carry ``max_attempt``: a matched identity faults on every
+attempt *below* it and succeeds from then on, which makes "transient"
+precise — any retry policy with ``max_attempts > max_attempt`` is
+guaranteed to recover, deterministically.  Permanent rules set
+``max_attempt`` high enough that no sane retry budget outlasts them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import asdict, dataclass
+
+from repro.errors import ReproError
+
+#: Fault kinds a retry can recover from (the fault stops at ``max_attempt``).
+TRANSIENT_KINDS = ("rate-limit", "timeout", "truncated", "malformed", "worker-crash")
+#: Kinds that persist across every attempt; they must dead-letter, not abort.
+PERMANENT_KINDS = ("permanent",)
+#: Kinds injected at cache-write time (no retry; repaired on next load).
+CACHE_KINDS = ("cache-tear",)
+
+ALL_KINDS = TRANSIENT_KINDS + PERMANENT_KINDS + CACHE_KINDS
+
+
+class FaultError(ReproError):
+    """Base class of every injected fault; carries its taxonomy ``kind``."""
+
+    kind = "fault"
+
+    def __init__(self, message: str, identity: str = "", kind: str | None = None) -> None:
+        super().__init__(message)
+        self.identity = identity
+        if kind is not None:
+            # Instance override: validation errors distinguish taxonomy
+            # kinds ("truncated" vs "malformed") within one exception class.
+            self.kind = kind
+
+
+class RateLimitFault(FaultError):
+    kind = "rate-limit"
+
+
+class TimeoutFault(FaultError):
+    kind = "timeout"
+
+
+class MalformedCompletionError(FaultError):
+    """A completion arrived but failed output validation (truncated or
+    malformed) — raised by the *caller's* validation, like a real client
+    discovering a half-streamed API response."""
+
+    kind = "malformed"
+
+
+class WorkerCrashFault(FaultError):
+    kind = "worker-crash"
+
+
+class PermanentFault(FaultError):
+    kind = "permanent"
+
+
+#: Exception classes a retry policy treats as recoverable by default.
+TRANSIENT_ERRORS = (RateLimitFault, TimeoutFault, MalformedCompletionError, WorkerCrashFault)
+
+_RAISERS = {
+    "rate-limit": RateLimitFault,
+    "timeout": TimeoutFault,
+    "worker-crash": WorkerCrashFault,
+    "permanent": PermanentFault,
+}
+
+
+def raise_fault(kind: str, identity: str) -> None:
+    """Raise the exception class for an injected ``kind`` (raising kinds only)."""
+    exc = _RAISERS[kind]
+    raise exc(f"injected {kind} fault", identity=identity)
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One line of a fault schedule."""
+
+    site: str  # "llm" | "task" | "cache"
+    kind: str  # one of ALL_KINDS
+    rate: float  # fraction of identities hit (deterministic per identity)
+    max_attempt: int = 1  # inject while attempt < max_attempt
+    match: str = ""  # substring filter on the identity ("" = all)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ALL_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+
+
+class FaultPlan:
+    """A seeded, stateless fault schedule plus injection accounting.
+
+    ``draw`` is a pure function of (seed, rules, site, identity, attempt);
+    the ``injected`` counters are bookkeeping on the side and never feed
+    back into decisions.
+    """
+
+    def __init__(self, seed: int, rules: tuple[FaultRule, ...] | list[FaultRule]) -> None:
+        self.seed = seed
+        self.rules = tuple(rules)
+        self.injected: dict[str, int] = {}
+
+    def draw(self, site: str, identity: str, attempt: int) -> str | None:
+        """The fault kind to inject for this call, or None."""
+        for rule in self.rules:
+            if rule.site != site or (rule.match and rule.match not in identity):
+                continue
+            if attempt >= rule.max_attempt:
+                continue
+            if self._uniform(rule, identity) < rule.rate:
+                self.injected[rule.kind] = self.injected.get(rule.kind, 0) + 1
+                return rule.kind
+        return None
+
+    def _uniform(self, rule: FaultRule, identity: str) -> float:
+        blob = f"{self.seed}:{rule.site}:{rule.kind}:{rule.match}:{identity}"
+        digest = hashlib.sha256(blob.encode("utf-8")).digest()
+        return int.from_bytes(digest[:7], "big") / float(1 << 56)
+
+    # -- (de)serialization: plans must cross params/process boundaries --------
+
+    def to_spec(self) -> dict:
+        """A JSON-serializable spec (safe inside task params: it feeds the
+        content hash, so chaos and fault-free runs never share cache keys)."""
+        return {"seed": self.seed, "rules": [asdict(rule) for rule in self.rules]}
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "FaultPlan":
+        return cls(spec["seed"], tuple(FaultRule(**rule) for rule in spec["rules"]))
+
+
+def _plan(seed: int, *rules: FaultRule) -> dict:
+    return FaultPlan(seed, rules).to_spec()
+
+
+#: Named schedules for ``chaos-bench`` (specs, so they are immutable data).
+SCHEDULES: dict[str, dict] = {
+    # Transient-only, modest rates: the CI smoke schedule.  Every fault
+    # clears by its second attempt, so --assert-identical must hold.  The
+    # corpus cache entry is always torn (match rule, rate 1.0) so the
+    # tear-detect-repair path runs even in small replays with few tasks.
+    "transient-small": _plan(
+        101,
+        FaultRule("llm", "rate-limit", rate=0.10),
+        FaultRule("llm", "timeout", rate=0.06),
+        FaultRule("llm", "truncated", rate=0.06),
+        FaultRule("llm", "malformed", rate=0.05),
+        FaultRule("task", "worker-crash", rate=0.35),
+        FaultRule("cache", "cache-tear", rate=1.0, match="corpus"),
+        FaultRule("cache", "cache-tear", rate=0.25),
+    ),
+    # Transient-only but vicious: higher rates and double-faulting
+    # identities (fault on attempts 0 and 1, succeed on 2).
+    "transient-heavy": _plan(
+        202,
+        FaultRule("llm", "rate-limit", rate=0.25, max_attempt=2),
+        FaultRule("llm", "timeout", rate=0.15, max_attempt=2),
+        FaultRule("llm", "truncated", rate=0.15),
+        FaultRule("llm", "malformed", rate=0.10),
+        FaultRule("task", "worker-crash", rate=0.50),
+        FaultRule("cache", "cache-tear", rate=1.0, match="corpus"),
+        FaultRule("cache", "cache-tear", rate=0.40),
+    ),
+    # Transient mix plus a slice of permanently untranslatable queries:
+    # exercises the dead-letter path end to end.
+    "permanent-mix": _plan(
+        303,
+        FaultRule("llm", "rate-limit", rate=0.10),
+        FaultRule("llm", "timeout", rate=0.06),
+        FaultRule("llm", "truncated", rate=0.06),
+        FaultRule("llm", "permanent", rate=0.06, max_attempt=1_000_000),
+        FaultRule("task", "worker-crash", rate=0.35),
+        FaultRule("cache", "cache-tear", rate=1.0, match="corpus"),
+        FaultRule("cache", "cache-tear", rate=0.25),
+    ),
+}

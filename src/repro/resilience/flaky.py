@@ -1,0 +1,66 @@
+"""FlakyModel: a fault-injecting wrapper around a SQL-to-NL model.
+
+Faithful to how a live LLM API actually fails, as seen from the client:
+
+* **rate-limit / timeout** — the call raises; nothing was consumed.
+* **truncated** — the call "succeeds" but returns fewer candidates than
+  requested, as when a streamed completion is cut off.  The wrapper slices
+  the *real* output, so no RNG stream is disturbed and a retry (which the
+  plan lets through) reproduces the full answer bit-for-bit.
+* **malformed** — candidates arrive but some are empty strings.
+* **permanent** — this SQL can never be translated (every attempt faults);
+  the caller must dead-letter it.
+
+Attempt numbers are tracked per SQL identity inside the wrapper, mirroring
+a client-side retry counter; the underlying model stays byte-deterministic
+because its RNG is keyed by (model seed, SQL text) — never by attempt.
+"""
+
+from __future__ import annotations
+
+from repro.llm.base import SqlToNlModel
+from repro.resilience.faults import FaultPlan, raise_fault
+
+
+class FlakyModel:
+    """Duck-typed :class:`~repro.llm.base.SqlToNlModel` with injected faults."""
+
+    def __init__(self, model: SqlToNlModel, plan: FaultPlan) -> None:
+        self.model = model
+        self.plan = plan
+        self._attempts: dict[str, int] = {}
+
+    # The pipeline only touches these members; delegate the rest explicitly
+    # so typos fail loudly instead of silently bypassing injection.
+
+    @property
+    def profile(self):
+        return self.model.profile
+
+    @property
+    def seed(self) -> int:
+        return self.model.seed
+
+    def fine_tune(self, pairs, domain, lexicon=None, epochs=4) -> None:
+        self.model.fine_tune(pairs, domain=domain, lexicon=lexicon, epochs=epochs)
+
+    def is_tuned_for(self, domain: str) -> bool:
+        return self.model.is_tuned_for(domain)
+
+    def translate(self, sql, enhanced, n_candidates=8, domain=None) -> list[str]:
+        attempt = self._attempts.get(sql, 0)
+        self._attempts[sql] = attempt + 1
+        kind = self.plan.draw("llm", sql, attempt)
+        if kind in ("rate-limit", "timeout", "permanent"):
+            raise_fault(kind, sql)
+        candidates = self.model.translate(
+            sql, enhanced, n_candidates=n_candidates, domain=domain
+        )
+        if kind == "truncated":
+            return candidates[: max(1, n_candidates // 2)]
+        if kind == "malformed":
+            return [""] * len(candidates)
+        return candidates
+
+    def translate_best(self, sql, enhanced, domain=None) -> str:
+        return self.translate(sql, enhanced, n_candidates=1, domain=domain)[0]

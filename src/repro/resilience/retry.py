@@ -1,0 +1,113 @@
+"""Retry with exponential backoff, deterministic jitter, and budget caps.
+
+Real clients jitter their backoff with ``random()``, which would make chaos
+runs irreproducible and — worse — could interleave with artifact RNG
+streams.  Here the jitter is a pure hash of *(jitter seed, identity,
+attempt)*: two runs of the same schedule sleep the same amounts, and no
+shared RNG is ever consumed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.resilience.clock import SYSTEM_CLOCK
+from repro.resilience.faults import TRANSIENT_ERRORS
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to try, and how long to wait between tries."""
+
+    max_attempts: int = 4
+    base_delay_s: float = 0.02
+    multiplier: float = 2.0
+    max_delay_s: float = 0.25
+    #: Fraction of the delay replaced by deterministic jitter (0 disables).
+    jitter: float = 0.5
+    jitter_seed: int = 0
+    #: Cap on the *total* seconds slept across one call's retries.
+    budget_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+
+    def delay(self, attempt: int, identity: str = "") -> float:
+        """Seconds to sleep after failed ``attempt`` (0-based)."""
+        raw = min(self.max_delay_s, self.base_delay_s * self.multiplier**attempt)
+        if not self.jitter:
+            return raw
+        blob = f"{self.jitter_seed}:{identity}:{attempt}"
+        digest = hashlib.sha256(blob.encode("utf-8")).digest()
+        fraction = int.from_bytes(digest[:7], "big") / float(1 << 56)
+        # Decorrelated within [raw*(1-jitter), raw]: bounded below so the
+        # budget math stays predictable.
+        return raw * (1.0 - self.jitter * fraction)
+
+    def to_spec(self) -> dict:
+        """JSON-serializable form, safe inside task params."""
+        return {
+            "max_attempts": self.max_attempts,
+            "base_delay_s": self.base_delay_s,
+            "multiplier": self.multiplier,
+            "max_delay_s": self.max_delay_s,
+            "jitter": self.jitter,
+            "jitter_seed": self.jitter_seed,
+            "budget_s": self.budget_s,
+        }
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "RetryPolicy":
+        return cls(**spec)
+
+
+@dataclass
+class RetryOutcome:
+    """Accounting for one retried call (attempts is >= 1 even on success)."""
+
+    attempts: int = 1
+    slept_s: float = 0.0
+    #: Fault kinds (or exception class names) recovered from, with counts.
+    recovered: dict[str, int] = field(default_factory=dict)
+
+
+def call_with_retry(
+    fn: Callable[[], object],
+    policy: RetryPolicy,
+    identity: str = "",
+    clock=SYSTEM_CLOCK,
+    retry_on: tuple[type[BaseException], ...] = TRANSIENT_ERRORS,
+    outcome: RetryOutcome | None = None,
+):
+    """Run ``fn`` under ``policy``; returns its result.
+
+    Only exceptions in ``retry_on`` are retried — anything else (including
+    ``PermanentFault``, ``KeyboardInterrupt``, genuine bugs) propagates on
+    the first raise.  On exhaustion the *last* transient error propagates.
+    ``outcome``, if given, accumulates attempts/sleep/recovery accounting.
+    """
+    outcome = outcome if outcome is not None else RetryOutcome()
+    slept = 0.0
+    attempt = 0
+    while True:
+        try:
+            result = fn()
+        except retry_on as exc:
+            outcome.attempts = attempt + 1
+            if attempt + 1 >= policy.max_attempts:
+                raise
+            delay = policy.delay(attempt, identity)
+            if slept + delay > policy.budget_s:
+                raise
+            clock.sleep(delay)
+            slept += delay
+            outcome.slept_s = slept
+            kind = getattr(exc, "kind", type(exc).__name__)
+            outcome.recovered[kind] = outcome.recovered.get(kind, 0) + 1
+            attempt += 1
+        else:
+            outcome.attempts = attempt + 1
+            return result

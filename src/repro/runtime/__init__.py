@@ -6,12 +6,19 @@ persists completed artifacts by content hash.  The concrete benchmark graph
 lives in :mod:`repro.experiments.tasks`.
 """
 
-from repro.runtime.cache import ArtifactCache
+from repro.runtime.cache import CORRUPTION_ERRORS, ArtifactCache
 from repro.runtime.graph import GRAPH_FORMAT, Task, TaskGraph, derive_seed
-from repro.runtime.scheduler import RunReport, Runtime, TaskRecord, execute_task
+from repro.runtime.scheduler import (
+    RunReport,
+    Runtime,
+    TaskRecord,
+    TaskTimeoutError,
+    execute_task,
+)
 
 __all__ = [
     "ArtifactCache",
+    "CORRUPTION_ERRORS",
     "GRAPH_FORMAT",
     "Task",
     "TaskGraph",
@@ -19,5 +26,6 @@ __all__ = [
     "Runtime",
     "RunReport",
     "TaskRecord",
+    "TaskTimeoutError",
     "execute_task",
 ]

@@ -6,7 +6,15 @@ exactly one (body, params, upstream-artifacts) combination and never goes
 stale on a config change — a changed config simply hashes to a different
 key.  Writes are atomic (temp file + ``os.replace``) so a crashed or
 concurrent run cannot leave a half-written entry behind, and unreadable
-entries are treated as misses and deleted rather than propagated.
+entries are treated as misses and deleted rather than propagated — the
+swallowed error class is recorded in ``corruption_kinds`` so operators can
+tell a torn write from a format drift.
+
+Chaos hook: installing a :class:`~repro.resilience.faults.FaultPlan` as
+``fault_plan`` makes ``store`` simulate a crash mid-write for scheduled
+keys (a *torn* entry written without the atomic rename).  The next run's
+load detects the corruption, recomputes, and repairs the entry — which is
+exactly the recovery path ``chaos-bench`` asserts.
 """
 
 from __future__ import annotations
@@ -15,6 +23,21 @@ import os
 import pickle
 from pathlib import Path
 from typing import Any
+
+#: Everything unpickling hostile bytes can throw.  Deliberately concrete:
+#: ``KeyboardInterrupt``/``SystemExit`` and genuine bugs must propagate.
+CORRUPTION_ERRORS = (
+    pickle.UnpicklingError,
+    EOFError,
+    AttributeError,
+    ImportError,
+    IndexError,
+    KeyError,
+    TypeError,
+    ValueError,
+    OSError,
+    MemoryError,
+)
 
 
 class ArtifactCache:
@@ -25,6 +48,13 @@ class ArtifactCache:
         self.hits = 0
         self.misses = 0
         self.corrupt = 0
+        #: Exception class name -> count, for corrupted entries.
+        self.corruption_kinds: dict[str, int] = {}
+        #: Optional FaultPlan; ``store`` consults site "cache" with the
+        #: task name as identity.
+        self.fault_plan = None
+        #: Torn writes injected by the fault plan.
+        self.tears = 0
 
     @property
     def enabled(self) -> bool:
@@ -58,9 +88,11 @@ class ArtifactCache:
             if payload["key"] != key:
                 raise ValueError("cache entry key mismatch")
             artifact = payload["artifact"]
-        except Exception:
+        except CORRUPTION_ERRORS as exc:
             self.corrupt += 1
             self.misses += 1
+            name = type(exc).__name__
+            self.corruption_kinds[name] = self.corruption_kinds.get(name, 0) + 1
             try:
                 path.unlink()
             except OSError:
@@ -75,6 +107,15 @@ class ArtifactCache:
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {"key": key, "task": task_name, "artifact": artifact}
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        if self.fault_plan is not None:
+            if self.fault_plan.draw("cache", task_name, 0) == "cache-tear":
+                # Simulated crash mid-write: a torn entry lands at the final
+                # path with no atomic rename — the worst case a real crash
+                # between write and replace could produce.
+                self.tears += 1
+                path.write_bytes(blob[: max(1, len(blob) // 2)])
+                return
         tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
-        tmp.write_bytes(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+        tmp.write_bytes(blob)
         os.replace(tmp, path)

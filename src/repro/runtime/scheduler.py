@@ -12,20 +12,48 @@
 
 Because each task body is pure in (params, dependency artifacts), the
 schedule cannot influence any artifact: parallel and sequential runs are
-bit-identical.  Per-task wall time and cache hit/miss counters are appended
-to ``Runtime.report`` (rendered by the CLI's ``--timings``).
+bit-identical.  Per-task wall time, cache hit/miss counters, retries and
+injected faults are appended to ``Runtime.report`` (rendered by the CLI's
+``--timings``).
+
+Resilience:
+
+* transient task failures (:data:`~repro.resilience.faults.TRANSIENT_ERRORS`
+  plus pool breakage) are retried per task under a
+  :class:`~repro.resilience.RetryPolicy` — and since bodies are pure, a
+  retried task recomputes the identical artifact;
+* a dead worker process (``BrokenProcessPool``) is recovered by rebuilding
+  the pool and resubmitting every interrupted task;
+* ``task_timeout_s`` flags tasks that ran over budget and retries them
+  (detection is post-hoc: a deterministic body that finishes is never
+  killed mid-flight, so artifacts stay schedule-independent);
+* a :class:`~repro.resilience.faults.FaultPlan` injects worker crashes
+  (``os._exit`` in pool workers — exercising the *real* recovery path) and
+  torn cache writes for ``chaos-bench``.
 """
 
 from __future__ import annotations
 
 import importlib
+import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.errors import ReproError
+from repro.resilience.clock import SYSTEM_CLOCK
+from repro.resilience.faults import TRANSIENT_ERRORS, FaultPlan, raise_fault
+from repro.resilience.retry import RetryPolicy
 from repro.runtime.cache import ArtifactCache
 from repro.runtime.graph import TaskGraph
+
+
+class TaskTimeoutError(ReproError):
+    """A task body exceeded the runtime's per-task time budget."""
+
+    kind = "task-timeout"
 
 
 def resolve_fn(fn_path: str) -> Callable[[dict, dict], Any]:
@@ -36,12 +64,25 @@ def resolve_fn(fn_path: str) -> Callable[[dict, dict], Any]:
     return getattr(importlib.import_module(module_name), attr)
 
 
-def execute_task(fn_path: str, params: dict, inputs: dict) -> tuple[Any, float]:
+def execute_task(
+    fn_path: str,
+    params: dict,
+    inputs: dict,
+    inject: str | None = None,
+    inject_mode: str = "raise",
+) -> tuple[Any, float]:
     """Run one task body; module-level so worker processes can import it.
 
     Returns ``(artifact, seconds)`` with the time measured where the work
-    actually happened.
+    actually happened.  ``inject`` carries a scheduled fault kind decided by
+    the parent: ``"worker-crash"`` in ``"exit"`` mode kills the hosting
+    process outright (a pool worker dying for real), in ``"raise"`` mode it
+    raises — the inline-execution equivalent.
     """
+    if inject == "worker-crash" and inject_mode == "exit":
+        os._exit(23)
+    if inject is not None:
+        raise_fault(inject, fn_path)
     start = time.perf_counter()
     artifact = resolve_fn(fn_path)(params, inputs)
     return artifact, time.perf_counter() - start
@@ -55,6 +96,8 @@ class TaskRecord:
     status: str  # "computed" | "hit" (disk cache) | "memo" (in-process)
     seconds: float
     key: str  # content hash
+    retries: int = 0  # extra attempts spent before success
+    faults: int = 0  # synthetic faults injected into this task
 
 
 @dataclass
@@ -62,6 +105,8 @@ class RunReport:
     """Accumulated task records across every ``Runtime.run`` call."""
 
     records: list[TaskRecord] = field(default_factory=list)
+    #: fault/failure kind -> times a task recovered from it via retry.
+    recovered: dict[str, int] = field(default_factory=dict)
 
     def __len__(self) -> int:
         return len(self.records)
@@ -81,6 +126,14 @@ class RunReport:
     def memoized(self) -> int:
         return self.count("memo")
 
+    @property
+    def retries(self) -> int:
+        return sum(r.retries for r in self.records)
+
+    @property
+    def faults_injected(self) -> int:
+        return sum(r.faults for r in self.records)
+
     def task_seconds(self) -> float:
         return sum(r.seconds for r in self.records)
 
@@ -94,26 +147,42 @@ class RunReport:
         for record in sorted(self.records, key=lambda r: r.name):
             lines.append(
                 f"{record.name:<{width}}  {record.key[:10]}  "
-                f"{record.status:<8}  {record.seconds:8.3f}s"
+                f"{record.status:<8}  {record.seconds:8.3f}s  "
+                f"retries={record.retries}  faults_injected={record.faults}"
             )
         lines.append(
             f"runtime: {len(self.records)} tasks | computed={self.computed} "
             f"cache-hits={self.cache_hits} memo={self.memoized} | "
-            f"task-time {self.task_seconds():.2f}s"
+            f"task-time {self.task_seconds():.2f}s | "
+            f"retries={self.retries} faults_injected={self.faults_injected}"
         )
         return "\n".join(lines)
 
 
 class Runtime:
-    """Execution policy for a task graph: worker count and artifact cache.
+    """Execution policy for a task graph: worker count, artifact cache,
+    retry policy, optional per-task timeout and fault plan.
 
     One runtime can serve many suites and many ``run`` calls; completed
     artifacts stay memoized in-process by content hash.
     """
 
-    def __init__(self, workers: int = 1, cache_dir: str | None = None) -> None:
+    def __init__(
+        self,
+        workers: int = 1,
+        cache_dir: str | None = None,
+        retry: RetryPolicy | None = None,
+        task_timeout_s: float | None = None,
+        fault_plan: FaultPlan | None = None,
+        clock=SYSTEM_CLOCK,
+    ) -> None:
         self.workers = max(1, int(workers))
         self.cache = ArtifactCache(cache_dir)
+        self.retry = retry or RetryPolicy(max_attempts=3, base_delay_s=0.01, budget_s=1.0)
+        self.task_timeout_s = task_timeout_s
+        self.fault_plan = fault_plan
+        self.cache.fault_plan = fault_plan
+        self.clock = clock
         self._memo: dict[str, Any] = {}
         self.report = RunReport()
 
@@ -177,47 +246,169 @@ class Runtime:
     # -- execution ------------------------------------------------------------
 
     def _finish(
-        self, graph: TaskGraph, name: str, artifact: Any, seconds: float, resolved: dict
+        self,
+        graph: TaskGraph,
+        name: str,
+        artifact: Any,
+        seconds: float,
+        resolved: dict,
+        retries: int = 0,
+        faults: int = 0,
     ) -> None:
         key = graph.content_hash(name)
         self.cache.store(key, name, artifact)
         self._memo[key] = artifact
         resolved[name] = artifact
-        self.report.records.append(TaskRecord(name, "computed", seconds, key))
+        self.report.records.append(
+            TaskRecord(name, "computed", seconds, key, retries=retries, faults=faults)
+        )
 
     def _inputs(self, graph: TaskGraph, name: str, resolved: dict) -> dict:
         return {role: resolved[dep] for role, dep in graph.task(name).deps}
 
+    def _draw_fault(self, name: str, attempt: int) -> str | None:
+        if self.fault_plan is None:
+            return None
+        return self.fault_plan.draw("task", name, attempt)
+
+    def _check_timeout(self, name: str, seconds: float) -> None:
+        if self.task_timeout_s is not None and seconds > self.task_timeout_s:
+            raise TaskTimeoutError(
+                f"task {name!r} took {seconds:.2f}s "
+                f"(budget {self.task_timeout_s:g}s)"
+            )
+
+    def _record_recovery(self, exc: BaseException) -> None:
+        if isinstance(exc, BrokenProcessPool):
+            kind = "worker-crash"  # the taxonomy name for a dead pool worker
+        else:
+            kind = getattr(exc, "kind", type(exc).__name__)
+        self.report.recovered[kind] = self.report.recovered.get(kind, 0) + 1
+
     def _run_sequential(self, graph: TaskGraph, pending: list[str], resolved: dict) -> None:
         for name in pending:
             task = graph.task(name)
-            artifact, seconds = execute_task(
-                task.fn, task.params, self._inputs(graph, name, resolved)
-            )
-            self._finish(graph, name, artifact, seconds, resolved)
+            attempt = 0
+            faults = 0
+            while True:
+                inject = self._draw_fault(name, attempt)
+                if inject is not None:
+                    faults += 1
+                try:
+                    artifact, seconds = execute_task(
+                        task.fn,
+                        task.params,
+                        self._inputs(graph, name, resolved),
+                        inject=inject,
+                        inject_mode="raise",
+                    )
+                    self._check_timeout(name, seconds)
+                except TRANSIENT_ERRORS + (TaskTimeoutError,) as exc:
+                    if attempt + 1 >= self.retry.max_attempts:
+                        raise
+                    self.clock.sleep(self.retry.delay(attempt, name))
+                    self._record_recovery(exc)
+                    attempt += 1
+                    continue
+                self._finish(
+                    graph, name, artifact, seconds, resolved,
+                    retries=attempt, faults=faults,
+                )
+                break
 
     def _run_parallel(self, graph: TaskGraph, pending: list[str], resolved: dict) -> None:
-        in_flight: dict[str, Any] = {}
         remaining = list(pending)
-        with ProcessPoolExecutor(max_workers=min(self.workers, len(pending))) as pool:
+        attempts = dict.fromkeys(pending, 0)
+        faults = dict.fromkeys(pending, 0)
+        in_flight: dict[str, Any] = {}  # name -> (future, submitted_at)
+        pool = ProcessPoolExecutor(max_workers=min(self.workers, len(pending)))
 
-            def launch() -> None:
-                for name in list(remaining):
-                    task = graph.task(name)
-                    if all(dep in resolved for dep in task.dep_names()):
-                        in_flight[name] = pool.submit(
+        def launch() -> None:
+            for name in list(remaining):
+                task = graph.task(name)
+                if all(dep in resolved for dep in task.dep_names()):
+                    inject = self._draw_fault(name, attempts[name])
+                    if inject is not None:
+                        faults[name] += 1
+                    in_flight[name] = (
+                        pool.submit(
                             execute_task,
                             task.fn,
                             task.params,
                             self._inputs(graph, name, resolved),
-                        )
-                        remaining.remove(name)
+                            inject,
+                            "exit",
+                        ),
+                        time.perf_counter(),
+                    )
+                    remaining.remove(name)
 
+        def recycle_pool(broken_exc: BaseException) -> None:
+            """A worker died (or a task ran over budget): rebuild the pool
+            and resubmit every interrupted task, bounded by the retry
+            policy so an always-crashing task cannot loop forever."""
+            nonlocal pool
+            pool.shutdown(wait=False, cancel_futures=True)
+            pool = ProcessPoolExecutor(max_workers=min(self.workers, max(1, len(pending))))
+            for name in list(in_flight):
+                in_flight.pop(name)
+                attempts[name] += 1
+                if attempts[name] >= self.retry.max_attempts:
+                    raise broken_exc
+                self._record_recovery(broken_exc)
+                remaining.append(name)
+
+        try:
             launch()
-            while in_flight:
-                done, _ = wait(set(in_flight.values()), return_when=FIRST_COMPLETED)
-                for name in [n for n, fut in in_flight.items() if fut in done]:
-                    future = in_flight.pop(name)
-                    artifact, seconds = future.result()
-                    self._finish(graph, name, artifact, seconds, resolved)
+            wait_timeout = 0.05 if self.task_timeout_s is not None else None
+            while in_flight or remaining:
+                done, _ = wait(
+                    {future for future, _ in in_flight.values()},
+                    return_when=FIRST_COMPLETED,
+                    timeout=wait_timeout,
+                )
+                broken: BaseException | None = None
+                for name in [n for n, (f, _) in in_flight.items() if f in done]:
+                    future, _ = in_flight.pop(name)
+                    try:
+                        artifact, seconds = future.result()
+                        self._check_timeout(name, seconds)
+                    except BrokenProcessPool as exc:
+                        # The pool is unusable for everyone; handle once,
+                        # outside this loop, with this task included.
+                        in_flight[name] = (future, 0.0)
+                        broken = exc
+                        break
+                    except TRANSIENT_ERRORS + (TaskTimeoutError,) as exc:
+                        attempts[name] += 1
+                        if attempts[name] >= self.retry.max_attempts:
+                            raise
+                        self.clock.sleep(self.retry.delay(attempts[name] - 1, name))
+                        self._record_recovery(exc)
+                        remaining.append(name)
+                        continue
+                    self._finish(
+                        graph, name, artifact, seconds, resolved,
+                        retries=attempts[name], faults=faults[name],
+                    )
+                if broken is not None:
+                    recycle_pool(broken)
+                elif self.task_timeout_s is not None:
+                    now = time.perf_counter()
+                    overdue = [
+                        name
+                        for name, (future, submitted) in in_flight.items()
+                        if not future.done() and now - submitted > self.task_timeout_s
+                    ]
+                    if overdue:
+                        # Can't reclaim a busy worker politely: recycle the
+                        # pool and retry everything that was in flight.
+                        recycle_pool(
+                            TaskTimeoutError(
+                                f"task(s) {overdue!r} exceeded the "
+                                f"{self.task_timeout_s:g}s budget"
+                            )
+                        )
                 launch()
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)

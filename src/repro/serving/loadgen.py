@@ -143,6 +143,7 @@ async def _run_arm(
         "counters": stats.counters,
         "cache": stats.cache,
         "stage_latency_ms": stats.latency_ms,
+        "breakers": server.breaker_states(),
     }
 
 

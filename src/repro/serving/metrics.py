@@ -97,6 +97,8 @@ class ServerStats:
     latency_ms: dict
     cache: dict
     pending: int
+    #: Per-domain circuit-breaker snapshots ({} when no breakers exist).
+    breakers: dict = None  # type: ignore[assignment]
 
     def as_dict(self) -> dict:
         return {
@@ -104,6 +106,7 @@ class ServerStats:
             "latency_ms": {k: dict(v) for k, v in self.latency_ms.items()},
             "cache": dict(self.cache),
             "pending": self.pending,
+            "breakers": {k: dict(v) for k, v in (self.breakers or {}).items()},
         }
 
 
@@ -120,7 +123,13 @@ class ServerMetrics:
     def observe(self, stage: str, seconds: float) -> None:
         self.histograms[stage].observe(seconds)
 
-    def snapshot(self, *, pending: int = 0, cache: dict | None = None) -> ServerStats:
+    def snapshot(
+        self,
+        *,
+        pending: int = 0,
+        cache: dict | None = None,
+        breakers: dict | None = None,
+    ) -> ServerStats:
         return ServerStats(
             counters=dict(self.counters),
             latency_ms={
@@ -129,4 +138,5 @@ class ServerMetrics:
             },
             cache=dict(cache or {}),
             pending=pending,
+            breakers=dict(breakers or {}),
         )

@@ -24,7 +24,11 @@ variants as the same question.
 Robustness: admission is rejected explicitly when a domain's bounded queue
 is full (no unbounded growth), every request carries a timeout that
 surfaces as a structured ``timeout`` error, and a primary-system exception
-degrades the request to the template fallback instead of failing it.
+degrades the request to the template fallback instead of failing it.  A
+per-domain :class:`~repro.resilience.CircuitBreaker` guards the primary
+system: after ``breaker_failures`` consecutive failures the server stops
+calling the primary entirely and fast-fails to the fallback, probing the
+primary again only after ``breaker_reset_s`` of the injected clock.
 """
 
 from __future__ import annotations
@@ -34,6 +38,8 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.clock import SYSTEM_CLOCK
 from repro.serving.cache import CachedResult, ResultCache
 from repro.serving.metrics import ServerMetrics, ServerStats
 from repro.serving.request import ServeError, ServeResult
@@ -66,6 +72,10 @@ class ServerConfig:
     cache_capacity: int = 256
     #: Also execute the predicted SQL and attach the result rows.
     execute: bool = False
+    #: Consecutive primary-system failures that open the circuit breaker.
+    breaker_failures: int = 5
+    #: Seconds the breaker stays open before probing the primary again.
+    breaker_reset_s: float = 30.0
 
 
 class _Pending:
@@ -107,6 +117,7 @@ class InferenceServer:
         self,
         backends: dict[str, DomainBackend] | list[DomainBackend],
         config: ServerConfig | None = None,
+        clock=SYSTEM_CLOCK,
     ) -> None:
         if not isinstance(backends, dict):
             backends = {backend.name: backend for backend in backends}
@@ -114,6 +125,16 @@ class InferenceServer:
         self.config = config or ServerConfig()
         self.cache = ResultCache(self.config.cache_capacity)
         self.metrics = ServerMetrics()
+        self.clock = clock
+        self._breakers = {
+            name: CircuitBreaker(
+                f"primary:{name}",
+                failure_threshold=self.config.breaker_failures,
+                reset_timeout_s=self.config.breaker_reset_s,
+                clock=clock,
+            )
+            for name in self.backends
+        }
         # Queues exist from construction so admission control (and tests)
         # do not depend on the workers having started yet.
         self._queues = {
@@ -233,7 +254,12 @@ class InferenceServer:
         return self.metrics.snapshot(
             pending=sum(queue.qsize() for queue in self._queues.values()),
             cache=self.cache.stats(),
+            breakers=self.breaker_states(),
         )
+
+    def breaker_states(self) -> dict[str, dict]:
+        """Per-domain circuit-breaker snapshots (state + counters)."""
+        return {name: breaker.snapshot() for name, breaker in self._breakers.items()}
 
     # -- batch execution ----------------------------------------------------------
 
@@ -276,15 +302,28 @@ class InferenceServer:
                     pass  # linking trouble surfaces as a decode failure below
         outcome.link_s = time.perf_counter() - started
 
-        # Stage 2: decoding, with per-question degradation on failure.
+        # Stage 2: decoding, with per-question degradation on failure.  The
+        # breaker gate is checked once per batch: an open circuit fast-fails
+        # the whole batch to the fallback without touching the primary.
         started = time.perf_counter()
-        try:
-            batch_sql = backend.system.predict_batch(unique, backend.name)
-            for question, sql in zip(unique, batch_sql):
-                outcome.answers[question] = _Answer(sql=sql)
-        except Exception:
+        breaker = self._breakers[backend.name]
+        if not breaker.allow():
             for question in unique:
-                outcome.answers[question] = self._decode_one(backend, question)
+                outcome.answers[question] = self._fallback_answer(
+                    backend, question,
+                    f"circuit breaker open for primary:{backend.name}: "
+                    "primary system skipped",
+                )
+        else:
+            try:
+                batch_sql = backend.system.predict_batch(unique, backend.name)
+                for question, sql in zip(unique, batch_sql):
+                    outcome.answers[question] = _Answer(sql=sql)
+                breaker.record_success()
+            except Exception:
+                breaker.record_failure()
+                for question in unique:
+                    outcome.answers[question] = self._decode_one(backend, question)
         outcome.decode_s = time.perf_counter() - started
 
         # Stage 3: optional execution of the predicted SQL.
@@ -300,28 +339,44 @@ class InferenceServer:
         return outcome
 
     def _decode_one(self, backend: DomainBackend, question: str) -> _Answer:
-        try:
-            return _Answer(sql=backend.system.predict(question, backend.name))
-        except Exception as primary_exc:
-            if backend.fallback is None:
-                return _Answer(
-                    status="failed",
-                    message=f"primary system raised {type(primary_exc).__name__}: "
-                            f"{primary_exc} (no fallback configured)",
-                )
-            try:
-                sql = backend.fallback.predict(question, backend.name)
-            except Exception as fallback_exc:
-                return _Answer(
-                    status="failed",
-                    message=f"primary raised {type(primary_exc).__name__}, "
-                            f"fallback raised {type(fallback_exc).__name__}",
-                )
-            return _Answer(
-                sql=sql, status="degraded",
-                message=f"primary system raised {type(primary_exc).__name__}: "
-                        f"{primary_exc}",
+        breaker = self._breakers[backend.name]
+        if not breaker.allow():
+            return self._fallback_answer(
+                backend, question,
+                f"circuit breaker open for primary:{backend.name}: "
+                "primary system skipped",
             )
+        try:
+            answer = _Answer(sql=backend.system.predict(question, backend.name))
+        except Exception as primary_exc:
+            breaker.record_failure()
+            return self._fallback_answer(
+                backend, question,
+                f"primary system raised {type(primary_exc).__name__}: "
+                f"{primary_exc}",
+            )
+        breaker.record_success()
+        return answer
+
+    def _fallback_answer(
+        self, backend: DomainBackend, question: str, reason: str
+    ) -> _Answer:
+        """Serve ``question`` without the primary system (it raised, or the
+        breaker fast-failed it): degraded via the fallback when one exists."""
+        if backend.fallback is None:
+            return _Answer(
+                status="failed",
+                message=f"{reason} (no fallback configured)",
+            )
+        try:
+            sql = backend.fallback.predict(question, backend.name)
+        except Exception as fallback_exc:
+            return _Answer(
+                status="failed",
+                message=f"{reason}; fallback raised "
+                        f"{type(fallback_exc).__name__}",
+            )
+        return _Answer(sql=sql, status="degraded", message=reason)
 
     def _resolve(
         self, backend: DomainBackend, items: list[_Pending], outcome: _BatchOutcome

@@ -9,7 +9,12 @@ from repro.synthesis.pipeline import (
     augment_domain,
 )
 from repro.synthesis.seeding import SeedingResult, extract_templates
-from repro.synthesis.translation import SqlToNlTranslator, TranslationConfig
+from repro.synthesis.translation import (
+    SqlToNlTranslator,
+    TranslationConfig,
+    TranslationFailure,
+    TranslationResult,
+)
 
 __all__ = [
     "AugmentationPipeline",
@@ -21,6 +26,8 @@ __all__ = [
     "GenerationStats",
     "SqlToNlTranslator",
     "TranslationConfig",
+    "TranslationFailure",
+    "TranslationResult",
     "Discriminator",
     "DiscriminatorConfig",
     "extract_templates",

@@ -5,15 +5,32 @@ Discrimination — to turn a domain's small expert seed set into a large
 synthetic training split ("Synth" in Table 2).  The pipeline also works for
 MiniSpider databases (the "Synth Spider" control rows of Table 5) by wrapping
 them as ad-hoc domains.
+
+Resilience: the translation phase retries transient model faults
+(:mod:`repro.synthesis.translation`); queries that fail *permanently* are
+routed to a dead-letter record with a structured reason instead of aborting
+the run, and the run still produces a (smaller) valid split.  Optional
+phase-level **checkpoints** persist the expensive intermediate artifacts
+(seeding + generated SQL; translated outcomes) through an
+:class:`~repro.runtime.ArtifactCache`, so a crashed run resumes from the
+last completed phase instead of restarting — with byte-identical output,
+because phases 3+4 derive all randomness from the SQL text, never from the
+phase-2 RNG's position.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import random
 from dataclasses import dataclass, field
 
 from repro.datasets.records import BenchmarkDomain, NLSQLPair, Split
 from repro.llm.base import SqlToNlModel
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.clock import SYSTEM_CLOCK
+from repro.resilience.deadletter import DeadLetter, ResilienceStats
+from repro.runtime.cache import ArtifactCache
 from repro.synthesis.discriminator import Discriminator, DiscriminatorConfig
 from repro.synthesis.generation import GenerationConfig, GenerationStats, SqlGenerator
 from repro.synthesis.seeding import SeedingResult, extract_templates
@@ -42,6 +59,27 @@ class PipelineReport:
     #: How the generation phase spent its execution-oracle budget, including
     #: candidates the static analyzer rejected without executing.
     generation: GenerationStats | None = None
+    #: Queries that failed permanently, with structured reasons.
+    dead_letters: list[DeadLetter] = field(default_factory=list)
+    #: Retry/recovery accounting for the translation phase.
+    resilience: ResilienceStats = field(default_factory=ResilienceStats)
+    #: Phase -> "stored" | "resumed" (present only when checkpointing is on).
+    checkpoints: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def n_dead_lettered(self) -> int:
+        return len(self.dead_letters)
+
+
+@dataclass
+class _QueryOutcome:
+    """Picklable phases-3+4 result for one query (crosses executor.map)."""
+
+    pairs: list[NLSQLPair]
+    attempts: int
+    recovered: dict[str, int]
+    slept_s: float
+    dead_letter: DeadLetter | None
 
 
 class AugmentationPipeline:
@@ -53,6 +91,10 @@ class AugmentationPipeline:
     and selection phases out — ``executor.map`` preserves input order and
     every query is translated independently (the model derives its RNG from
     the SQL text), so any executor yields the same split as the serial path.
+
+    ``breaker``/``clock`` guard and pace the translation phase's retries
+    (see :mod:`repro.resilience`); ``checkpoints`` enables phase-level
+    checkpoint/resume through an artifact cache.
     """
 
     def __init__(
@@ -62,19 +104,28 @@ class AugmentationPipeline:
         config: PipelineConfig | None = None,
         rng: random.Random | None = None,
         executor=None,
+        breaker: CircuitBreaker | None = None,
+        clock=SYSTEM_CLOCK,
+        checkpoints: ArtifactCache | None = None,
     ) -> None:
         self.domain = domain
         self.config = config or PipelineConfig()
         self.translator = SqlToNlTranslator(
-            domain, model=model, config=self.config.translation
+            domain,
+            model=model,
+            config=self.config.translation,
+            breaker=breaker,
+            clock=clock,
         )
         self.discriminator = Discriminator(self.config.discriminator)
         self._rng = rng
         self._executor = executor
+        self._checkpoints = checkpoints
 
     def __getstate__(self):
         # Executors cannot cross process boundaries; drop them so the
-        # pipeline itself stays picklable for executor.map workers.
+        # pipeline itself stays picklable for executor.map workers.  (The
+        # translator drops its own breaker/clock the same way.)
         state = self.__dict__.copy()
         state["_executor"] = None
         return state
@@ -90,26 +141,53 @@ class AugmentationPipeline:
             rng = self._rng if self._rng is not None else random.Random(self.config.seed)
         if executor is None:
             executor = self._executor
+        checkpoint_log: dict[str, str] = {}
 
-        # Phase 1 — Seeding.
-        seeding = extract_templates(self.domain.seed.pairs, self.domain.database.schema)
-
-        # Phase 2 — SQL generation (Algorithm 1), round-robin over templates
-        # until the target count is reached or templates dry up.
-        generator = SqlGenerator(
-            self.domain.database,
-            self.domain.enhanced,
-            rng,
-            config=self.config.generation,
-        )
-        queries = self._generate_queries(generator, seeding)
-
-        # Phase 3 + 4 — translate and select, independently per query.
-        if executor is None:
-            pair_lists = [self._pairs_for(sql) for sql in queries]
+        # Phases 1+2 — Seeding, then SQL generation (Algorithm 1),
+        # round-robin over templates until the target count is reached or
+        # templates dry up.  Checkpointed as one unit: the phase-2 RNG
+        # stream ends here, so resuming past it is split-preserving.
+        resumed = self._checkpoint_load("generate", checkpoint_log)
+        if resumed is not None:
+            seeding, queries, generation_stats = resumed
         else:
-            pair_lists = list(executor.map(self._pairs_for, queries))
-        pairs: list[NLSQLPair] = [pair for chunk in pair_lists for pair in chunk]
+            seeding = extract_templates(
+                self.domain.seed.pairs, self.domain.database.schema
+            )
+            generator = SqlGenerator(
+                self.domain.database,
+                self.domain.enhanced,
+                rng,
+                config=self.config.generation,
+            )
+            queries = self._generate_queries(generator, seeding)
+            generation_stats = generator.stats
+            self._checkpoint_store(
+                "generate", (seeding, queries, generation_stats), checkpoint_log
+            )
+
+        # Phases 3+4 — translate and select, independently per query.
+        # Permanent translation failures dead-letter the query; the run
+        # continues and still produces a valid (smaller) split.
+        resumed = self._checkpoint_load("translate", checkpoint_log)
+        if resumed is not None:
+            outcomes = resumed
+        else:
+            if executor is None:
+                outcomes = [self._pairs_for(sql) for sql in queries]
+            else:
+                outcomes = list(executor.map(self._pairs_for, queries))
+            self._checkpoint_store("translate", outcomes, checkpoint_log)
+
+        pairs: list[NLSQLPair] = []
+        dead_letters: list[DeadLetter] = []
+        resilience = ResilienceStats()
+        for outcome in outcomes:
+            pairs.extend(outcome.pairs)
+            if outcome.dead_letter is not None:
+                dead_letters.append(outcome.dead_letter)
+            else:
+                resilience.observe(outcome.attempts, outcome.recovered, outcome.slept_s)
 
         split = Split(name=f"{self.domain.name}-synth", pairs=pairs)
         self.domain.synth = split
@@ -118,22 +196,70 @@ class AugmentationPipeline:
             n_generated_sql=len(queries),
             n_pairs=len(pairs),
             split=split,
-            generation=generator.stats,
+            generation=generation_stats,
+            dead_letters=dead_letters,
+            resilience=resilience,
+            checkpoints=checkpoint_log,
         )
 
-    def _pairs_for(self, sql: str) -> list[NLSQLPair]:
+    def _pairs_for(self, sql: str) -> _QueryOutcome:
         """Phases 3+4 for one generated query: translate, then select."""
-        candidates = self.translator.candidates(sql)
-        best = self.discriminator.select(candidates)
-        return [
-            NLSQLPair(
-                question=question,
-                sql=sql,
-                db_id=self.domain.name,
-                source="synth",
+        result = self.translator.translate_with_recovery(sql)
+        if result.candidates is None:
+            return _QueryOutcome(
+                pairs=[],
+                attempts=result.attempts,
+                recovered=result.recovered,
+                slept_s=result.slept_s,
+                dead_letter=result.dead_letter,
             )
-            for question in best
-        ]
+        best = self.discriminator.select(result.candidates)
+        return _QueryOutcome(
+            pairs=[
+                NLSQLPair(
+                    question=question,
+                    sql=sql,
+                    db_id=self.domain.name,
+                    source="synth",
+                )
+                for question in best
+            ],
+            attempts=result.attempts,
+            recovered=result.recovered,
+            slept_s=result.slept_s,
+            dead_letter=None,
+        )
+
+    # -- checkpointing --------------------------------------------------------
+
+    def _checkpoint_key(self, phase: str) -> str:
+        blob = json.dumps(
+            {
+                "pipeline-checkpoint": 1,
+                "domain": self.domain.name,
+                "seed": self.config.seed,
+                "target": self.config.target_queries,
+                "n_candidates": self.config.translation.n_candidates,
+                "phase": phase,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def _checkpoint_load(self, phase: str, log: dict[str, str]):
+        if self._checkpoints is None:
+            return None
+        hit, payload = self._checkpoints.load(self._checkpoint_key(phase))
+        if hit:
+            log[phase] = "resumed"
+            return payload
+        return None
+
+    def _checkpoint_store(self, phase: str, payload, log: dict[str, str]) -> None:
+        if self._checkpoints is None:
+            return
+        self._checkpoints.store(self._checkpoint_key(phase), f"pipeline:{phase}", payload)
+        log[phase] = "stored"
 
     def _generate_queries(
         self, generator: SqlGenerator, seeding: SeedingResult

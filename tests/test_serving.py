@@ -12,12 +12,12 @@ degradation — are exercised against stub systems with injected faults.
 from __future__ import annotations
 
 import asyncio
-import time
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.resilience import SYSTEM_CLOCK, FakeClock
 from repro.serving import (
     CachedResult,
     DomainBackend,
@@ -43,12 +43,18 @@ def run(coro):
 
 
 class EchoSystem:
-    """Deterministic stand-in for a trained system."""
+    """Deterministic stand-in for a trained system.
+
+    Decode latency is simulated through an injectable clock — a blocking
+    :class:`FakeClock` parks the decode thread until the test ``advance``-s
+    virtual time, so timeout tests wait for nothing real and cannot race.
+    """
 
     _trained = True
 
-    def __init__(self, delay_s: float = 0.0):
+    def __init__(self, delay_s: float = 0.0, clock=SYSTEM_CLOCK):
         self.delay_s = delay_s
+        self.clock = clock
         self.batch_calls = 0
 
     def link(self, question, db_id):
@@ -60,7 +66,7 @@ class EchoSystem:
     def predict_batch(self, questions, db_id):
         self.batch_calls += 1
         if self.delay_s:
-            time.sleep(self.delay_s)
+            self.clock.sleep(self.delay_s)
         return [self.predict(question, db_id) for question in questions]
 
 
@@ -240,17 +246,26 @@ def test_queue_full_rejected_explicitly():
 
 
 def test_request_timeout_is_structured():
+    # A blocking fake clock parks the decode thread: the decode verifiably
+    # cannot finish before the request times out, with no real sleeping.
+    clock = FakeClock(blocking=True)
+
     async def scenario():
-        backend = DomainBackend(name="demo", system=EchoSystem(delay_s=0.25))
+        backend = DomainBackend(
+            name="demo", system=EchoSystem(delay_s=60.0, clock=clock)
+        )
         config = ServerConfig(request_timeout_s=0.02, cache_capacity=0)
         async with InferenceServer([backend], config) as server:
             result = await server.submit("slow question", "demo")
-            return result, server.stats()
+            stats = server.stats()
+            clock.advance(120.0)  # release the parked decode thread
+            return result, stats
 
     result, stats = run(scenario())
     assert result.status == "timeout" and not result.ok
     assert result.error.kind == "timeout"
     assert stats.counters["timeouts"] == 1
+    assert clock.sleeps == [60.0]
 
 
 def test_primary_failure_degrades_to_fallback():
@@ -296,6 +311,92 @@ def test_primary_failure_without_fallback_fails():
     assert result.status == "failed" and not result.ok
     assert result.error.kind == "decode-failed"
     assert stats.counters["failed"] == 1
+
+
+def test_breaker_opens_and_fast_fails_to_fallback():
+    clock = FakeClock()
+    calls = {"batch": 0, "single": 0}
+
+    class CountingFaulty(EchoSystem):
+        def predict(self, question, db_id):
+            calls["single"] += 1
+            raise RuntimeError("decoder exploded")
+
+        def predict_batch(self, questions, db_id):
+            calls["batch"] += 1
+            raise RuntimeError("batch decoder exploded")
+
+    async def scenario():
+        backend = DomainBackend(
+            name="demo", system=CountingFaulty(), fallback=StubFallback()
+        )
+        config = ServerConfig(
+            cache_capacity=0, breaker_failures=2, breaker_reset_s=30.0
+        )
+        async with InferenceServer([backend], config, clock=clock) as server:
+            # One request records two failures (batch, then per-question):
+            # enough to trip a threshold-2 breaker.
+            first = await server.submit("q1", "demo")
+            snapshot_open = server.breaker_states()["demo"]
+            before = dict(calls)
+            # Open circuit: served by the fallback, primary never called.
+            second = await server.submit("q2", "demo")
+            after = dict(calls)
+            # After the cooldown the breaker admits a probe; the primary
+            # fails again, so the circuit re-opens.
+            clock.advance(30.0)
+            third = await server.submit("q3", "demo")
+            return first, second, third, snapshot_open, before, after, server
+
+    first, second, third, snapshot_open, before, after, server = run(scenario())
+    assert first.status == "degraded"
+    assert snapshot_open["state"] == "open" and snapshot_open["opened"] == 1
+    assert second.status == "degraded" and second.sql == "SELECT count(*) FROM demo"
+    assert after == before  # fast-fail: no primary call while open
+    assert "circuit breaker open" in second.error.message
+    assert third.status == "degraded"
+    final = server.breaker_states()["demo"]
+    assert final["state"] == "open" and final["probes"] >= 1
+    assert final["opened"] == 2
+    assert server.stats().breakers["demo"]["fast_failed"] >= 1
+
+
+def test_breaker_recloses_after_successful_probe():
+    clock = FakeClock()
+
+    class Recovering(EchoSystem):
+        def __init__(self):
+            super().__init__()
+            self.broken = True
+
+        def predict(self, question, db_id):
+            if self.broken:
+                raise RuntimeError("still down")
+            return super().predict(question, db_id)
+
+        def predict_batch(self, questions, db_id):
+            if self.broken:
+                raise RuntimeError("still down")
+            return super().predict_batch(questions, db_id)
+
+    system = Recovering()
+
+    async def scenario():
+        backend = DomainBackend(name="demo", system=system, fallback=StubFallback())
+        config = ServerConfig(
+            cache_capacity=0, breaker_failures=2, breaker_reset_s=10.0
+        )
+        async with InferenceServer([backend], config, clock=clock) as server:
+            await server.submit("q1", "demo")  # trips the breaker
+            system.broken = False
+            clock.advance(10.0)
+            healed = await server.submit("q2", "demo")
+            return healed, server.breaker_states()["demo"]
+
+    healed, snapshot = run(scenario())
+    assert healed.status == "ok"
+    assert healed.sql == "SELECT 'q2' FROM demo"
+    assert snapshot["state"] == "closed"
 
 
 def test_stop_resolves_queued_requests():
