@@ -10,6 +10,8 @@ Commands
 ``serve-bench`` benchmark the serving layer (batched vs unbatched replay)
 ``chaos-bench`` replay the pipeline and a Table-5 slice under a named
                fault schedule and assert byte-identical recovery
+``trace``      run any other command under the tracer and export a Chrome
+               trace, a JSONL span log and a terminal flame summary
 
 All commands accept ``--preset quick|full`` (default quick) and are fully
 deterministic: for a fixed seed, ``--workers 4`` produces byte-identical
@@ -164,6 +166,20 @@ def _parser() -> argparse.ArgumentParser:
         help="exit 1 unless the batched arm's p95 latency <= MS",
     )
 
+    trace = add_command(
+        "trace",
+        help="run any sciencebenchmark command under the tracer and export "
+             "a Chrome trace, a span log and a flame summary",
+    )
+    trace.add_argument(
+        "--trace-dir", default="traces", metavar="PATH",
+        help="directory for trace artifacts (default: traces)",
+    )
+    trace.add_argument(
+        "rest", nargs=argparse.REMAINDER, metavar="command",
+        help="the command to trace, with its own flags after it",
+    )
+
     chaos = add_command(
         "chaos-bench",
         help="replay the pipeline and a Table-5 slice under a fault "
@@ -218,6 +234,10 @@ def main(argv: list[str] | None = None) -> int:
     from repro.errors import ReproError
 
     try:
+        if args.command == "trace":
+            # The wrapper re-enters main() for the wrapped command; it never
+            # builds a suite (or touches the shared flags) itself.
+            return _trace(args)
         if args.command == "lint":
             # Lint never builds the suite: it constructs bare domains itself
             # and must not pay for (or trigger) the synthesis pipeline.
@@ -413,6 +433,49 @@ def _serve_bench(suite, args) -> int:
         print("FAIL: circuit breaker(s) ended the run open: "
               + ", ".join(open_breakers), file=sys.stderr)
         code = 1
+    return code
+
+
+def _trace(args) -> int:
+    """``sciencebenchmark trace <command…>``: run a command traced.
+
+    Installs a live tracer process-wide, re-enters :func:`main` with the
+    wrapped command, then writes the Chrome ``trace_event`` JSON and the
+    JSONL span log under ``--trace-dir`` and prints the flame summary to
+    stderr.  The wrapped command's exit code is propagated.
+    """
+    import os
+
+    from repro import obs
+    from repro.obs import Tracer, flame_summary, write_chrome_trace, write_span_log
+
+    rest = [token for token in args.rest if token != "--"]
+    if not rest or rest[0] == "trace":
+        print("usage: sciencebenchmark trace <command> [args...]", file=sys.stderr)
+        return 2
+    sub = rest[0]
+    trace_path = os.path.join(args.trace_dir, f"trace-{sub}.json")
+    span_log_path = os.path.join(args.trace_dir, f"trace-{sub}.spans.jsonl")
+
+    tracer = Tracer()
+    # Announce the artifact path up front so reports written by the wrapped
+    # command (serve-bench, chaos-bench) can embed it.
+    previous_path = obs.set_trace_path(trace_path)
+    previous_tracer = obs.set_tracer(tracer)
+    try:
+        with tracer.span(f"command:{sub}", argv=" ".join(rest)) as span:
+            code = main(rest)
+            span.set_attr("exit_code", code)
+    finally:
+        obs.set_tracer(previous_tracer)
+        obs.set_trace_path(previous_path)
+
+    spans = tracer.finished()
+    write_chrome_trace(spans, trace_path)
+    write_span_log(spans, span_log_path)
+    print(flame_summary(spans), file=sys.stderr)
+    print(f"trace: {len(spans)} spans -> {trace_path} (span log: "
+          f"{span_log_path})", file=sys.stderr)
     return code
 
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ExecutionError
+from repro.obs import get_tracer
 from repro.sql import ast
 from repro.sql.printer import to_sql
 from repro.engine.aggregates import AGGREGATES, _order_key
@@ -67,17 +68,40 @@ class Executor:
 
     def __init__(self, database) -> None:
         self.database = database
+        #: Monotonic work counters: rows read out of sources, and rows
+        #: produced by join steps.  Per-query deltas land on ``engine.query``
+        #: spans when tracing is on.
+        self.rows_scanned = 0
+        self.rows_joined = 0
+        self._depth = 0  # recursion depth: only the outermost call gets a span
 
     # -- entry points -----------------------------------------------------------
 
     def execute(self, query: ast.Query) -> Result:
-        left = self._execute_select(query.select)
-        if query.set_op is None:
-            return left
-        right = self.execute(query.right)
-        if len(left.columns) != len(right.columns):
-            raise ExecutionError("set operation arms have different arities")
-        return _apply_set_op(query.set_op, left, right, query.set_all)
+        tracer = get_tracer()
+        if not tracer.enabled or self._depth:
+            return self._execute_query(query)
+        scanned_before = self.rows_scanned
+        joined_before = self.rows_joined
+        with tracer.span("engine.query") as span:
+            result = self._execute_query(query)
+            span.set_attr("rows", len(result.rows))
+            span.set_attr("rows_scanned", self.rows_scanned - scanned_before)
+            span.set_attr("rows_joined", self.rows_joined - joined_before)
+            return result
+
+    def _execute_query(self, query: ast.Query) -> Result:
+        self._depth += 1
+        try:
+            left = self._execute_select(query.select)
+            if query.set_op is None:
+                return left
+            right = self._execute_query(query.right)
+            if len(left.columns) != len(right.columns):
+                raise ExecutionError("set operation arms have different arities")
+            return _apply_set_op(query.set_op, left, right, query.set_all)
+        finally:
+            self._depth -= 1
 
     # -- select core -------------------------------------------------------------
 
@@ -132,8 +156,10 @@ class Executor:
     def _load_source(self, source) -> tuple[str, list[str], list[tuple]]:
         if isinstance(source, ast.SubqueryRef):
             result = self.execute(source.query)
+            self.rows_scanned += len(result.rows)
             return source.binding, result.columns, result.rows
         table = self.database.table(source.name)
+        self.rows_scanned += len(table.rows)
         return source.binding, table.columns, table.rows
 
     def _join(
@@ -175,6 +201,7 @@ class Executor:
                         raise ExecutionError("join result too large")
         else:
             combined = _cross(rows, source_rows)
+        self.rows_joined += len(combined)
 
         if residual is not None:
             compiler = Compiler(scope, self.execute)

@@ -28,6 +28,7 @@ from repro.experiments.config import ExperimentConfig
 from repro.llm.models import GPT3_PROFILE, make_model
 from repro.metrics.execution import ExecutionAccuracy
 from repro.nl2sql import SmBoP, T5Seq2Seq, ValueNet
+from repro.obs import get_tracer
 from repro.resilience.faults import FaultPlan
 from repro.resilience.flaky import FlakyModel
 from repro.resilience.retry import RetryPolicy
@@ -229,16 +230,26 @@ def eval_cell_task(params: dict, inputs: dict) -> Table5Cell:
     domain_name = params["domain"]
     dev_limit = params["dev_limit"]
     accuracy = ExecutionAccuracy()
+    tracer = get_tracer()
     if domain_name is None:
         corpus: SpiderCorpus = inputs["corpus"]
         pairs = corpus.dev.pairs[:dev_limit] if dev_limit else list(corpus.dev.pairs)
-        for pair, predicted in zip(pairs, system.predict_all(pairs)):
-            accuracy.add(corpus.databases[pair.db_id], pair.sql, predicted, enhanced=None)
     else:
         domain: BenchmarkDomain = inputs["domain"]
         pairs = domain.dev.pairs[:dev_limit] if dev_limit else list(domain.dev.pairs)
-        for pair, predicted in zip(pairs, system.predict_all(pairs)):
-            accuracy.add(domain.database, pair.sql, predicted, enhanced=domain.enhanced)
+    with tracer.span("eval.predict", n_pairs=len(pairs)):
+        predictions = list(system.predict_all(pairs))
+    with tracer.span("eval.score", n_pairs=len(pairs)):
+        if domain_name is None:
+            for pair, predicted in zip(pairs, predictions):
+                accuracy.add(
+                    corpus.databases[pair.db_id], pair.sql, predicted, enhanced=None
+                )
+        else:
+            for pair, predicted in zip(pairs, predictions):
+                accuracy.add(
+                    domain.database, pair.sql, predicted, enhanced=domain.enhanced
+                )
     return Table5Cell(
         system=params["system"],
         domain=domain_name or "spider",

@@ -1,0 +1,235 @@
+"""A thread-safe registry of counters, gauges and fixed-bucket histograms.
+
+One :class:`MetricsRegistry` is the single accounting surface for a run:
+the serving layer, the task-graph runtime and the resilience layer all
+register their instruments here instead of growing bespoke stat structs, so
+one snapshot correlates a whole run.
+
+Histogram bucket boundaries are defined once (:data:`LATENCY_BUCKET_BOUNDS`,
+geometric ≈50µs … ≈80s) and shared by every latency histogram in the repo —
+previously the serving module owned a private copy, which made its
+percentiles incomparable with the load generator's exact-sample math at the
+bucket edges.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+
+
+def geometric_bounds(
+    first_bound_s: float = 0.00005, growth: float = 1.5, buckets: int = 48
+) -> tuple[float, ...]:
+    """Geometric bucket upper bounds; the final bucket is implicit overflow."""
+    bounds = []
+    bound = first_bound_s
+    for _ in range(buckets):
+        bounds.append(bound)
+        bound *= growth
+    return tuple(bounds)
+
+
+#: The one latency bucket layout (≈50µs … ≈80s).  Every duration histogram
+#: in the repo uses these boundaries unless it has a documented reason not to.
+LATENCY_BUCKET_BOUNDS = geometric_bounds()
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "_lock", "_value")
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, n: int = 1) -> None:
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def snapshot(self):
+        return self._value
+
+
+class Gauge:
+    """A value that goes up and down (queue depth, open breakers, …)."""
+
+    __slots__ = ("name", "_lock", "_value")
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self._value += delta
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self):
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with interpolated quantiles.
+
+    Recording is O(log buckets) with constant memory regardless of volume;
+    quantiles interpolate within the winning bucket and clamp to the exact
+    observed maximum.  Values are in whatever unit the caller observes
+    (seconds for every latency histogram in this repo).
+    """
+
+    kind = "histogram"
+
+    def __init__(self, bounds: tuple[float, ...] = LATENCY_BUCKET_BOUNDS) -> None:
+        self.name = ""
+        self._bounds = list(bounds)
+        self._counts = [0] * (len(self._bounds) + 1)
+        self._lock = threading.Lock()
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    @property
+    def bounds(self) -> tuple[float, ...]:
+        return tuple(self._bounds)
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._counts[bisect.bisect_left(self._bounds, value)] += 1
+            self.count += 1
+            self.total += value
+            if value > self.max:
+                self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile (0 when nothing was observed)."""
+        if not self.count:
+            return 0.0
+        rank = max(1, int(q * self.count + 0.5))
+        cumulative = 0
+        for index, bucket_count in enumerate(self._counts):
+            if not bucket_count:
+                continue
+            previous = cumulative
+            cumulative += bucket_count
+            if cumulative >= rank:
+                lower = self._bounds[index - 1] if index > 0 else 0.0
+                upper = (
+                    self._bounds[index] if index < len(self._bounds) else self.max
+                )
+                fraction = (rank - previous) / bucket_count
+                return min(lower + (upper - lower) * fraction, self.max)
+        return self.max
+
+    def merge(self, other: "Histogram") -> None:
+        if other._bounds != self._bounds:
+            raise ValueError("cannot merge histograms with different bounds")
+        with self._lock:
+            for index, bucket_count in enumerate(other._counts):
+                self._counts[index] += bucket_count
+            self.count += other.count
+            self.total += other.total
+            self.max = max(self.max, other.max)
+
+    def summary(self) -> dict:
+        """Count / mean / p50 / p95 / p99 / max in the observed unit."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+            "max": self.max,
+        }
+
+    def snapshot(self):
+        return self.summary()
+
+
+class MetricsRegistry:
+    """Create-or-get registry of named instruments.
+
+    ``counter``/``gauge``/``histogram`` return the existing instrument when
+    the name is already registered (raising on a kind mismatch), so modules
+    can share instruments by name without coordinating construction order.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[str, object] = {}
+
+    def _get_or_create(self, name: str, kind: str, factory):
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = factory()
+                instrument.name = name
+                self._instruments[name] = instrument
+            elif instrument.kind != kind:
+                raise TypeError(
+                    f"metric {name!r} is a {instrument.kind}, not a {kind}"
+                )
+            return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, "counter", lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, "gauge", lambda: Gauge(name))
+
+    def histogram(
+        self,
+        name: str,
+        bounds: tuple[float, ...] | None = None,
+        cls: type = Histogram,
+    ) -> Histogram:
+        return self._get_or_create(
+            name, "histogram", lambda: cls(bounds or LATENCY_BUCKET_BOUNDS)
+        )
+
+    # -- conveniences ---------------------------------------------------------
+
+    def inc(self, name: str, n: int = 1) -> None:
+        self.counter(name).inc(n)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._instruments)
+
+    def get(self, name: str):
+        return self._instruments.get(name)
+
+    def snapshot(self) -> dict:
+        """``{name: {"kind": ..., "value": ...}}`` for every instrument."""
+        with self._lock:
+            instruments = dict(self._instruments)
+        return {
+            name: {"kind": instrument.kind, "value": instrument.snapshot()}
+            for name, instrument in sorted(instruments.items())
+        }

@@ -1,0 +1,79 @@
+"""The span model: one named, timed region of work in a trace tree.
+
+A :class:`Span` is deliberately a plain picklable dataclass — spans recorded
+inside a pool worker are shipped back to the parent process with the task
+result and adopted into the parent's tracer, so the model must cross the
+process boundary unchanged.  Span identity is a string allocated from a
+per-tracer counter (never from ``random``), which is what guarantees that
+tracing consumes no artifact RNG stream: enabling a tracer cannot shift any
+seeded sequence by even one draw.
+
+Times are monotonic seconds from the tracer's injectable clock
+(:mod:`repro.resilience.clock`); on Linux ``CLOCK_MONOTONIC`` is
+system-wide, so parent- and worker-process spans share one timeline.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SpanEvent:
+    """A point-in-time annotation inside a span (retry, cache miss, …)."""
+
+    name: str
+    time_s: float
+    attrs: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "time_s": self.time_s, "attrs": dict(self.attrs)}
+
+
+@dataclass
+class Span:
+    """One traced region: name, identity, parentage, timing, annotations.
+
+    A span is owned by the thread that opened it; only that thread mutates
+    it (the tracer's shared state is the span *list*, which is locked).
+    """
+
+    name: str
+    span_id: str
+    parent_id: str | None
+    start_s: float
+    end_s: float | None = None
+    status: str = "ok"
+    attrs: dict = field(default_factory=dict)
+    events: list = field(default_factory=list)
+    pid: int = field(default_factory=os.getpid)
+    thread: str = field(default_factory=lambda: threading.current_thread().name)
+
+    @property
+    def finished(self) -> bool:
+        return self.end_s is not None
+
+    @property
+    def duration_s(self) -> float:
+        if self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    def set_attr(self, key: str, value) -> None:
+        self.attrs[key] = value
+
+    def to_dict(self) -> dict:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "status": self.status,
+            "pid": self.pid,
+            "thread": self.thread,
+            "attrs": dict(self.attrs),
+            "events": [event.to_dict() for event in self.events],
+        }

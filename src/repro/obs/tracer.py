@@ -1,0 +1,205 @@
+"""Tracers: hierarchical span recording with near-zero off-by-default cost.
+
+Two implementations share one duck-typed surface:
+
+* :class:`Tracer` records :class:`~repro.obs.span.Span` trees.  The current
+  span lives in a :mod:`contextvars` variable, so parent links propagate
+  automatically through nested calls and ``asyncio`` tasks (task creation
+  copies the context).  Threads and pool workers do not inherit context;
+  callers there pass an explicit ``parent`` (a span or a span id — ids are
+  how parentage crosses the process-pool boundary).
+* :data:`NULL_TRACER` is the default: every operation is a constant-time
+  no-op returning the singleton :data:`NULL_SPAN`, so instrumented hot
+  paths (the engine executor, the serving request path) pay one attribute
+  check and one cheap call when tracing is off.
+
+Span ids come from a locked counter, optionally prefixed — worker processes
+prefix with a per-submission tag so adopted span ids can never collide with
+the parent tracer's.  No randomness is involved anywhere.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextvars import ContextVar
+
+from repro.obs.span import Span, SpanEvent
+from repro.resilience.clock import SYSTEM_CLOCK
+
+#: The innermost open span of the current execution context.
+_CURRENT: ContextVar[Span | None] = ContextVar("repro_obs_current_span", default=None)
+
+
+class _NullSpan:
+    """Singleton stand-in for a span when tracing is off; absorbs the whole
+    span API (context manager included) without allocating anything."""
+
+    __slots__ = ()
+    name = ""
+    span_id = ""
+    parent_id = None
+    status = "ok"
+    finished = True
+    duration_s = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def set_attr(self, key: str, value) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The off switch: every method is a no-op (see module docstring)."""
+
+    __slots__ = ()
+    enabled = False
+
+    def span(self, name: str, parent=None, **attrs) -> _NullSpan:
+        return NULL_SPAN
+
+    def start_span(self, name: str, parent=None, **attrs) -> _NullSpan:
+        return NULL_SPAN
+
+    def end_span(self, span, status: str | None = None) -> None:
+        pass
+
+    def event(self, name: str, **attrs) -> None:
+        pass
+
+    def add_event(self, span, name: str, **attrs) -> None:
+        pass
+
+    def adopt(self, spans) -> None:
+        pass
+
+    def current(self) -> None:
+        return None
+
+    def finished(self) -> list:
+        return []
+
+
+NULL_TRACER = NullTracer()
+
+
+class _ActiveSpan:
+    """Context manager binding one open span to the current context."""
+
+    __slots__ = ("_tracer", "span", "_token")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+        self._token = None
+
+    def __enter__(self) -> Span:
+        self._token = _CURRENT.set(self.span)
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        _CURRENT.reset(self._token)
+        if exc_type is not None and self.span.status == "ok":
+            self.span.status = "error"
+            self.span.attrs.setdefault("error", exc_type.__name__)
+        self._tracer.end_span(self.span)
+        return False
+
+
+class Tracer:
+    """Records span trees against an injectable monotonic clock.
+
+    Thread-safe: spans may be opened and closed from any thread; the span
+    list and the id counter are the only shared state and both are locked.
+    """
+
+    enabled = True
+
+    def __init__(self, clock=SYSTEM_CLOCK, id_prefix: str = "") -> None:
+        self.clock = clock
+        self._prefix = id_prefix
+        self._lock = threading.Lock()
+        self._next = 1
+        self.spans: list[Span] = []
+
+    # -- span lifecycle -------------------------------------------------------
+
+    def span(self, name: str, parent=None, **attrs) -> _ActiveSpan:
+        """Open a span as a context manager; it becomes the current span of
+        this execution context and closes (recording errors) on exit."""
+        return _ActiveSpan(self, self.start_span(name, parent=parent, **attrs))
+
+    def start_span(self, name: str, parent=None, **attrs) -> Span:
+        """Open a span *without* touching the current context.
+
+        For spans whose start and end live on different threads or tasks
+        (queue-wait, an in-flight pool task): close with :meth:`end_span`.
+        ``parent`` is a span, a span id string, or None (defaults to the
+        calling context's current span).
+        """
+        parent_id = self._parent_id(parent)
+        with self._lock:
+            span_id = f"{self._prefix}{self._next}"
+            self._next += 1
+            span = Span(
+                name=name,
+                span_id=span_id,
+                parent_id=parent_id,
+                start_s=self.clock.now(),
+                attrs=dict(attrs),
+            )
+            self.spans.append(span)
+        return span
+
+    def end_span(self, span, status: str | None = None) -> None:
+        """Close a span (idempotent; unfinished spans never export)."""
+        if span is NULL_SPAN or span.end_s is not None:
+            return
+        span.end_s = self.clock.now()
+        if status is not None:
+            span.status = status
+
+    # -- annotations ----------------------------------------------------------
+
+    def event(self, name: str, **attrs) -> None:
+        """Annotate the current span; dropped when no span is open."""
+        span = _CURRENT.get()
+        if span is not None:
+            self.add_event(span, name, **attrs)
+
+    def add_event(self, span, name: str, **attrs) -> None:
+        if span is NULL_SPAN:
+            return
+        span.events.append(SpanEvent(name=name, time_s=self.clock.now(), attrs=attrs))
+
+    # -- queries / merging ----------------------------------------------------
+
+    def current(self) -> Span | None:
+        return _CURRENT.get()
+
+    def adopt(self, spans) -> None:
+        """Merge spans recorded elsewhere (a pool worker) into this trace."""
+        if spans:
+            with self._lock:
+                self.spans.extend(spans)
+
+    def finished(self) -> list[Span]:
+        with self._lock:
+            return [span for span in self.spans if span.end_s is not None]
+
+    @staticmethod
+    def _parent_id(parent) -> str | None:
+        if parent is None:
+            current = _CURRENT.get()
+            return current.span_id if current is not None else None
+        if isinstance(parent, str):
+            return parent or None
+        if parent is NULL_SPAN:
+            return None
+        return parent.span_id

@@ -75,6 +75,7 @@ class CircuitBreaker:
         ):
             self._state = HALF_OPEN
             self._half_open_inflight = 0
+            self._emit_transition("breaker.half-open")
         return self._state
 
     def allow(self) -> bool:
@@ -105,9 +106,12 @@ class CircuitBreaker:
     def record_success(self) -> None:
         with self._lock:
             self._consecutive_failures = 0
-            if self._state_locked() == HALF_OPEN:
+            state = self._state_locked()
+            if state == HALF_OPEN:
                 self._half_open_inflight = 0
             self._state = CLOSED
+            if state != CLOSED:
+                self._emit_transition("breaker.close")
 
     def record_failure(self) -> None:
         with self._lock:
@@ -125,6 +129,24 @@ class CircuitBreaker:
         self._consecutive_failures = 0
         self._half_open_inflight = 0
         self.stats["opened"] += 1
+        self._emit_transition("breaker.open")
+
+    def _emit_transition(self, name: str) -> None:
+        """Record a state transition on the active trace (rare, so the lazy
+        import — needed because ``repro.obs`` imports this package's clock —
+        costs nothing measurable)."""
+        from repro.obs import get_tracer
+
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return
+        span = tracer.current()
+        if span is not None:
+            tracer.add_event(span, name, breaker=self.name)
+        else:
+            # No enclosing span (e.g. a decode thread): keep the transition
+            # as a zero-length span so it still lands in the trace.
+            tracer.end_span(tracer.start_span(name, breaker=self.name))
 
     def snapshot(self) -> dict:
         """State + counters for reports (JSON-serializable)."""

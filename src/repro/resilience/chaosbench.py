@@ -23,10 +23,10 @@ from __future__ import annotations
 import hashlib
 import json
 import random
-import time
 from dataclasses import asdict
 from pathlib import Path
 
+from repro import obs
 from repro.datasets.records import Split
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.tasks import (
@@ -36,8 +36,10 @@ from repro.experiments.tasks import (
     eval_task,
 )
 from repro.llm.models import GPT3_PROFILE, make_model
+from repro.obs import get_tracer
+from repro.obs.metrics import MetricsRegistry
 from repro.resilience.breaker import CircuitBreaker
-from repro.resilience.clock import FakeClock
+from repro.resilience.clock import SYSTEM_CLOCK, FakeClock
 from repro.resilience.faults import SCHEDULES, FaultPlan
 from repro.resilience.flaky import FlakyModel
 from repro.resilience.retry import RetryPolicy
@@ -87,7 +89,7 @@ def _merge_counts(into: dict, counts: dict) -> None:
 # -- the augment replay --------------------------------------------------------
 
 
-def _augment_arm(domain_name: str, plan: FaultPlan | None, breaker=None):
+def _augment_arm(domain_name: str, plan: FaultPlan | None, breaker=None, label="arm"):
     """One pipeline run; returns (report, wall_s, breaker)."""
     domain = DOMAIN_BUILDERS[domain_name](scale=0.15)
     model = make_model(GPT3_PROFILE, seed=AUGMENT_SEED)
@@ -104,21 +106,31 @@ def _augment_arm(domain_name: str, plan: FaultPlan | None, breaker=None):
         breaker=breaker,
         clock=FakeClock(),  # backoff is virtual: recovery adds no wall-clock
     )
-    started = time.perf_counter()
-    report = pipeline.run(rng=random.Random(AUGMENT_SEED))
-    return report, time.perf_counter() - started, breaker
+    with get_tracer().span(f"chaos.augment.{label}", domain=domain_name):
+        started = SYSTEM_CLOCK.now()
+        report = pipeline.run(rng=random.Random(AUGMENT_SEED))
+        wall_s = SYSTEM_CLOCK.now() - started
+    return report, wall_s, breaker
 
 
-def _run_augment(domain_name: str, spec: dict) -> dict:
-    baseline, baseline_wall, _ = _augment_arm(domain_name, plan=None)
+def _run_augment(domain_name: str, spec: dict, registry: MetricsRegistry) -> dict:
+    baseline, baseline_wall, _ = _augment_arm(domain_name, plan=None, label="baseline")
 
     chaos_plan = FaultPlan.from_spec(spec)
     breaker = CircuitBreaker("llm", failure_threshold=8, reset_timeout_s=0.5)
-    chaos, chaos_wall, breaker = _augment_arm(domain_name, chaos_plan, breaker)
+    chaos, chaos_wall, breaker = _augment_arm(
+        domain_name, chaos_plan, breaker, label="chaos"
+    )
 
     # A second chaos run under a fresh plan instance: the chaos run itself
     # must be deterministic, not merely equal to the baseline.
-    repeat, _, _ = _augment_arm(domain_name, FaultPlan.from_spec(spec))
+    repeat, _, _ = _augment_arm(
+        domain_name, FaultPlan.from_spec(spec), label="chaos-repeat"
+    )
+
+    # Mirror the chaos arm's recovery accounting into the unified registry.
+    chaos.resilience.publish(registry, prefix="chaos.augment")
+    registry.counter("chaos.augment.dead_letters").inc(chaos.n_dead_lettered)
 
     base_fp = _fingerprint_split(baseline.split)
     chaos_fp = _fingerprint_split(chaos.split)
@@ -140,18 +152,23 @@ def _run_augment(domain_name: str, spec: dict) -> dict:
 # -- the tables replay ---------------------------------------------------------
 
 
-def _run_tables(spec: dict, cache_root: Path, workers: int) -> dict:
+def _run_tables(
+    spec: dict, cache_root: Path, workers: int, registry: MetricsRegistry
+) -> dict:
     config = chaos_config()
     target = eval_task("valuenet", "cordis", "both")
     retry_spec = FAST_RETRY.to_spec()
+    tracer = get_tracer()
 
     baseline_rt = Runtime(workers=1, cache_dir=str(cache_root / "baseline"))
-    started = time.perf_counter()
-    baseline_cell = baseline_rt.run(build_suite_graph(config), [target])[target]
-    baseline_wall = time.perf_counter() - started
+    with tracer.span("chaos.tables.baseline"):
+        started = SYSTEM_CLOCK.now()
+        baseline_cell = baseline_rt.run(build_suite_graph(config), [target])[target]
+        baseline_wall = SYSTEM_CLOCK.now() - started
 
     # Chaos arm: LLM faults ride into the task bodies via params; worker
-    # crashes and torn cache writes are the runtime's own injections.
+    # crashes and torn cache writes are the runtime's own injections.  The
+    # chaos runtime records into the bench's unified registry.
     chaos_plan = FaultPlan.from_spec(spec)
     chaos_graph = build_suite_graph(
         config, llm_fault_spec=spec, retry_spec=retry_spec
@@ -161,10 +178,12 @@ def _run_tables(spec: dict, cache_root: Path, workers: int) -> dict:
         cache_dir=str(cache_root / "chaos"),
         retry=FAST_RETRY,
         fault_plan=chaos_plan,
+        metrics=registry,
     )
-    started = time.perf_counter()
-    chaos_cell = chaos_rt.run(chaos_graph, [target])[target]
-    chaos_wall = time.perf_counter() - started
+    with tracer.span("chaos.tables.chaos"):
+        started = SYSTEM_CLOCK.now()
+        chaos_cell = chaos_rt.run(chaos_graph, [target])[target]
+        chaos_wall = SYSTEM_CLOCK.now() - started
 
     # Repair pass: a fresh fault-free runtime over the chaos cache must
     # detect every torn entry, recompute it, and still agree byte-for-byte.
@@ -220,12 +239,15 @@ def run_chaos_bench(
             f"unknown schedule {schedule!r}; pick one of {sorted(SCHEDULES)}"
         )
     spec = SCHEDULES[schedule]
+    registry = MetricsRegistry()
     report: dict = {
         "schema_version": 1,
         "benchmark": "resilience",
         "schedule": schedule,
         "spec": spec,
-        "augment": _run_augment(domain, spec),
+        # Trace artifact of the enclosing ``trace`` run (None otherwise).
+        "trace_path": obs.current_trace_path(),
+        "augment": _run_augment(domain, spec, registry),
     }
     if not skip_tables:
         import tempfile
@@ -233,10 +255,10 @@ def run_chaos_bench(
         if cache_dir is not None:
             root = Path(cache_dir)
             root.mkdir(parents=True, exist_ok=True)
-            report["tables"] = _run_tables(spec, root, workers)
+            report["tables"] = _run_tables(spec, root, workers, registry)
         else:
             with tempfile.TemporaryDirectory(prefix="chaos-bench-") as tmp:
-                report["tables"] = _run_tables(spec, Path(tmp), workers)
+                report["tables"] = _run_tables(spec, Path(tmp), workers, registry)
 
     # Roll-up across phases: total injections, and per-class recoveries.
     faults: dict[str, int] = {}
@@ -259,6 +281,8 @@ def run_chaos_bench(
     report["identical"] = all(identical)
     report["dead_lettered"] = dead
     report["breaker_ended_open"] = breaker_open
+    # Unified-registry snapshot: chaos-arm runtime + resilience instruments.
+    report["registry"] = registry.snapshot()
     return report
 
 

@@ -73,3 +73,12 @@ class ResilienceStats:
             },
             "backoff_s": self.backoff_s,
         }
+
+    def publish(self, registry, prefix: str = "resilience") -> None:
+        """Mirror this accounting into a unified metrics registry, so one
+        snapshot correlates resilience with serving/runtime instruments."""
+        registry.counter(f"{prefix}.retried_calls").inc(self.retried_calls)
+        registry.counter(f"{prefix}.retries").inc(self.retries)
+        registry.gauge(f"{prefix}.backoff_s").add(self.backoff_s)
+        for kind, count in self.recovered.items():
+            registry.counter(f"{prefix}.recovered.{kind}").inc(count)

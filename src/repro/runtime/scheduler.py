@@ -43,6 +43,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.errors import ReproError
+from repro.obs import get_tracer
+from repro.obs.metrics import MetricsRegistry
 from repro.resilience.clock import SYSTEM_CLOCK
 from repro.resilience.faults import TRANSIENT_ERRORS, FaultPlan, raise_fault
 from repro.resilience.retry import RetryPolicy
@@ -70,22 +72,44 @@ def execute_task(
     inputs: dict,
     inject: str | None = None,
     inject_mode: str = "raise",
-) -> tuple[Any, float]:
+    trace: dict | None = None,
+) -> tuple[Any, float, list]:
     """Run one task body; module-level so worker processes can import it.
 
-    Returns ``(artifact, seconds)`` with the time measured where the work
-    actually happened.  ``inject`` carries a scheduled fault kind decided by
-    the parent: ``"worker-crash"`` in ``"exit"`` mode kills the hosting
-    process outright (a pool worker dying for real), in ``"raise"`` mode it
-    raises — the inline-execution equivalent.
+    Returns ``(artifact, seconds, spans)`` with the time measured where the
+    work actually happened.  ``inject`` carries a scheduled fault kind
+    decided by the parent: ``"worker-crash"`` in ``"exit"`` mode kills the
+    hosting process outright (a pool worker dying for real), in ``"raise"``
+    mode it raises — the inline-execution equivalent.
+
+    ``trace`` carries the parent's span context across the process-pool
+    boundary: ``{"name", "parent", "prefix"}``.  The worker records spans
+    into a local tracer (ids prefixed so they cannot collide with the
+    parent's) and ships them back for adoption; inline callers pass None
+    and record through the ambient tracer directly.
     """
     if inject == "worker-crash" and inject_mode == "exit":
         os._exit(23)
     if inject is not None:
         raise_fault(inject, fn_path)
-    start = time.perf_counter()
-    artifact = resolve_fn(fn_path)(params, inputs)
-    return artifact, time.perf_counter() - start
+    if trace is None:
+        start = time.perf_counter()
+        artifact = resolve_fn(fn_path)(params, inputs)
+        return artifact, time.perf_counter() - start, []
+
+    from repro import obs
+    from repro.obs.tracer import Tracer
+
+    tracer = Tracer(id_prefix=trace["prefix"])
+    previous = obs.set_tracer(tracer)
+    try:
+        with tracer.span(f"exec:{trace['name']}", parent=trace["parent"]):
+            start = time.perf_counter()
+            artifact = resolve_fn(fn_path)(params, inputs)
+            seconds = time.perf_counter() - start
+    finally:
+        obs.set_tracer(previous)
+    return artifact, seconds, tracer.finished()
 
 
 @dataclass
@@ -175,6 +199,7 @@ class Runtime:
         task_timeout_s: float | None = None,
         fault_plan: FaultPlan | None = None,
         clock=SYSTEM_CLOCK,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.workers = max(1, int(workers))
         self.cache = ArtifactCache(cache_dir)
@@ -183,6 +208,7 @@ class Runtime:
         self.fault_plan = fault_plan
         self.cache.fault_plan = fault_plan
         self.clock = clock
+        self.metrics = metrics or MetricsRegistry()
         self._memo: dict[str, Any] = {}
         self.report = RunReport()
 
@@ -210,6 +236,7 @@ class Runtime:
         resolved: dict[str, Any] = {}
         pending: list[str] = []  # topological: deps are planned first
         planned: set[str] = set()
+        tracer = get_tracer()
 
         def plan(name: str) -> None:
             if name in planned:
@@ -219,28 +246,37 @@ class Runtime:
             if key in self._memo:
                 resolved[name] = self._memo[key]
                 self.report.records.append(TaskRecord(name, "memo", 0.0, key))
+                self.metrics.inc("runtime.memo")
+                if tracer.enabled:
+                    tracer.end_span(tracer.start_span(f"task:{name}", status="memo"))
                 return
-            start = time.perf_counter()
+            start = self.clock.now()
             hit, artifact = self.cache.load(key)
             if hit:
                 self._memo[key] = artifact
                 resolved[name] = artifact
-                self.report.records.append(
-                    TaskRecord(name, "hit", time.perf_counter() - start, key)
-                )
+                seconds = self.clock.now() - start
+                self.report.records.append(TaskRecord(name, "hit", seconds, key))
+                self.metrics.inc("runtime.cache_hits")
+                if tracer.enabled:
+                    span = tracer.start_span(f"task:{name}", status="hit")
+                    span.start_s = start  # cover the cache-load window
+                    tracer.end_span(span)
                 return
+            tracer.event("cache-miss", task=name)
             for dep in graph.task(name).dep_names():
                 plan(dep)
             pending.append(name)
 
-        for target in targets:
-            plan(target)
+        with tracer.span("runtime.run", targets=",".join(targets)):
+            for target in targets:
+                plan(target)
 
-        if pending:
-            if self.workers == 1 or len(pending) == 1:
-                self._run_sequential(graph, pending, resolved)
-            else:
-                self._run_parallel(graph, pending, resolved)
+            if pending:
+                if self.workers == 1 or len(pending) == 1:
+                    self._run_sequential(graph, pending, resolved)
+                else:
+                    self._run_parallel(graph, pending, resolved)
         return {name: resolved[name] for name in targets}
 
     # -- execution ------------------------------------------------------------
@@ -262,6 +298,12 @@ class Runtime:
         self.report.records.append(
             TaskRecord(name, "computed", seconds, key, retries=retries, faults=faults)
         )
+        self.metrics.inc("runtime.computed")
+        self.metrics.observe("runtime.task_s", seconds)
+        if retries:
+            self.metrics.inc("runtime.retries", retries)
+        if faults:
+            self.metrics.inc("runtime.faults_injected", faults)
 
     def _inputs(self, graph: TaskGraph, name: str, resolved: dict) -> dict:
         return {role: resolved[dep] for role, dep in graph.task(name).deps}
@@ -284,37 +326,49 @@ class Runtime:
         else:
             kind = getattr(exc, "kind", type(exc).__name__)
         self.report.recovered[kind] = self.report.recovered.get(kind, 0) + 1
+        self.metrics.inc(f"runtime.recovered.{kind}")
 
     def _run_sequential(self, graph: TaskGraph, pending: list[str], resolved: dict) -> None:
+        tracer = get_tracer()
         for name in pending:
             task = graph.task(name)
             attempt = 0
             faults = 0
-            while True:
-                inject = self._draw_fault(name, attempt)
-                if inject is not None:
-                    faults += 1
-                try:
-                    artifact, seconds = execute_task(
-                        task.fn,
-                        task.params,
-                        self._inputs(graph, name, resolved),
-                        inject=inject,
-                        inject_mode="raise",
+            with tracer.span(f"task:{name}") as span:
+                while True:
+                    inject = self._draw_fault(name, attempt)
+                    if inject is not None:
+                        faults += 1
+                        tracer.event("fault-injected", task=name, kind=inject)
+                    try:
+                        artifact, seconds, _spans = execute_task(
+                            task.fn,
+                            task.params,
+                            self._inputs(graph, name, resolved),
+                            inject=inject,
+                            inject_mode="raise",
+                        )
+                        self._check_timeout(name, seconds)
+                    except TRANSIENT_ERRORS + (TaskTimeoutError,) as exc:
+                        if attempt + 1 >= self.retry.max_attempts:
+                            raise
+                        tracer.event(
+                            "retry",
+                            task=name,
+                            attempt=attempt + 1,
+                            kind=getattr(exc, "kind", type(exc).__name__),
+                        )
+                        self.clock.sleep(self.retry.delay(attempt, name))
+                        self._record_recovery(exc)
+                        attempt += 1
+                        continue
+                    span.set_attr("status", "computed")
+                    span.set_attr("retries", attempt)
+                    self._finish(
+                        graph, name, artifact, seconds, resolved,
+                        retries=attempt, faults=faults,
                     )
-                    self._check_timeout(name, seconds)
-                except TRANSIENT_ERRORS + (TaskTimeoutError,) as exc:
-                    if attempt + 1 >= self.retry.max_attempts:
-                        raise
-                    self.clock.sleep(self.retry.delay(attempt, name))
-                    self._record_recovery(exc)
-                    attempt += 1
-                    continue
-                self._finish(
-                    graph, name, artifact, seconds, resolved,
-                    retries=attempt, faults=faults,
-                )
-                break
+                    break
 
     def _run_parallel(self, graph: TaskGraph, pending: list[str], resolved: dict) -> None:
         remaining = list(pending)
@@ -322,6 +376,10 @@ class Runtime:
         faults = dict.fromkeys(pending, 0)
         in_flight: dict[str, Any] = {}  # name -> (future, submitted_at)
         pool = ProcessPoolExecutor(max_workers=min(self.workers, len(pending)))
+        tracer = get_tracer()
+        # One open span per task, spanning submit → final outcome (so retries
+        # land inside it); worker-side exec spans are adopted as children.
+        task_spans: dict[str, Any] = {}
 
         def launch() -> None:
             for name in list(remaining):
@@ -330,6 +388,22 @@ class Runtime:
                     inject = self._draw_fault(name, attempts[name])
                     if inject is not None:
                         faults[name] += 1
+                    trace = None
+                    if tracer.enabled:
+                        if name not in task_spans:
+                            task_spans[name] = tracer.start_span(f"task:{name}")
+                        if inject is not None:
+                            tracer.add_event(
+                                task_spans[name], "fault-injected",
+                                task=name, kind=inject,
+                            )
+                        # The attempt number makes the worker id prefix
+                        # unique across resubmissions of the same task.
+                        trace = {
+                            "name": name,
+                            "parent": task_spans[name].span_id,
+                            "prefix": f"{name}@{attempts[name]}:",
+                        }
                     in_flight[name] = (
                         pool.submit(
                             execute_task,
@@ -338,10 +412,18 @@ class Runtime:
                             self._inputs(graph, name, resolved),
                             inject,
                             "exit",
+                            trace,
                         ),
-                        time.perf_counter(),
+                        self.clock.now(),
                     )
                     remaining.remove(name)
+
+        def close_span(name: str, status: str) -> None:
+            span = task_spans.pop(name, None)
+            if span is not None:
+                span.set_attr("status", status)
+                span.set_attr("retries", attempts[name])
+                tracer.end_span(span, status="error" if status == "failed" else "ok")
 
         def recycle_pool(broken_exc: BaseException) -> None:
             """A worker died (or a task ran over budget): rebuild the pool
@@ -354,7 +436,14 @@ class Runtime:
                 in_flight.pop(name)
                 attempts[name] += 1
                 if attempts[name] >= self.retry.max_attempts:
+                    close_span(name, "failed")
                     raise broken_exc
+                if name in task_spans:
+                    tracer.add_event(
+                        task_spans[name], "retry",
+                        task=name, attempt=attempts[name],
+                        kind=getattr(broken_exc, "kind", type(broken_exc).__name__),
+                    )
                 self._record_recovery(broken_exc)
                 remaining.append(name)
 
@@ -371,7 +460,7 @@ class Runtime:
                 for name in [n for n, (f, _) in in_flight.items() if f in done]:
                     future, _ = in_flight.pop(name)
                     try:
-                        artifact, seconds = future.result()
+                        artifact, seconds, worker_spans = future.result()
                         self._check_timeout(name, seconds)
                     except BrokenProcessPool as exc:
                         # The pool is unusable for everyone; handle once,
@@ -382,11 +471,20 @@ class Runtime:
                     except TRANSIENT_ERRORS + (TaskTimeoutError,) as exc:
                         attempts[name] += 1
                         if attempts[name] >= self.retry.max_attempts:
+                            close_span(name, "failed")
                             raise
+                        if name in task_spans:
+                            tracer.add_event(
+                                task_spans[name], "retry",
+                                task=name, attempt=attempts[name],
+                                kind=getattr(exc, "kind", type(exc).__name__),
+                            )
                         self.clock.sleep(self.retry.delay(attempts[name] - 1, name))
                         self._record_recovery(exc)
                         remaining.append(name)
                         continue
+                    tracer.adopt(worker_spans)
+                    close_span(name, "computed")
                     self._finish(
                         graph, name, artifact, seconds, resolved,
                         retries=attempts[name], faults=faults[name],
@@ -394,7 +492,7 @@ class Runtime:
                 if broken is not None:
                     recycle_pool(broken)
                 elif self.task_timeout_s is not None:
-                    now = time.perf_counter()
+                    now = self.clock.now()
                     overdue = [
                         name
                         for name, (future, submitted) in in_flight.items()

@@ -19,10 +19,12 @@ from __future__ import annotations
 import asyncio
 import json
 import math
-import time
 from dataclasses import asdict, dataclass, replace
 from pathlib import Path
 
+from repro import obs
+from repro.obs import get_tracer
+from repro.resilience.clock import SYSTEM_CLOCK
 from repro.serving.server import InferenceServer, ServerConfig
 
 
@@ -119,13 +121,16 @@ async def _run_arm(
     stream: list[tuple[str, str]],
     profile: LoadProfile,
     config: ServerConfig,
+    label: str = "arm",
+    clock=SYSTEM_CLOCK,
 ) -> dict:
     _reset_link_memos(backends)
-    server = InferenceServer(backends, config)
-    async with server:
-        started = time.perf_counter()
-        results = await replay(server, stream, profile)
-        wall_s = time.perf_counter() - started
+    server = InferenceServer(backends, config, clock=clock)
+    with get_tracer().span(f"serve-bench.{label}", requests=len(stream)):
+        async with server:
+            started = clock.now()
+            results = await replay(server, stream, profile)
+            wall_s = clock.now() - started
     stats = server.stats()
 
     statuses: dict[str, int] = {}
@@ -144,6 +149,8 @@ async def _run_arm(
         "cache": stats.cache,
         "stage_latency_ms": stats.latency_ms,
         "breakers": server.breaker_states(),
+        # The arm's full unified-registry snapshot (serving.* instruments).
+        "registry": server.metrics.registry.snapshot(),
     }
 
 
@@ -160,14 +167,20 @@ def run_serve_bench(
     unique = len({(domain, question) for domain, question in stream})
 
     unbatched_config = replace(config, max_batch=1, cache_capacity=0)
-    unbatched = asyncio.run(_run_arm(backends, stream, profile, unbatched_config))
-    batched = asyncio.run(_run_arm(backends, stream, profile, config))
+    unbatched = asyncio.run(
+        _run_arm(backends, stream, profile, unbatched_config, label="unbatched")
+    )
+    batched = asyncio.run(
+        _run_arm(backends, stream, profile, config, label="batched")
+    )
 
     unbatched_qps = unbatched["throughput_qps"]
     speedup = batched["throughput_qps"] / unbatched_qps if unbatched_qps else 0.0
     return {
         "schema_version": 1,
         "benchmark": "serving",
+        # Trace artifact of the enclosing ``trace`` run (None otherwise).
+        "trace_path": obs.current_trace_path(),
         "profile": asdict(profile),
         "config": asdict(config),
         "stream": {

@@ -1,15 +1,19 @@
 """Serving observability: counters, per-stage latency histograms, snapshots.
 
-Histograms are fixed-layout geometric buckets (≈50µs … ≈80s) so recording
-is O(log buckets) with constant memory regardless of traffic volume;
-quantiles are interpolated within the winning bucket and clamped to the
-exact observed maximum.
+Backed by the unified :class:`~repro.obs.metrics.MetricsRegistry` — every
+counter and histogram here is a registry instrument (``serving.*``), so a
+server's accounting appears in the same snapshot as the runtime's and the
+resilience layer's.  Latency buckets are the repo-wide shared layout
+(:data:`~repro.obs.metrics.LATENCY_BUCKET_BOUNDS`, ≈50µs … ≈80s), not a
+module-local copy, which keeps histogram percentiles consistent with the
+load generator's exact-sample percentile math.
 """
 
 from __future__ import annotations
 
-import bisect
 from dataclasses import dataclass
+
+from repro.obs.metrics import LATENCY_BUCKET_BOUNDS, Histogram, MetricsRegistry
 
 #: Pipeline stages with recorded latencies.  ``queue`` and ``total`` are
 #: per-request; ``link``/``decode``/``execute`` are per-batch durations.
@@ -29,53 +33,11 @@ COUNTERS = (
 )
 
 
-class LatencyHistogram:
-    """Geometric-bucket latency histogram with interpolated quantiles."""
+class LatencyHistogram(Histogram):
+    """The shared fixed-bucket histogram, summarised in milliseconds."""
 
-    def __init__(
-        self, first_bound_s: float = 0.00005, growth: float = 1.5, buckets: int = 48
-    ) -> None:
-        bounds = []
-        bound = first_bound_s
-        for _ in range(buckets):
-            bounds.append(bound)
-            bound *= growth
-        self._bounds = bounds  # upper bounds; final bucket is overflow
-        self._counts = [0] * (buckets + 1)
-        self.count = 0
-        self.total = 0.0
-        self.max = 0.0
-
-    def observe(self, seconds: float) -> None:
-        self._counts[bisect.bisect_left(self._bounds, seconds)] += 1
-        self.count += 1
-        self.total += seconds
-        if seconds > self.max:
-            self.max = seconds
-
-    @property
-    def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
-
-    def quantile(self, q: float) -> float:
-        """The q-quantile in seconds (0 when nothing was observed)."""
-        if not self.count:
-            return 0.0
-        rank = max(1, int(q * self.count + 0.5))
-        cumulative = 0
-        for index, bucket_count in enumerate(self._counts):
-            if not bucket_count:
-                continue
-            previous = cumulative
-            cumulative += bucket_count
-            if cumulative >= rank:
-                lower = self._bounds[index - 1] if index > 0 else 0.0
-                upper = (
-                    self._bounds[index] if index < len(self._bounds) else self.max
-                )
-                fraction = (rank - previous) / bucket_count
-                return min(lower + (upper - lower) * fraction, self.max)
-        return self.max
+    def __init__(self, bounds: tuple[float, ...] = LATENCY_BUCKET_BOUNDS) -> None:
+        super().__init__(bounds)
 
     def summary(self) -> dict:
         """Count / mean / p50 / p95 / p99 / max, times in milliseconds."""
@@ -111,14 +73,26 @@ class ServerStats:
 
 
 class ServerMetrics:
-    """Counters + per-stage histograms; mutated only on the event loop."""
+    """Counters + per-stage histograms over one :class:`MetricsRegistry`."""
 
-    def __init__(self) -> None:
-        self.counters = dict.fromkeys(COUNTERS, 0)
-        self.histograms = {stage: LatencyHistogram() for stage in STAGES}
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry or MetricsRegistry()
+        self._counters = {
+            name: self.registry.counter(f"serving.{name}") for name in COUNTERS
+        }
+        self.histograms = {
+            stage: self.registry.histogram(
+                f"serving.latency.{stage}", cls=LatencyHistogram
+            )
+            for stage in STAGES
+        }
+
+    @property
+    def counters(self) -> dict:
+        return {name: counter.value for name, counter in self._counters.items()}
 
     def count(self, name: str, n: int = 1) -> None:
-        self.counters[name] += n
+        self._counters[name].inc(n)
 
     def observe(self, stage: str, seconds: float) -> None:
         self.histograms[stage].observe(seconds)
@@ -131,7 +105,7 @@ class ServerMetrics:
         breakers: dict | None = None,
     ) -> ServerStats:
         return ServerStats(
-            counters=dict(self.counters),
+            counters=self.counters,
             latency_ms={
                 stage: histogram.summary()
                 for stage, histogram in self.histograms.items()

@@ -34,10 +34,10 @@ primary again only after ``breaker_reset_s`` of the injected clock.
 from __future__ import annotations
 
 import asyncio
-import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
+from repro.obs import get_tracer
 from repro.resilience.breaker import CircuitBreaker
 from repro.resilience.clock import SYSTEM_CLOCK
 from repro.serving.cache import CachedResult, ResultCache
@@ -81,13 +81,16 @@ class ServerConfig:
 class _Pending:
     """One queued request awaiting its batch."""
 
-    __slots__ = ("question", "future", "enqueued_at", "abandoned")
+    __slots__ = ("question", "future", "enqueued_at", "abandoned", "queue_span")
 
     def __init__(self, question: str, future: asyncio.Future, enqueued_at: float) -> None:
         self.question = question
         self.future = future
         self.enqueued_at = enqueued_at
         self.abandoned = False
+        #: Open ``serve.queue`` span (NULL_SPAN when tracing is off); started
+        #: at admission, ended by the worker that dequeues the request.
+        self.queue_span = None
 
 
 @dataclass
@@ -173,6 +176,7 @@ class InferenceServer:
                     item = queue.get_nowait()
                 except asyncio.QueueEmpty:
                     break
+                get_tracer().end_span(item.queue_span, status="error")
                 if not item.future.done():
                     self.metrics.count("failed")
                     item.future.set_result(
@@ -197,57 +201,68 @@ class InferenceServer:
 
     async def submit(self, question: str, domain: str) -> ServeResult:
         """Serve one question; always resolves to a :class:`ServeResult`."""
-        started = time.perf_counter()
-        backend = self.backends.get(domain)
-        if backend is None:
-            self.metrics.count("failed")
-            return self._error_result(
-                question, domain, "failed",
-                ServeError("unknown-domain", f"domain {domain!r} is not served"),
-            )
+        tracer = get_tracer()
+        started = self.clock.now()
+        with tracer.span("serve.request", domain=domain) as span:
+            backend = self.backends.get(domain)
+            if backend is None:
+                span.set_attr("status", "failed")
+                self.metrics.count("failed")
+                return self._error_result(
+                    question, domain, "failed",
+                    ServeError("unknown-domain", f"domain {domain!r} is not served"),
+                )
 
-        hit, entry = self.cache.get(domain, question)
-        if hit:
-            self.metrics.count("served")
-            self.metrics.count("cache_hits")
-            total = time.perf_counter() - started
+            hit, entry = self.cache.get(domain, question)
+            if hit:
+                span.set_attr("cache", "hit")
+                span.set_attr("status", "ok")
+                self.metrics.count("served")
+                self.metrics.count("cache_hits")
+                total = self.clock.now() - started
+                self.metrics.observe("total", total)
+                return ServeResult(
+                    question=question, domain=domain, sql=entry.sql, rows=entry.rows,
+                    status="ok", cached=True, timings_ms={"total": total * 1000.0},
+                )
+            span.set_attr("cache", "miss")
+
+            queue = self._queues[domain]
+            if queue.full():
+                span.set_attr("status", "rejected")
+                self.metrics.count("rejected")
+                return self._error_result(
+                    question, domain, "rejected",
+                    ServeError(
+                        "rejected",
+                        f"admission rejected: {domain!r} queue is at its limit "
+                        f"of {self.config.queue_limit}",
+                    ),
+                )
+            item = _Pending(question, asyncio.get_running_loop().create_future(), started)
+            # Parents to serve.request via the contextvar; the worker ends it.
+            item.queue_span = tracer.start_span("serve.queue")
+            queue.put_nowait(item)
+            try:
+                result = await asyncio.wait_for(
+                    asyncio.shield(item.future), self.config.request_timeout_s
+                )
+            except asyncio.TimeoutError:
+                item.abandoned = True
+                span.set_attr("status", "timeout")
+                self.metrics.count("timeouts")
+                return self._error_result(
+                    question, domain, "timeout",
+                    ServeError(
+                        "timeout",
+                        f"no result within {self.config.request_timeout_s:g}s",
+                    ),
+                )
+            total = self.clock.now() - started
+            result.timings_ms["total"] = total * 1000.0
             self.metrics.observe("total", total)
-            return ServeResult(
-                question=question, domain=domain, sql=entry.sql, rows=entry.rows,
-                status="ok", cached=True, timings_ms={"total": total * 1000.0},
-            )
-
-        queue = self._queues[domain]
-        if queue.full():
-            self.metrics.count("rejected")
-            return self._error_result(
-                question, domain, "rejected",
-                ServeError(
-                    "rejected",
-                    f"admission rejected: {domain!r} queue is at its limit "
-                    f"of {self.config.queue_limit}",
-                ),
-            )
-        item = _Pending(question, asyncio.get_running_loop().create_future(), started)
-        queue.put_nowait(item)
-        try:
-            result = await asyncio.wait_for(
-                asyncio.shield(item.future), self.config.request_timeout_s
-            )
-        except asyncio.TimeoutError:
-            item.abandoned = True
-            self.metrics.count("timeouts")
-            return self._error_result(
-                question, domain, "timeout",
-                ServeError(
-                    "timeout",
-                    f"no result within {self.config.request_timeout_s:g}s",
-                ),
-            )
-        total = time.perf_counter() - started
-        result.timings_ms["total"] = total * 1000.0
-        self.metrics.observe("total", total)
-        return result
+            span.set_attr("status", result.status)
+            return result
 
     def stats(self) -> ServerStats:
         """A point-in-time observability snapshot."""
@@ -268,11 +283,13 @@ class InferenceServer:
         queue = self._queues[domain]
         policy = BatchPolicy(self.config.max_batch, self.config.max_wait_ms)
         loop = asyncio.get_running_loop()
+        tracer = get_tracer()
         while True:
-            batch = await collect_batch(queue, policy)
-            now = time.perf_counter()
+            batch = await collect_batch(queue, policy, clock=self.clock.now)
+            now = self.clock.now()
             live: list[_Pending] = []
             for item in batch:
+                tracer.end_span(item.queue_span)
                 if item.abandoned or item.future.done():
                     continue
                 self.metrics.observe("queue", now - item.enqueued_at)
@@ -280,19 +297,28 @@ class InferenceServer:
             if not live:
                 continue
             questions = [item.question for item in live]
-            outcome = await loop.run_in_executor(
-                self._executor, self._decode_batch, backend, questions
+            # Manual span: decode happens on the executor thread, which does
+            # not inherit this task's context.
+            batch_span = tracer.start_span(
+                "serve.batch", domain=domain, size=len(live)
             )
-            self._resolve(backend, live, outcome)
+            outcome = await loop.run_in_executor(
+                self._executor, self._decode_batch, backend, questions, batch_span
+            )
+            self._resolve(backend, live, outcome, batch_span)
 
-    def _decode_batch(self, backend: DomainBackend, questions: list[str]) -> _BatchOutcome:
+    def _decode_batch(
+        self, backend: DomainBackend, questions: list[str], batch_span=None
+    ) -> _BatchOutcome:
         """Runs in the decode thread: link warm → predict_batch → execute."""
+        tracer = get_tracer()
         outcome = _BatchOutcome()
         unique = list(dict.fromkeys(questions))
 
         # Stage 1: schema linking, warmed once per batch.  The systems' link
         # memo makes every decode below reuse these results.
-        started = time.perf_counter()
+        started = self.clock.now()
+        stage_span = tracer.start_span("serve.link", parent=batch_span)
         link = getattr(backend.system, "link", None)
         if link is not None:
             for question in unique:
@@ -300,14 +326,19 @@ class InferenceServer:
                     link(question, backend.name)
                 except Exception:
                     pass  # linking trouble surfaces as a decode failure below
-        outcome.link_s = time.perf_counter() - started
+        tracer.end_span(stage_span)
+        outcome.link_s = self.clock.now() - started
 
         # Stage 2: decoding, with per-question degradation on failure.  The
         # breaker gate is checked once per batch: an open circuit fast-fails
         # the whole batch to the fallback without touching the primary.
-        started = time.perf_counter()
+        started = self.clock.now()
+        stage_span = tracer.start_span(
+            "serve.predict", parent=batch_span, n_unique=len(unique)
+        )
         breaker = self._breakers[backend.name]
         if not breaker.allow():
+            stage_span.set_attr("breaker", "open")
             for question in unique:
                 outcome.answers[question] = self._fallback_answer(
                     backend, question,
@@ -324,18 +355,21 @@ class InferenceServer:
                 breaker.record_failure()
                 for question in unique:
                     outcome.answers[question] = self._decode_one(backend, question)
-        outcome.decode_s = time.perf_counter() - started
+        tracer.end_span(stage_span)
+        outcome.decode_s = self.clock.now() - started
 
         # Stage 3: optional execution of the predicted SQL.
         if self.config.execute and backend.database is not None:
-            started = time.perf_counter()
+            started = self.clock.now()
+            stage_span = tracer.start_span("serve.execute", parent=batch_span)
             for answer in outcome.answers.values():
                 if answer.sql is None:
                     continue
                 result = backend.database.try_execute(answer.sql)
                 if result is not None:
                     answer.rows = tuple(result.rows)
-            outcome.execute_s = time.perf_counter() - started
+            tracer.end_span(stage_span)
+            outcome.execute_s = self.clock.now() - started
         return outcome
 
     def _decode_one(self, backend: DomainBackend, question: str) -> _Answer:
@@ -379,10 +413,17 @@ class InferenceServer:
         return _Answer(sql=sql, status="degraded", message=reason)
 
     def _resolve(
-        self, backend: DomainBackend, items: list[_Pending], outcome: _BatchOutcome
+        self,
+        backend: DomainBackend,
+        items: list[_Pending],
+        outcome: _BatchOutcome,
+        batch_span=None,
     ) -> None:
         """Back on the event loop: account the batch and resolve futures."""
         n_unique = len(outcome.answers)
+        if batch_span is not None:
+            batch_span.set_attr("n_unique", n_unique)
+            get_tracer().end_span(batch_span)
         self.metrics.count("batches")
         self.metrics.count("coalesced", len(items) - n_unique)
         if len(items) >= 2:
@@ -430,7 +471,7 @@ class InferenceServer:
                     error=error,
                     batch_size=len(items),
                     timings_ms={
-                        "queue": (time.perf_counter() - item.enqueued_at) * 1000.0,
+                        "queue": (self.clock.now() - item.enqueued_at) * 1000.0,
                         **stage_ms,
                     },
                 )

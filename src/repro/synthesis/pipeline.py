@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 
 from repro.datasets.records import BenchmarkDomain, NLSQLPair, Split
 from repro.llm.base import SqlToNlModel
+from repro.obs import get_tracer
 from repro.resilience.breaker import CircuitBreaker
 from repro.resilience.clock import SYSTEM_CLOCK
 from repro.resilience.deadletter import DeadLetter, ResilienceStats
@@ -142,42 +143,62 @@ class AugmentationPipeline:
         if executor is None:
             executor = self._executor
         checkpoint_log: dict[str, str] = {}
+        tracer = get_tracer()
 
-        # Phases 1+2 — Seeding, then SQL generation (Algorithm 1),
-        # round-robin over templates until the target count is reached or
-        # templates dry up.  Checkpointed as one unit: the phase-2 RNG
-        # stream ends here, so resuming past it is split-preserving.
-        resumed = self._checkpoint_load("generate", checkpoint_log)
-        if resumed is not None:
-            seeding, queries, generation_stats = resumed
-        else:
-            seeding = extract_templates(
-                self.domain.seed.pairs, self.domain.database.schema
-            )
-            generator = SqlGenerator(
-                self.domain.database,
-                self.domain.enhanced,
-                rng,
-                config=self.config.generation,
-            )
-            queries = self._generate_queries(generator, seeding)
-            generation_stats = generator.stats
-            self._checkpoint_store(
-                "generate", (seeding, queries, generation_stats), checkpoint_log
-            )
-
-        # Phases 3+4 — translate and select, independently per query.
-        # Permanent translation failures dead-letter the query; the run
-        # continues and still produces a valid (smaller) split.
-        resumed = self._checkpoint_load("translate", checkpoint_log)
-        if resumed is not None:
-            outcomes = resumed
-        else:
-            if executor is None:
-                outcomes = [self._pairs_for(sql) for sql in queries]
+        with tracer.span(
+            "pipeline.run",
+            domain=self.domain.name,
+            target=self.config.target_queries,
+        ):
+            # Phases 1+2 — Seeding, then SQL generation (Algorithm 1),
+            # round-robin over templates until the target count is reached or
+            # templates dry up.  Checkpointed as one unit: the phase-2 RNG
+            # stream ends here, so resuming past it is split-preserving.
+            resumed = self._checkpoint_load("generate", checkpoint_log)
+            if resumed is not None:
+                seeding, queries, generation_stats = resumed
+                with tracer.span("pipeline.generation", resumed=True) as span:
+                    span.set_attr("n_queries", len(queries))
             else:
-                outcomes = list(executor.map(self._pairs_for, queries))
-            self._checkpoint_store("translate", outcomes, checkpoint_log)
+                with tracer.span("pipeline.seeding") as span:
+                    seeding = extract_templates(
+                        self.domain.seed.pairs, self.domain.database.schema
+                    )
+                    span.set_attr("n_templates", len(seeding.templates))
+                with tracer.span("pipeline.generation", resumed=False) as span:
+                    generator = SqlGenerator(
+                        self.domain.database,
+                        self.domain.enhanced,
+                        rng,
+                        config=self.config.generation,
+                    )
+                    queries = self._generate_queries(generator, seeding)
+                    generation_stats = generator.stats
+                    span.set_attr("n_queries", len(queries))
+                self._checkpoint_store(
+                    "generate", (seeding, queries, generation_stats), checkpoint_log
+                )
+
+            # Phases 3+4 — translate and select, independently per query.
+            # Permanent translation failures dead-letter the query; the run
+            # continues and still produces a valid (smaller) split.
+            resumed = self._checkpoint_load("translate", checkpoint_log)
+            with tracer.span(
+                "pipeline.translate", resumed=resumed is not None
+            ) as span:
+                if resumed is not None:
+                    outcomes = resumed
+                else:
+                    if executor is None:
+                        outcomes = [self._pairs_for(sql) for sql in queries]
+                    else:
+                        outcomes = list(executor.map(self._pairs_for, queries))
+                    self._checkpoint_store("translate", outcomes, checkpoint_log)
+                span.set_attr("n_queries", len(outcomes))
+                span.set_attr(
+                    "dead_letters",
+                    sum(1 for o in outcomes if o.dead_letter is not None),
+                )
 
         pairs: list[NLSQLPair] = []
         dead_letters: list[DeadLetter] = []
@@ -204,16 +225,22 @@ class AugmentationPipeline:
 
     def _pairs_for(self, sql: str) -> _QueryOutcome:
         """Phases 3+4 for one generated query: translate, then select."""
-        result = self.translator.translate_with_recovery(sql)
-        if result.candidates is None:
-            return _QueryOutcome(
-                pairs=[],
-                attempts=result.attempts,
-                recovered=result.recovered,
-                slept_s=result.slept_s,
-                dead_letter=result.dead_letter,
-            )
-        best = self.discriminator.select(result.candidates)
+        tracer = get_tracer()
+        with tracer.span("pipeline.query") as span:
+            result = self.translator.translate_with_recovery(sql)
+            span.set_attr("attempts", result.attempts)
+            if result.candidates is None:
+                span.set_attr("outcome", "dead-letter")
+                return _QueryOutcome(
+                    pairs=[],
+                    attempts=result.attempts,
+                    recovered=result.recovered,
+                    slept_s=result.slept_s,
+                    dead_letter=result.dead_letter,
+                )
+            best = self.discriminator.select(result.candidates)
+            span.set_attr("outcome", "ok")
+            span.set_attr("n_pairs", len(best))
         return _QueryOutcome(
             pairs=[
                 NLSQLPair(

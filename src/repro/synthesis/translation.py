@@ -35,6 +35,7 @@ from repro.datasets.records import BenchmarkDomain
 from repro.errors import ReproError
 from repro.llm.base import SqlToNlModel
 from repro.llm.models import default_generator
+from repro.obs import get_tracer
 from repro.resilience.breaker import CircuitBreaker, CircuitOpenError
 from repro.resilience.clock import SYSTEM_CLOCK
 from repro.resilience.deadletter import DeadLetter
@@ -151,38 +152,47 @@ class SqlToNlTranslator:
         budget) produce a :class:`TranslationResult` carrying a dead letter
         instead of candidates.
         """
+        tracer = get_tracer()
         outcome = RetryOutcome()
-        try:
-            candidates = call_with_retry(
-                lambda: self._attempt(sql),
-                self.config.retry,
-                identity=sql,
-                clock=self.clock,
-                retry_on=TRANSIENT_ERRORS + (CircuitOpenError,),
-                outcome=outcome,
-            )
-        except (FaultError, CircuitOpenError) as exc:
-            kind = getattr(exc, "kind", "circuit-open")
+        with tracer.span("llm.translate") as span:
+            try:
+                candidates = call_with_retry(
+                    lambda: self._attempt(sql),
+                    self.config.retry,
+                    identity=sql,
+                    clock=self.clock,
+                    retry_on=TRANSIENT_ERRORS + (CircuitOpenError,),
+                    outcome=outcome,
+                )
+            except (FaultError, CircuitOpenError) as exc:
+                kind = getattr(exc, "kind", "circuit-open")
+                span.set_attr("attempts", outcome.attempts)
+                span.set_attr("dead_letter", kind)
+                return TranslationResult(
+                    sql=sql,
+                    candidates=None,
+                    attempts=outcome.attempts,
+                    slept_s=outcome.slept_s,
+                    dead_letter=DeadLetter(
+                        site="llm",
+                        identity=sql,
+                        kind=kind,
+                        reason=str(exc),
+                        attempts=outcome.attempts,
+                    ),
+                )
+            span.set_attr("attempts", outcome.attempts)
+            # Recovery is accounted post-hoc: the retry helper owns the loop,
+            # so recovered fault kinds become events after the fact.
+            for kind, times in outcome.recovered.items():
+                tracer.add_event(span, "recovered", kind=kind, times=times)
             return TranslationResult(
                 sql=sql,
-                candidates=None,
+                candidates=candidates,
                 attempts=outcome.attempts,
+                recovered=dict(outcome.recovered),
                 slept_s=outcome.slept_s,
-                dead_letter=DeadLetter(
-                    site="llm",
-                    identity=sql,
-                    kind=kind,
-                    reason=str(exc),
-                    attempts=outcome.attempts,
-                ),
             )
-        return TranslationResult(
-            sql=sql,
-            candidates=candidates,
-            attempts=outcome.attempts,
-            recovered=dict(outcome.recovered),
-            slept_s=outcome.slept_s,
-        )
 
     # -- one attempt ----------------------------------------------------------
 
