@@ -5,11 +5,20 @@ a rule identifier (``pass.rule-name``), a severity, a human-readable message
 and a dotted node path into the query (``query.select.where``).  Downstream
 consumers — the generation pre-filter, the lint CLI and the failure triage —
 act on the records without ever executing the query.
+
+This module also owns the one reporting/exit-code surface shared by the two
+lint-style CLI gates (``sciencebenchmark lint`` over gold queries and
+``sciencebenchmark check`` over the repo's own Python source): both route
+their verdict through :func:`gate_exit_code`, their one-line totals through
+:func:`summary_line` and their machine-readable output through
+:func:`json_report`, so the two commands cannot drift apart in formatting
+or exit-code semantics.
 """
 
 from __future__ import annotations
 
 import enum
+import json
 from dataclasses import dataclass
 
 
@@ -55,3 +64,47 @@ def count_severity(diagnostics: list[Diagnostic], severity: Severity) -> int:
 def sort_diagnostics(diagnostics: list[Diagnostic]) -> list[Diagnostic]:
     """Stable order: errors first, then warnings, then info."""
     return sorted(diagnostics, key=lambda d: _ORDER[d.severity])
+
+
+# -- shared gate reporting (lint + checks) ------------------------------------
+
+
+def gate_exit_code(n_errors: int, n_warnings: int = 0, *, strict: bool = False) -> int:
+    """The one exit-code policy of every lint-style gate.
+
+    Errors always fail (exit 1); warnings fail only under ``strict``.
+    ``sciencebenchmark check`` runs with ``strict=True`` — a repo invariant
+    that is worth a warning is worth gating on.
+    """
+    if n_errors or (strict and n_warnings):
+        return 1
+    return 0
+
+
+def summary_line(label: str, n_errors: int, n_warnings: int) -> str:
+    """The shared one-line verdict (``lint: 0 error(s), 2 warning(s)``)."""
+    if not n_errors and not n_warnings:
+        return f"{label}: clean"
+    return f"{label}: {n_errors} error(s), {n_warnings} warning(s)"
+
+
+def json_report(tool: str, findings: list[dict], **extra) -> str:
+    """The canonical machine-readable report envelope.
+
+    Stable key order and a ``summary`` block computed from the findings'
+    ``severity`` fields, so CI consumers can parse lint and checks output
+    with one schema.
+    """
+    n_errors = sum(1 for f in findings if f.get("severity") == "error")
+    n_warnings = sum(1 for f in findings if f.get("severity") == "warning")
+    doc = {
+        "tool": tool,
+        "findings": findings,
+        "summary": {
+            "errors": n_errors,
+            "warnings": n_warnings,
+            "total": len(findings),
+        },
+    }
+    doc.update(extra)
+    return json.dumps(doc, indent=2, sort_keys=True)

@@ -1,0 +1,181 @@
+"""Concurrency rules for the runtime/serving/obs/resilience hot paths.
+
+These modules are the repo's only genuinely concurrent code (asyncio event
+loop + decode threads + the process pool), so they carry the discipline the
+rest of the repo does not need:
+
+``con.unlocked-mutation``  a class that owns a lock mutates its own state
+                           only inside ``with self._lock:`` (or
+                           ``self._cond``) — a hand-rolled race detector for
+                           the ~6 locked classes
+``con.blocking-async``     no blocking call (``time.sleep``, ``clock.sleep``,
+                           sync ``open``, ``Future.result()``,
+                           ``Executor.shutdown(wait=True)``) inside an
+                           ``async def`` — it stalls the whole event loop
+``con.contextvar-leak``    ``ContextVar.set()`` whose reset token is
+                           discarded — the context can never be restored
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.diagnostics import Severity
+from repro.checks.engine import FileContext, Rule
+
+#: The packages where shared-state discipline is enforced.
+_CONCURRENT_PACKAGES = (
+    "repro/runtime/", "repro/serving/", "repro/obs/", "repro/resilience/",
+    "repro/checks/",
+)
+
+#: Methods whose mutation of shared state is tolerated lock-free because
+#: the instance is not yet (or no longer) visible to other threads.
+#: Repo convention: a method named ``*_locked`` asserts by its suffix that
+#: every caller already holds the lock, so it is exempt too.
+_EXEMPT_METHODS = {"__init__", "__new__", "__post_init__"}
+
+#: Container methods that mutate their receiver.
+_MUTATING_METHODS = {
+    "append", "extend", "insert", "add", "update", "setdefault", "pop",
+    "popitem", "remove", "discard", "clear", "appendleft",
+}
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+class UnlockedMutationRule(Rule):
+    id = "con.unlocked-mutation"
+    severity = Severity.ERROR
+    description = (
+        "in a class that owns a lock, every mutation of self.* outside "
+        "__init__ must happen inside `with self._lock:`"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return any(pkg in ctx.path for pkg in _CONCURRENT_PACKAGES)
+
+    def _in_scope(self, ctx: FileContext) -> bool:
+        if not ctx.class_lock_attrs or ctx.lock_depth > 0:
+            return False
+        function = ctx.enclosing_function()
+        return (
+            function is not None
+            and function.name not in _EXEMPT_METHODS
+            and not function.name.endswith("_locked")
+        )
+
+    def visit(self, node: ast.AST, ctx: FileContext):
+        if not self._in_scope(ctx):
+            return
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                attr = _self_attr(target)
+                if attr is not None and attr not in ctx.class_lock_attrs:
+                    yield self.finding(
+                        ctx, node,
+                        f"self.{attr} mutated outside the lock in a "
+                        "lock-owning class; wrap in `with self._lock:`",
+                    )
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in _MUTATING_METHODS:
+                attr = _self_attr(node.func.value)
+                if attr is not None and attr not in ctx.class_lock_attrs:
+                    yield self.finding(
+                        ctx, node,
+                        f"self.{attr}.{node.func.attr}() mutates shared "
+                        "state outside the lock; wrap in `with self._lock:`",
+                    )
+
+
+def _is_awaited(ctx: FileContext) -> bool:
+    return isinstance(ctx.parent(), ast.Await)
+
+
+class BlockingAsyncRule(Rule):
+    id = "con.blocking-async"
+    severity = Severity.ERROR
+    description = (
+        "no blocking calls inside async def: time.sleep/clock.sleep, sync "
+        "file I/O, Future.result(), Executor.shutdown(wait=True)"
+    )
+
+    def visit(self, node: ast.AST, ctx: FileContext):
+        if not isinstance(node, ast.Call) or not ctx.in_async_function():
+            return
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id == "open":
+                yield self.finding(
+                    ctx, node,
+                    "synchronous open() inside async def blocks the event "
+                    "loop; use run_in_executor",
+                )
+            return
+        if not isinstance(func, ast.Attribute):
+            return
+        root = func.value.id if isinstance(func.value, ast.Name) else None
+        if func.attr == "sleep" and root != "asyncio" and not _is_awaited(ctx):
+            yield self.finding(
+                ctx, node,
+                "blocking sleep inside async def stalls the event loop; "
+                "await asyncio.sleep (or run off-loop)",
+            )
+        elif func.attr == "result" and not node.args and not node.keywords:
+            yield self.finding(
+                ctx, node,
+                ".result() inside async def blocks the event loop until the "
+                "future resolves; await it (or wrap_future)",
+            )
+        elif func.attr == "shutdown" and any(
+            kw.arg == "wait"
+            and isinstance(kw.value, ast.Constant)
+            and kw.value.value is True
+            for kw in node.keywords
+        ):
+            yield self.finding(
+                ctx, node,
+                "Executor.shutdown(wait=True) inside async def joins worker "
+                "threads on the event loop; run it in an executor",
+            )
+
+
+class ContextvarLeakRule(Rule):
+    id = "con.contextvar-leak"
+    severity = Severity.ERROR
+    description = (
+        "ContextVar.set() returns the reset token; discarding it makes the "
+        "previous context unrestorable"
+    )
+
+    def visit(self, node: ast.AST, ctx: FileContext):
+        if not isinstance(node, ast.Expr) or not isinstance(node.value, ast.Call):
+            return
+        func = node.value.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "set"
+            and isinstance(func.value, ast.Name)
+            and func.value.id in ctx.contextvars
+        ):
+            yield self.finding(
+                ctx, node,
+                f"{func.value.id}.set() discards the reset token; keep it "
+                f"and {func.value.id}.reset(token) in a finally block",
+            )
+
+
+RULES: tuple[Rule, ...] = (
+    UnlockedMutationRule(),
+    BlockingAsyncRule(),
+    ContextvarLeakRule(),
+)

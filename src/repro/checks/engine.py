@@ -1,0 +1,371 @@
+"""The rule engine of :mod:`repro.checks`: AST walk, suppressions, findings.
+
+The engine is deliberately repo-specific — it checks *this* codebase's
+determinism, concurrency and hygiene invariants, not Python in general.
+One :class:`FileChecker` parses a source file once, walks the tree once
+maintaining the context every rule needs (ancestor stack, enclosing
+function/class, whether the walk is inside a ``with <lock>:`` block, which
+attributes of the enclosing class are locks), and dispatches each node to
+every selected :class:`Rule`.
+
+Suppressions
+------------
+A finding is silenced by an inline comment on the flagged line or the line
+directly above it::
+
+    value = os.environ.get("REPRO_CHECKS")  # checks: ignore[det.env-read] -- test-mode switch, read once at install
+
+The justification after ``--`` is *required*: a suppression without one is
+itself reported (``checks.unjustified-suppression``), and a suppression
+naming a rule that never fired on that line is reported as stale
+(``checks.useless-suppression``) so dead suppressions cannot accumulate.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from repro.analysis.diagnostics import Severity
+
+#: Inline suppression marker: rule ids in brackets, justification after
+#: a double dash (see the module docstring for the exact syntax).
+_SUPPRESS_RE = re.compile(
+    r"#\s*checks:\s*ignore\[([^\]]*)\]\s*(?:--\s*(.*\S))?\s*$"
+)
+
+#: Lock-ish attribute names: ``with self._lock:`` / ``with self._cond:``
+#: blocks guard the mutations inside them.
+_LOCK_FACTORIES = {"Lock", "RLock", "Condition", "new_lock"}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One violation of a repo invariant, anchored to file:line:col."""
+
+    rule: str
+    severity: Severity
+    message: str
+    file: str
+    line: int
+    col: int = 0
+
+    def render(self) -> str:
+        return (
+            f"{self.file}:{self.line}:{self.col + 1}: "
+            f"{self.severity.value}[{self.rule}] {self.message}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+        }
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``checks: ignore`` comment."""
+
+    line: int
+    rules: tuple[str, ...]
+    justification: str
+
+
+class Rule:
+    """Base class: subclasses set the id/severity and implement ``visit``.
+
+    ``visit`` is called for every AST node of a file the rule applies to and
+    yields :class:`Finding` records.  ``applies_to`` lets a rule skip whole
+    files (the wall-clock rule skips the injectable-clock module, for
+    example) without paying for the walk.
+    """
+
+    id: str = ""
+    severity: Severity = Severity.ERROR
+    description: str = ""
+
+    def applies_to(self, ctx: "FileContext") -> bool:
+        return True
+
+    def begin_file(self, ctx: "FileContext") -> None:
+        """Per-file state reset hook (the tree is available on ``ctx``)."""
+
+    def visit(self, node: ast.AST, ctx: "FileContext"):
+        return ()
+
+    def finding(
+        self, ctx: "FileContext", node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            rule=self.id,
+            severity=self.severity,
+            message=message,
+            file=ctx.path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+        )
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may ask about the current position in the walk."""
+
+    path: str  # repo-relative posix path, e.g. "repro/serving/server.py"
+    tree: ast.Module
+    #: Ancestor chain, outermost first; the node under visit is *not* on it.
+    stack: list[ast.AST] = field(default_factory=list)
+    #: Nesting depth of ``with <lock-attribute>:`` blocks.
+    lock_depth: int = 0
+    #: Lock-holding attribute names of the innermost enclosing class.
+    class_lock_attrs: frozenset[str] = frozenset()
+    #: Module-level names bound to ``ContextVar(...)``.
+    contextvars: frozenset[str] = frozenset()
+
+    def parent(self) -> ast.AST | None:
+        return self.stack[-1] if self.stack else None
+
+    def enclosing_function(self) -> ast.AST | None:
+        """The innermost enclosing def/async-def, if any."""
+        for node in reversed(self.stack):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return node
+        return None
+
+    def in_async_function(self) -> bool:
+        return isinstance(self.enclosing_function(), ast.AsyncFunctionDef)
+
+    def in_method_of_locked_class(self) -> bool:
+        return bool(self.class_lock_attrs)
+
+
+def parse_suppressions(source: str) -> list[Suppression]:
+    """Extract every ``checks: ignore`` comment with its line number.
+
+    Tokenized, not line-matched: the marker inside a string literal (a
+    docstring showing the syntax, a message mentioning it) is not a
+    suppression.
+    """
+    suppressions = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            (token.start[0], token.string)
+            for token in tokens
+            if token.type == tokenize.COMMENT
+        ]
+    except tokenize.TokenError:
+        comments = []
+    for lineno, comment in comments:
+        match = _SUPPRESS_RE.search(comment)
+        if match is None:
+            continue
+        rules = tuple(
+            rule.strip() for rule in match.group(1).split(",") if rule.strip()
+        )
+        suppressions.append(
+            Suppression(
+                line=lineno,
+                rules=rules,
+                justification=(match.group(2) or "").strip(),
+            )
+        )
+    return suppressions
+
+
+def _lock_attrs_of(class_node: ast.ClassDef) -> frozenset[str]:
+    """Attribute names a class binds to locks in ``__init__``.
+
+    Detects ``self.X = threading.Lock()`` / ``RLock`` / ``Condition`` and
+    the repo's monitored factory ``new_lock(...)``.
+    """
+    attrs: set[str] = set()
+    for body_node in class_node.body:
+        if not isinstance(body_node, ast.FunctionDef) or body_node.name != "__init__":
+            continue
+        for node in ast.walk(body_node):
+            if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Call):
+                continue
+            func = node.value.func
+            name = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else ""
+            )
+            if name not in _LOCK_FACTORIES:
+                continue
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    attrs.add(target.attr)
+    return frozenset(attrs)
+
+
+def _module_contextvars(tree: ast.Module) -> frozenset[str]:
+    """Module-level names assigned from a ``ContextVar(...)`` call."""
+    names: set[str] = set()
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            value = node.value
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            value = node.value
+            targets = [node.target]
+        else:
+            continue
+        if not isinstance(value, ast.Call):
+            continue
+        func = value.func
+        callee = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else ""
+        )
+        if callee != "ContextVar":
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+    return frozenset(names)
+
+
+def _is_lock_guard(item: ast.withitem, lock_attrs: frozenset[str]) -> bool:
+    """Does ``with <expr>:`` take a lock of the enclosing class?"""
+    expr = item.context_expr
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+    ):
+        attr = expr.attr
+        return attr in lock_attrs or "lock" in attr or "cond" in attr
+    return False
+
+
+class FileChecker:
+    """Walks one parsed file, dispatching nodes to the selected rules."""
+
+    def __init__(self, path: str, source: str, rules: list[Rule]) -> None:
+        self.path = path
+        self.source = source
+        self.rules = rules
+
+    def run(self) -> tuple[list[Finding], list[Suppression]]:
+        """All raw findings (pre-suppression) plus the parsed suppressions."""
+        tree = ast.parse(self.source, filename=self.path)
+        ctx = FileContext(path=self.path, tree=tree)
+        ctx.contextvars = _module_contextvars(tree)
+        active = [rule for rule in self.rules if rule.applies_to(ctx)]
+        if not active:
+            return [], parse_suppressions(self.source)
+        for rule in active:
+            rule.begin_file(ctx)
+        findings: list[Finding] = []
+        self._walk(tree, ctx, active, findings)
+        return findings, parse_suppressions(self.source)
+
+    def _walk(
+        self,
+        node: ast.AST,
+        ctx: FileContext,
+        rules: list[Rule],
+        findings: list[Finding],
+    ) -> None:
+        for rule in rules:
+            findings.extend(rule.visit(node, ctx))
+
+        entered_class = isinstance(node, ast.ClassDef)
+        saved_lock_attrs = ctx.class_lock_attrs
+        if entered_class:
+            ctx.class_lock_attrs = _lock_attrs_of(node)
+
+        guards = 0
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            guards = sum(
+                1 for item in node.items if _is_lock_guard(item, ctx.class_lock_attrs)
+            )
+            ctx.lock_depth += guards
+
+        ctx.stack.append(node)
+        for child in ast.iter_child_nodes(node):
+            self._walk(child, ctx, rules, findings)
+        ctx.stack.pop()
+
+        if guards:
+            ctx.lock_depth -= guards
+        if entered_class:
+            ctx.class_lock_attrs = saved_lock_attrs
+
+
+def apply_suppressions(
+    findings: list[Finding],
+    suppressions: list[Suppression],
+    path: str,
+    active_rules: frozenset[str] | None = None,
+) -> tuple[list[Finding], list[Finding]]:
+    """Filter suppressed findings; audit the suppressions themselves.
+
+    Returns ``(kept, meta)`` where ``meta`` contains the findings *about*
+    suppressions: missing justifications and suppressions that silenced
+    nothing.  A suppression on line N covers findings on lines N and N+1
+    (comment-above style).  Staleness is only judged when every rule the
+    suppression names was actually run (``active_rules``, None = all ran):
+    under ``--select``, a suppression for an unselected rule is not stale,
+    merely unexercised.
+    """
+    kept: list[Finding] = []
+    meta: list[Finding] = []
+    used: set[int] = set()
+
+    by_line: dict[tuple[int, str], Suppression] = {}
+    for sup in suppressions:
+        for covered in (sup.line, sup.line + 1):
+            for rule in sup.rules:
+                by_line.setdefault((covered, rule), sup)
+
+    for finding in findings:
+        sup = by_line.get((finding.line, finding.rule))
+        if sup is None:
+            kept.append(finding)
+            continue
+        used.add(sup.line)
+        if not sup.justification:
+            meta.append(
+                Finding(
+                    rule="checks.unjustified-suppression",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"suppression of {finding.rule} has no justification "
+                        "(write `# checks: ignore[rule] -- why`)"
+                    ),
+                    file=path,
+                    line=sup.line,
+                )
+            )
+
+    for sup in suppressions:
+        if active_rules is not None and not all(
+            rule in active_rules for rule in sup.rules
+        ):
+            continue
+        if sup.line not in used:
+            meta.append(
+                Finding(
+                    rule="checks.useless-suppression",
+                    severity=Severity.WARNING,
+                    message=(
+                        f"suppression of {', '.join(sup.rules)} silences "
+                        "nothing on this line; remove it"
+                    ),
+                    file=path,
+                    line=sup.line,
+                )
+            )
+    return kept, meta

@@ -1,0 +1,144 @@
+"""Hygiene rules: exception discipline and API-shape footguns.
+
+``hyg.bare-except``       ``except:`` catches everything including
+                          ``KeyboardInterrupt``; always an error
+``hyg.broad-except``      ``except Exception`` without binding the
+                          exception (``as exc``) and without re-raising
+                          swallows the failure class silently — the PR 4
+                          convention is to record the exception class
+``hyg.swallowed-cancel``  a handler inside ``async def`` that catches
+                          ``BaseException`` (or ``CancelledError``) and
+                          does not re-raise eats task cancellation
+``hyg.mutable-default``   ``def f(x=[])`` shares one list across calls
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.diagnostics import Severity
+from repro.checks.engine import FileContext, Rule
+
+
+def _exception_names(type_node: ast.expr | None) -> list[str]:
+    """The dotted-tail names of the caught exception types."""
+    if type_node is None:
+        return []
+    nodes = type_node.elts if isinstance(type_node, ast.Tuple) else [type_node]
+    names = []
+    for node in nodes:
+        if isinstance(node, ast.Name):
+            names.append(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.append(node.attr)
+    return names
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    return any(
+        isinstance(node, ast.Raise) for node in ast.walk(handler)
+    )
+
+
+class BareExceptRule(Rule):
+    id = "hyg.bare-except"
+    severity = Severity.ERROR
+    description = "bare except catches SystemExit/KeyboardInterrupt; name the types"
+
+    def visit(self, node: ast.AST, ctx: FileContext):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            yield self.finding(
+                ctx, node,
+                "bare except catches everything including KeyboardInterrupt; "
+                "catch concrete exception types",
+            )
+
+
+class BroadExceptRule(Rule):
+    id = "hyg.broad-except"
+    severity = Severity.WARNING
+    description = (
+        "except Exception must either re-raise or bind the exception "
+        "(`as exc`) and record its class; better, narrow the types"
+    )
+
+    def visit(self, node: ast.AST, ctx: FileContext):
+        if not isinstance(node, ast.ExceptHandler):
+            return
+        names = _exception_names(node.type)
+        if "Exception" not in names and "BaseException" not in names:
+            return
+        if node.name is not None or _reraises(node):
+            return
+        caught = "BaseException" if "BaseException" in names else "Exception"
+        yield self.finding(
+            ctx, node,
+            f"except {caught} swallows the failure class; narrow the types, "
+            "or bind `as exc` and record type(exc).__name__",
+        )
+
+
+class SwallowedCancelRule(Rule):
+    id = "hyg.swallowed-cancel"
+    severity = Severity.ERROR
+    description = (
+        "inside async def, catching BaseException or CancelledError without "
+        "re-raising eats task cancellation"
+    )
+
+    def visit(self, node: ast.AST, ctx: FileContext):
+        if not isinstance(node, ast.ExceptHandler) or not ctx.in_async_function():
+            return
+        names = _exception_names(node.type)
+        catches_cancel = (
+            node.type is None
+            or "BaseException" in names
+            or "CancelledError" in names
+        )
+        if catches_cancel and not _reraises(node):
+            yield self.finding(
+                ctx, node,
+                "this handler swallows asyncio.CancelledError, so the task "
+                "cannot be cancelled; re-raise it",
+            )
+
+
+class MutableDefaultRule(Rule):
+    id = "hyg.mutable-default"
+    severity = Severity.ERROR
+    description = "mutable default arguments are shared across calls; use None"
+
+    _MUTABLE_CALLS = {"list", "dict", "set", "defaultdict", "Counter", "deque"}
+
+    def _is_mutable(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else ""
+            )
+            return name in self._MUTABLE_CALLS
+        return False
+
+    def visit(self, node: ast.AST, ctx: FileContext):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if self._is_mutable(default):
+                yield self.finding(
+                    ctx, default,
+                    f"mutable default argument in {node.name}(); one object "
+                    "is shared across every call — default to None",
+                )
+
+
+RULES: tuple[Rule, ...] = (
+    BareExceptRule(),
+    BroadExceptRule(),
+    SwallowedCancelRule(),
+    MutableDefaultRule(),
+)

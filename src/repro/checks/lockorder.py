@@ -1,0 +1,206 @@
+"""Runtime lock-order recording: cyclic lock acquisition = potential deadlock.
+
+The static rules prove mutations happen *under* a lock; they cannot prove
+two locks are always taken in the same order.  This module can, at test
+time: every lock the repo creates through :func:`new_lock` is — when a
+:class:`LockOrderMonitor` is installed — wrapped in a proxy that records,
+per thread, which locks are held when a new one is acquired.  Each such
+pair becomes an edge in a global lock-order graph; an edge that closes a
+cycle means two threads can deadlock under the right interleaving, and is
+recorded as a :class:`LockOrderViolation` (or raised in strict mode).
+
+Locks are named by *role* (``obs.tracer``, ``resilience.breaker``), not by
+instance: the discipline being checked is "the tracer lock is never taken
+while holding a breaker lock and vice versa", which is a property of the
+code, not of particular objects.
+
+Off by default.  ``REPRO_CHECKS=1`` makes the test suite install a monitor
+for the whole session (see ``tests/conftest.py``); production code pays a
+single module-global ``is None`` check per lock construction and nothing
+per acquisition.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+
+class LockOrderViolation(RuntimeError):
+    """Acquiring ``name`` while holding ``held`` contradicts a recorded order."""
+
+    def __init__(self, name: str, held: str, cycle: list[str]) -> None:
+        chain = " -> ".join(cycle + [cycle[0]]) if cycle else f"{held} -> {name}"
+        super().__init__(
+            f"lock-order cycle: acquiring {name!r} while holding {held!r}, "
+            f"but the reverse order is already on record ({chain}); two "
+            "threads interleaving these paths can deadlock"
+        )
+        self.name = name
+        self.held = held
+        self.cycle = cycle
+
+
+class MonitoredLock:
+    """A ``threading.Lock`` proxy that reports acquisitions to the monitor."""
+
+    __slots__ = ("_inner", "_name", "_monitor")
+
+    def __init__(self, inner, name: str, monitor: "LockOrderMonitor") -> None:
+        self._inner = inner
+        self._name = name
+        self._monitor = monitor
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        # Record *before* blocking: a true deadlock would otherwise keep the
+        # detector from ever seeing the closing edge.
+        self._monitor._on_acquire(self._name)
+        acquired = self._inner.acquire(blocking, timeout)
+        if not acquired:
+            self._monitor._on_release(self._name)
+        return acquired
+
+    def release(self) -> None:
+        self._inner.release()
+        self._monitor._on_release(self._name)
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+class LockOrderMonitor:
+    """Global lock-order graph + per-thread held-lock stacks."""
+
+    def __init__(self, strict: bool = False) -> None:
+        self.strict = strict
+        #: role -> set of roles ever acquired while holding it.
+        self._edges: dict[str, set[str]] = {}
+        #: every (held, acquired) pair observed, for assertions in tests.
+        self.observed: list[tuple[str, str]] = []
+        self.violations: list[LockOrderViolation] = []
+        self._graph_lock = threading.Lock()
+        self._held = threading.local()
+
+    # -- proxy callbacks ------------------------------------------------------
+
+    def wrap(self, lock, name: str) -> MonitoredLock:
+        return MonitoredLock(lock, name, self)
+
+    def _stack(self) -> list[str]:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = self._held.stack = []
+        return stack
+
+    def _on_acquire(self, name: str) -> None:
+        stack = self._stack()
+        violation: LockOrderViolation | None = None
+        with self._graph_lock:
+            for held in stack:
+                if held == name:
+                    violation = LockOrderViolation(name, held, [name])
+                    self.violations.append(violation)
+                    break
+                self.observed.append((held, name))
+                cycle = self._path_locked(name, held)
+                if cycle is not None:
+                    violation = LockOrderViolation(name, held, cycle)
+                    self.violations.append(violation)
+                    break
+                self._edges.setdefault(held, set()).add(name)
+        stack.append(name)
+        if violation is not None and self.strict:
+            raise violation
+
+    def _on_release(self, name: str) -> None:
+        stack = self._stack()
+        # Locks are normally released LIFO, but nothing enforces it; remove
+        # the innermost matching entry.
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] == name:
+                del stack[index]
+                return
+
+    # -- graph queries --------------------------------------------------------
+
+    def _path_locked(self, start: str, goal: str) -> list[str] | None:
+        """DFS for a recorded ``start -> ... -> goal`` ordering path."""
+        seen = {start}
+        trail = [start]
+
+        def walk(node: str) -> bool:
+            if node == goal:
+                return True
+            for follower in sorted(self._edges.get(node, ())):
+                if follower in seen:
+                    continue
+                seen.add(follower)
+                trail.append(follower)
+                if walk(follower):
+                    return True
+                trail.pop()
+            return False
+
+        return trail if walk(start) else None
+
+    def edges(self) -> dict[str, set[str]]:
+        with self._graph_lock:
+            return {name: set(followers) for name, followers in self._edges.items()}
+
+    def assert_clean(self) -> None:
+        if self.violations:
+            raise self.violations[0]
+
+
+#: The process-wide monitor; None means recording is off and ``new_lock``
+#: returns plain locks at full speed.
+_MONITOR: LockOrderMonitor | None = None
+
+
+def new_lock(name: str):
+    """Create a lock under role ``name`` — the repo's one lock factory.
+
+    Returns a plain ``threading.Lock`` unless a monitor is installed, in
+    which case the lock is wrapped in an order-recording proxy.
+    """
+    monitor = _MONITOR
+    if monitor is None:
+        return threading.Lock()
+    return monitor.wrap(threading.Lock(), name)
+
+
+def install(strict: bool = False) -> LockOrderMonitor:
+    """Install a fresh process-wide monitor; returns it for inspection.
+
+    Only locks created *after* installation are monitored, so install
+    before constructing the objects under test.
+    """
+    global _MONITOR
+    _MONITOR = LockOrderMonitor(strict=strict)
+    return _MONITOR
+
+
+def uninstall() -> LockOrderMonitor | None:
+    """Stop monitoring new locks; already-wrapped locks keep reporting."""
+    global _MONITOR
+    monitor, _MONITOR = _MONITOR, None
+    return monitor
+
+
+def current_monitor() -> LockOrderMonitor | None:
+    return _MONITOR
+
+
+def enabled_by_env() -> bool:
+    """Whether the REPRO_CHECKS=1 test mode is requested.
+
+    The conftest hook calls this once at session start; nothing else in the
+    repo reads the environment for it.
+    """
+    return os.environ.get("REPRO_CHECKS") == "1"  # checks: ignore[det.env-read] -- the lock-order test mode is an opt-in of the test harness, read once at pytest session start; it can never influence artifacts

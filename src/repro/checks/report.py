@@ -1,0 +1,34 @@
+"""Reporters for ``sciencebenchmark check``: terminal text and JSON.
+
+Both formats ride on the shared envelope/exit-code helpers in
+:mod:`repro.analysis.diagnostics`, the same ones ``sciencebenchmark lint``
+uses — one formatting path for every lint-style gate in the repo.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import json_report, summary_line
+from repro.checks.runner import CheckReport
+
+
+def render_terminal(report: CheckReport) -> str:
+    lines = []
+    for finding in report.findings:
+        lines.append(finding.render())
+    lines.append(
+        summary_line(
+            f"checks ({report.n_files} files, {len(report.rules)} rules)",
+            report.n_errors,
+            report.n_warnings,
+        )
+    )
+    return "\n".join(lines)
+
+
+def render_json(report: CheckReport) -> str:
+    return json_report(
+        "checks",
+        [finding.to_dict() for finding in report.findings],
+        files_scanned=report.n_files,
+        rules=sorted(report.rules),
+    )

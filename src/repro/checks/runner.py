@@ -1,0 +1,122 @@
+"""Orchestration: discover files, run every selected rule, collect findings.
+
+``run_checks(paths)`` is what ``sciencebenchmark check`` calls.  With no
+paths it scans the installed ``repro`` package itself — the framework's
+primary job is gating this repo's own source.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.analysis.diagnostics import Severity
+from repro.checks import concurrency, determinism, hygiene
+from repro.checks.engine import (
+    FileChecker,
+    Finding,
+    Rule,
+    apply_suppressions,
+)
+
+#: Every shipped rule, in reporting order.
+ALL_RULES: tuple[Rule, ...] = (
+    determinism.RULES + concurrency.RULES + hygiene.RULES
+)
+
+
+def rule_index() -> dict[str, Rule]:
+    return {rule.id: rule for rule in ALL_RULES}
+
+
+@dataclass
+class CheckReport:
+    """Everything one ``run_checks`` invocation found."""
+
+    findings: list[Finding] = field(default_factory=list)
+    n_files: int = 0
+    rules: tuple[str, ...] = ()
+
+    @property
+    def n_errors(self) -> int:
+        return sum(1 for f in self.findings if f.severity is Severity.ERROR)
+
+    @property
+    def n_warnings(self) -> int:
+        return sum(1 for f in self.findings if f.severity is Severity.WARNING)
+
+
+def default_root() -> str:
+    """The installed ``repro`` package directory — the default scan target."""
+    import repro
+
+    return os.path.dirname(os.path.abspath(repro.__file__))
+
+
+def _python_files(root: str) -> list[str]:
+    if os.path.isfile(root):
+        return [root]
+    files = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(d for d in dirnames if not d.startswith("__pycache__"))
+        for filename in sorted(filenames):
+            if filename.endswith(".py"):
+                files.append(os.path.join(dirpath, filename))
+    return files
+
+
+def _display_path(file_path: str) -> str:
+    """Repo-relative posix path starting at the package root.
+
+    ``.../site-packages/repro/serving/server.py`` → ``repro/serving/server.py``;
+    paths outside any ``repro`` package segment stay as given.
+    """
+    normalized = os.path.abspath(file_path).replace(os.sep, "/")
+    marker = "/repro/"
+    index = normalized.rfind(marker)
+    if index >= 0:
+        return normalized[index + 1 :]
+    return file_path.replace(os.sep, "/")
+
+
+def select_rules(select: list[str] | None) -> list[Rule]:
+    """Resolve ``--select`` ids (exact id or pack prefix like ``det``)."""
+    if not select:
+        return list(ALL_RULES)
+    chosen = []
+    for rule in ALL_RULES:
+        pack = rule.id.split(".", 1)[0]
+        if rule.id in select or pack in select:
+            chosen.append(rule)
+    unknown = [
+        item
+        for item in select
+        if item not in {rule.id for rule in ALL_RULES}
+        and item not in {rule.id.split(".", 1)[0] for rule in ALL_RULES}
+    ]
+    if unknown:
+        raise ValueError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+    return chosen
+
+
+def run_checks(
+    paths: list[str] | None = None,
+    select: list[str] | None = None,
+) -> CheckReport:
+    """Run the selected rule packs over ``paths`` (default: the repo source)."""
+    rules = select_rules(select)
+    roots = paths or [default_root()]
+    active = frozenset(rule.id for rule in rules)
+    report = CheckReport(rules=tuple(rule.id for rule in rules))
+    for root in roots:
+        for file_path in _python_files(root):
+            with open(file_path, encoding="utf-8") as handle:
+                source = handle.read()
+            display = _display_path(file_path)
+            report.n_files += 1
+            raw, suppressions = FileChecker(display, source, rules).run()
+            kept, meta = apply_suppressions(raw, suppressions, display, active)
+            report.findings.extend(kept)
+            report.findings.extend(meta)
+    report.findings.sort(key=lambda f: (f.file, f.line, f.col, f.rule))
+    return report

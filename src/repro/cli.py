@@ -7,6 +7,8 @@ Commands
 ``augment``    run the pipeline for one domain and write the Synth split
 ``stats``      print the per-domain split statistics
 ``lint``       static-analyze the gold queries and data of the domains
+``check``      static-analyze the repo's own Python source against the
+               determinism/concurrency/hygiene rule packs
 ``serve-bench`` benchmark the serving layer (batched vs unbatched replay)
 ``chaos-bench`` replay the pipeline and a Table-5 slice under a named
                fault schedule and assert byte-identical recovery
@@ -106,6 +108,28 @@ def _parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--strict", action="store_true",
         help="also fail on warnings, not only errors",
+    )
+
+    check = add_command(
+        "check",
+        help="static-analyze the repo's own source for determinism, "
+             "concurrency and hygiene violations",
+    )
+    check.add_argument(
+        "paths", nargs="*", default=[], metavar="path",
+        help="files or directories to scan (default: the repro package)",
+    )
+    check.add_argument(
+        "--format", choices=("terminal", "json"), default="terminal",
+        help="report format (default: terminal)",
+    )
+    check.add_argument(
+        "--select", default=None, metavar="RULE,...",
+        help="comma-separated rule ids or packs (e.g. det,con.blocking-async)",
+    )
+    check.add_argument(
+        "--list-rules", action="store_true",
+        help="print every shipped rule with its severity and exit",
     )
 
     serve = add_command(
@@ -242,6 +266,9 @@ def main(argv: list[str] | None = None) -> int:
             # Lint never builds the suite: it constructs bare domains itself
             # and must not pay for (or trigger) the synthesis pipeline.
             return _lint(args)
+        if args.command == "check":
+            # Source checks touch no artifacts at all.
+            return _check(args)
         if args.command == "chaos-bench":
             # Chaos-bench owns its runtimes (baseline vs chaos vs repair
             # caches must stay separate); it never touches the suite cache.
@@ -342,11 +369,12 @@ def _lint(args) -> int:
     (expensive) synthesis pipeline that ``suite.domain()`` runs.
     """
     from repro.analysis import lint_domain
+    from repro.analysis.diagnostics import gate_exit_code
     from repro.experiments.tasks import DOMAIN_BUILDERS
 
     config = _config_for(args)
     names = args.domains or list(DOMAIN_BUILDERS)
-    failed = False
+    n_errors = n_warnings = 0
     for name in names:
         if name not in DOMAIN_BUILDERS:
             print(f"unknown domain {name!r} (choose from "
@@ -355,9 +383,36 @@ def _lint(args) -> int:
         domain = DOMAIN_BUILDERS[name](scale=config.domain_scale)
         report = lint_domain(domain)
         print(report.render())
-        if report.has_errors or (args.strict and report.n_warnings):
-            failed = True
-    return 1 if failed else 0
+        n_errors += report.n_errors
+        n_warnings += report.n_warnings
+    return gate_exit_code(n_errors, n_warnings, strict=args.strict)
+
+
+def _check(args) -> int:
+    """Run the repo's own determinism/concurrency/hygiene source checks.
+
+    Warnings gate too (``strict=True``): an invariant worth a warning is
+    worth failing CI over — suppressions with justifications are the escape
+    hatch, not severities.
+    """
+    from repro.analysis.diagnostics import gate_exit_code
+    from repro.checks import ALL_RULES, render_json, render_terminal, run_checks
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.id:24s} {rule.severity.value:8s} {rule.description}")
+        return 0
+    select = [item.strip() for item in args.select.split(",")] if args.select else None
+    try:
+        report = run_checks(paths=args.paths or None, select=select)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_terminal(report))
+    return gate_exit_code(report.n_errors, report.n_warnings, strict=True)
 
 
 def _serve_bench(suite, args) -> int:

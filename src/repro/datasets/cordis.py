@@ -373,7 +373,7 @@ def populate(database: Database, scale: float, rng: random.Random) -> None:
     database.insert("erc_panels", list(ERC_PANELS))
 
     region_codes = []
-    for i in range(n_regions):
+    for _ in range(n_regions):
         country = rng.choice(COUNTRIES)[1]
         code = f"{country}{rng.randint(1, 9)}{rng.randint(0, 9)}{rng.randint(0, 9)}"
         if code in region_codes:
@@ -546,11 +546,11 @@ def build_lexicon() -> DomainLexicon:
     lex.add_column("countries", "country_name", "country name")
     lex.add_column("eu_territorial_units", "geocode_level", "geocode level", "NUTS level")
 
-    for name, code in COUNTRIES:
+    for name, _code in COUNTRIES:
         lex.add_value("countries", "country_name", name, name)
     for code, title in FUNDING_SCHEMES:
         lex.add_value("projects", "ec_fund_scheme", code, title, code)
-    for i, name in enumerate(FRAMEWORK_PROGRAMS):
+    for _i, name in enumerate(FRAMEWORK_PROGRAMS):
         lex.add_value("ec_framework_programs", "program_name", name, name)
     for code, desc in ACTIVITY_TYPES:
         lex.add_value("institutions", "activity_type_code", code, desc, code)

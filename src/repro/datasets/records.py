@@ -92,7 +92,7 @@ class Split:
             by_class.setdefault(pair.hardness, []).append(pair)
         sampled: list[NLSQLPair] = []
         total = len(self.pairs)
-        for level, bucket in sorted(by_class.items()):
+        for _level, bucket in sorted(by_class.items()):
             quota = round(n * len(bucket) / total)
             quota = min(quota, len(bucket))
             sampled.extend(rng.sample(bucket, quota))

@@ -251,7 +251,7 @@ class Executor:
                 agg_arg_fns[node] = compiler.compile(node.args[0])
 
         group_rows: list[tuple[tuple, dict]] = []
-        for key, members in groups.items():
+        for _key, members in groups.items():
             aggs: dict[ast.FuncCall, object] = {}
             for node in agg_nodes:
                 name = node.name.lower()

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import ReproError
 from repro.experiments.runner import BenchmarkSuite
 from repro.experiments.reporting import render_table
 from repro.llm.models import (
@@ -67,7 +68,7 @@ def compute_table3(suite: BenchmarkSuite) -> list[Table3Row]:
             ref_rng = suite.rng(f"table3-ref:{pair.sql}")
             try:
                 refs.extend(realizer.candidates(pair.sql, 2, ref_rng))
-            except Exception:
+            except ReproError:
                 pass
             references.append(refs)
             judge = EquivalenceJudge(enhanced)

@@ -12,7 +12,7 @@ question number — falling back to schema priors when evidence is missing
 from __future__ import annotations
 
 from repro.engine.database import Database
-from repro.errors import GenerationError
+from repro.errors import GenerationError, SchemaError
 from repro.nl2sql.features import comparator_intents, extract_limit
 from repro.nl2sql.linking import Links
 from repro.schema.enhanced import EnhancedSchema
@@ -166,7 +166,7 @@ class GuidedInstantiator:
                     try:
                         column_def = self.schema.column(link.table, link.column)
                         owner = self.schema.table(link.table).name
-                    except Exception:
+                    except SchemaError:
                         continue
                     if isinstance(slot.table, sq.TableSlot):
                         if slot.table.position in tables and tables[

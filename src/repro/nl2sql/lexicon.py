@@ -134,7 +134,7 @@ class LearnedLexicon:
         would poison mention-order alignment.
         """
         result: dict[str, tuple[str, str]] = {}
-        for ngram in set(content_ngrams(question)):
+        for ngram in sorted(set(content_ngrams(question))):
             bucket = self.column_assoc.get(ngram)
             if not bucket:
                 continue
@@ -150,7 +150,7 @@ class LearnedLexicon:
     def column_scores(self, question: str) -> Counter:
         """Aggregated evidence per (table, column) from all question n-grams."""
         scores: Counter = Counter()
-        for ngram in set(content_ngrams(question)):
+        for ngram in sorted(set(content_ngrams(question))):
             bucket = self.column_assoc.get(ngram)
             if not bucket:
                 continue
@@ -162,7 +162,7 @@ class LearnedLexicon:
 
     def table_scores(self, question: str) -> Counter:
         scores: Counter = Counter()
-        for ngram in set(content_ngrams(question)):
+        for ngram in sorted(set(content_ngrams(question))):
             bucket = self.table_assoc.get(ngram)
             if not bucket:
                 continue
@@ -182,7 +182,7 @@ class LearnedLexicon:
         filters at prediction time.
         """
         scores: Counter = Counter()
-        for ngram in set(content_ngrams(question)):
+        for ngram in sorted(set(content_ngrams(question))):
             bucket = self.value_assoc.get(ngram)
             if not bucket:
                 continue

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from repro.engine.database import Database
 from repro.nl2sql.features import extract_numbers, normalize_link_text, schema_phrases
 from repro.nl2sql.lexicon import LearnedLexicon
+from repro.errors import SchemaError
 from repro.schema.enhanced import EnhancedSchema
 from repro.schema.model import ColumnType
 
@@ -349,7 +350,7 @@ class SchemaLinker:
         """Turn a learned literal string back into a typed value."""
         try:
             column_def = self.schema.column(table, column)
-        except Exception:
+        except SchemaError:
             return None
         if column_def.type.is_numeric:
             try:

@@ -71,7 +71,7 @@ class T5Seq2Seq(NLToSQLSystem):
         instantiator = GuidedInstantiator(context.database, context.enhanced)
 
         first_decodable: str | None = None
-        for _, pair, template in neighbours:
+        for _, _pair, template in neighbours:
             if template is None:
                 continue
             try:

@@ -72,7 +72,7 @@ class ValueNet(NLToSQLSystem):
         score = -1.2 * float(rank)
         lowered = sql.lower()
         evidence_bonus = 0.0
-        for (table, column), weight in links.columns.items():
+        for (_table, column), weight in links.columns.items():
             if column in lowered:
                 evidence_bonus += 0.1 * min(weight, 3.0)
         known_literals = {str(v.value).lower() for v in links.values}
@@ -93,7 +93,7 @@ class ValueNet(NLToSQLSystem):
                 ).lower()
                 if text not in known_literals:
                     score -= 0.8
-        except Exception:
+        except ReproError:
             pass
         if nonempty:
             score += 0.3

@@ -15,7 +15,7 @@ bucket edges.
 from __future__ import annotations
 
 import bisect
-import threading
+from repro.checks.lockorder import new_lock
 
 
 def geometric_bounds(
@@ -43,7 +43,7 @@ class Counter:
 
     def __init__(self, name: str) -> None:
         self.name = name
-        self._lock = threading.Lock()
+        self._lock = new_lock("obs.metrics.instrument")
         self._value = 0
 
     def inc(self, n: int = 1) -> None:
@@ -66,7 +66,7 @@ class Gauge:
 
     def __init__(self, name: str) -> None:
         self.name = name
-        self._lock = threading.Lock()
+        self._lock = new_lock("obs.metrics.instrument")
         self._value = 0.0
 
     def set(self, value: float) -> None:
@@ -100,7 +100,7 @@ class Histogram:
         self.name = ""
         self._bounds = list(bounds)
         self._counts = [0] * (len(self._bounds) + 1)
-        self._lock = threading.Lock()
+        self._lock = new_lock("obs.metrics.instrument")
         self.count = 0
         self.total = 0.0
         self.max = 0.0
@@ -175,7 +175,7 @@ class MetricsRegistry:
     """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = new_lock("obs.metrics.registry")
         self._instruments: dict[str, object] = {}
 
     def _get_or_create(self, name: str, kind: str, factory):

@@ -20,9 +20,9 @@ the parent tracer's.  No randomness is involved anywhere.
 
 from __future__ import annotations
 
-import threading
 from contextvars import ContextVar
 
+from repro.checks.lockorder import new_lock
 from repro.obs.span import Span, SpanEvent
 from repro.resilience.clock import SYSTEM_CLOCK
 
@@ -124,7 +124,7 @@ class Tracer:
     def __init__(self, clock=SYSTEM_CLOCK, id_prefix: str = "") -> None:
         self.clock = clock
         self._prefix = id_prefix
-        self._lock = threading.Lock()
+        self._lock = new_lock("obs.tracer")
         self._next = 1
         self.spans: list[Span] = []
 

@@ -15,8 +15,7 @@ decode threads.
 
 from __future__ import annotations
 
-import threading
-
+from repro.checks.lockorder import new_lock
 from repro.errors import ReproError
 from repro.resilience.clock import SYSTEM_CLOCK
 
@@ -54,7 +53,7 @@ class CircuitBreaker:
         self.reset_timeout_s = reset_timeout_s
         self.half_open_max = half_open_max
         self.clock = clock
-        self._lock = threading.Lock()
+        self._lock = new_lock("resilience.breaker")
         self._state = CLOSED
         self._consecutive_failures = 0
         self._opened_at = 0.0

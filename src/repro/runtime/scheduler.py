@@ -36,7 +36,6 @@ from __future__ import annotations
 
 import importlib
 import os
-import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -93,9 +92,9 @@ def execute_task(
     if inject is not None:
         raise_fault(inject, fn_path)
     if trace is None:
-        start = time.perf_counter()
+        start = SYSTEM_CLOCK.now()
         artifact = resolve_fn(fn_path)(params, inputs)
-        return artifact, time.perf_counter() - start, []
+        return artifact, SYSTEM_CLOCK.now() - start, []
 
     from repro import obs
     from repro.obs.tracer import Tracer
@@ -104,9 +103,9 @@ def execute_task(
     previous = obs.set_tracer(tracer)
     try:
         with tracer.span(f"exec:{trace['name']}", parent=trace["parent"]):
-            start = time.perf_counter()
+            start = SYSTEM_CLOCK.now()
             artifact = resolve_fn(fn_path)(params, inputs)
-            seconds = time.perf_counter() - start
+            seconds = SYSTEM_CLOCK.now() - start
     finally:
         obs.set_tracer(previous)
     return artifact, seconds, tracer.finished()

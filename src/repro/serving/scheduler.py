@@ -9,8 +9,9 @@ the "unbatched" benchmark arm.
 from __future__ import annotations
 
 import asyncio
-import time
 from dataclasses import dataclass
+
+from repro.resilience.clock import SYSTEM_CLOCK
 
 
 @dataclass(frozen=True)
@@ -22,7 +23,7 @@ class BatchPolicy:
 
 
 async def collect_batch(
-    queue: asyncio.Queue, policy: BatchPolicy, *, clock=time.perf_counter
+    queue: asyncio.Queue, policy: BatchPolicy, *, clock=SYSTEM_CLOCK.now
 ) -> list:
     """Collect one micro-batch from ``queue``.
 

@@ -185,9 +185,11 @@ class InferenceServer:
                             ServeError("shutdown", "server stopped before decoding"),
                         )
                     )
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            # The (waiting) shutdown happens off the event loop so a slow
+            # decode thread cannot stall every other coroutine.
+            await asyncio.get_running_loop().run_in_executor(None, executor.shutdown)
         self._started = False
 
     async def __aenter__(self) -> "InferenceServer":
@@ -324,6 +326,7 @@ class InferenceServer:
             for question in unique:
                 try:
                     link(question, backend.name)
+                # checks: ignore[hyg.broad-except] -- warm-up is best-effort by design; any linking failure recurs inside predict and is handled there
                 except Exception:
                     pass  # linking trouble surfaces as a decode failure below
         tracer.end_span(stage_span)
@@ -351,8 +354,9 @@ class InferenceServer:
                 for question, sql in zip(unique, batch_sql):
                     outcome.answers[question] = _Answer(sql=sql)
                 breaker.record_success()
-            except Exception:
+            except Exception as batch_exc:
                 breaker.record_failure()
+                stage_span.set_attr("batch_error", type(batch_exc).__name__)
                 for question in unique:
                     outcome.answers[question] = self._decode_one(backend, question)
         tracer.end_span(stage_span)

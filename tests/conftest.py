@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.checks import lockorder
 from repro.engine import create_database
 from repro.schema.enhanced import EnhancedSchema
 from repro.schema.model import Column, ColumnType, ForeignKey, Schema, TableDef
@@ -16,6 +17,26 @@ from repro.schema.model import Column, ColumnType, ForeignKey, Schema, TableDef
 I = ColumnType.INTEGER
 F = ColumnType.REAL
 T = ColumnType.TEXT
+
+
+@pytest.fixture(scope="session", autouse=True)
+def lock_order_monitor():
+    """Under ``REPRO_CHECKS=1``, record every lock acquisition for the whole
+    session and fail it if any pair of locks was ever taken in both orders.
+
+    Off by default: without the environment flag the fixture is inert and
+    ``new_lock`` hands out plain locks.  CI runs the concurrency-heavy
+    suites (test_runtime.py, test_serving.py) with the flag on.
+    """
+    if not lockorder.enabled_by_env():
+        yield None
+        return
+    monitor = lockorder.install(strict=False)
+    try:
+        yield monitor
+    finally:
+        lockorder.uninstall()
+    monitor.assert_clean()
 
 
 @pytest.fixture(scope="session")

@@ -22,7 +22,7 @@ def test_full_preset_matches_paper_synth_sizes():
 
 def test_config_is_frozen():
     config = quick()
-    with pytest.raises(Exception):
+    with pytest.raises(AttributeError):  # dataclasses.FrozenInstanceError
         config.seed = 1
 
 

@@ -27,7 +27,7 @@ def test_domain_builders_produce_populated_dbs(name):
 
 def test_spider_profile_small_schemas():
     """Spider's Table-1 profile: a few tables and a couple dozen columns."""
-    for name, builder in DOMAIN_BUILDERS.items():
+    for _name, builder in DOMAIN_BUILDERS.items():
         database = builder(random.Random(0))
         assert 2 <= len(database.schema.tables) <= 4
         assert database.schema.total_columns() <= 25
