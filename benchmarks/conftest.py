@@ -1,8 +1,7 @@
 """Shared benchmark fixtures.
 
-All benchmark modules draw from one process-wide :func:`get_suite` instance
-so the world (databases, corpus, synthetic splits) is built exactly once per
-run.  Each benchmark writes its rendered table/figure to ``results/`` next
+All benchmark modules draw from one session-scoped suite instance so the
+world (databases, corpus, synthetic splits) is built exactly once per run.  Each benchmark writes its rendered table/figure to ``results/`` next
 to this directory and prints it, so a ``pytest benchmarks/ --benchmark-only
 -s`` run regenerates every artifact of the paper's evaluation.
 """
@@ -18,9 +17,10 @@ RESULTS_DIR = Path(__file__).parent / "results"
 
 @pytest.fixture(scope="session")
 def suite():
-    from repro.experiments.runner import get_suite
+    from repro.experiments.config import quick
+    from repro.experiments.runner import Suite
 
-    return get_suite("quick")
+    return Suite.from_config(quick())
 
 
 @pytest.fixture(scope="session")

@@ -16,11 +16,11 @@ from conftest import emit
 def test_table5(benchmark, suite, results_dir):
     from repro.experiments.table5 import (
         DOMAIN_REGIMES,
-        DOMAINS,
         compute_table5,
         render_table5,
     )
 
+    DOMAINS = suite.domain_names()
     result = benchmark.pedantic(compute_table5, args=(suite,), rounds=1, iterations=1)
     systems = ("valuenet", "t5-large", "smbop")
 

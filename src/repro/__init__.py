@@ -18,7 +18,6 @@ See ``examples/`` for end-to-end scenarios and ``benchmarks/`` for the
 regeneration of every table and figure in the paper.
 """
 
-from repro.datasets import cordis, oncomx, sdss
 from repro.datasets.records import BenchmarkDomain, NLSQLPair, Split
 from repro.engine import Database, create_database
 from repro.errors import ReproError
@@ -32,24 +31,24 @@ from repro.synthesis import AugmentationPipeline, PipelineConfig, augment_domain
 
 __version__ = "1.0.0"
 
-_DOMAIN_BUILDERS = {"cordis": cordis.build, "sdss": sdss.build, "oncomx": oncomx.build}
-
 
 def build_domain(name: str, scale: float = 1.0, seed: int | None = None) -> BenchmarkDomain:
-    """Build one ScienceBenchmark domain (``cordis``, ``sdss`` or ``oncomx``).
+    """Build one registered benchmark domain (``cordis``, ``sdss``, ``oncomx``
+    or any adapter registered through :mod:`repro.adapters`).
 
     ``scale`` multiplies the synthetic row counts; ``seed`` overrides the
     dataset's default RNG seed.
     """
+    from repro import adapters
+    from repro.errors import AdapterError
+
     try:
-        builder = _DOMAIN_BUILDERS[name.lower()]
-    except KeyError:
+        adapter = adapters.get_adapter(name)
+    except AdapterError:
         raise ValueError(
-            f"unknown domain {name!r}; choose from {sorted(_DOMAIN_BUILDERS)}"
+            f"unknown domain {name!r}; choose from {list(adapters.list_adapters())}"
         ) from None
-    if seed is None:
-        return builder(scale=scale)
-    return builder(scale=scale, seed=seed)
+    return adapter.build(scale=scale, seed=seed)
 
 
 def __getattr__(name):

@@ -1,0 +1,62 @@
+"""Adapter manifests: pure-data descriptions of domain adapter modules.
+
+A manifest names *where* a domain adapter lives (module + attribute) without
+importing it.  The registry resolves manifests lazily, so registering every
+builtin domain costs nothing until a domain is actually built — and the
+manifest's :meth:`~AdapterManifest.spec` form travels into task-graph params
+so worker processes can import the adapter without sharing the parent
+process's registry state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AdapterError
+
+
+@dataclass(frozen=True)
+class AdapterManifest:
+    """Where one domain adapter lives and how to load it.
+
+    ``module`` is an importable dotted path whose ``attr`` is the adapter's
+    build entry point (the :data:`~repro.adapters.DomainBuilder` protocol:
+    ``build(scale=..., seed=...) -> BenchmarkDomain``).  For adapters
+    distributed as a single ``.py`` file outside ``sys.path`` (the "new
+    domain in one file" workflow), ``source`` carries the file path so any
+    process — including pool workers — can load it by location.
+    """
+
+    name: str
+    module: str
+    attr: str = "build"
+    description: str = ""
+    #: File path for adapters loaded from a standalone ``.py`` file.
+    source: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "").replace("-", "").isalnum():
+            raise AdapterError(f"invalid adapter name {self.name!r}")
+        if self.name != self.name.lower():
+            raise AdapterError(
+                f"adapter name {self.name!r} must be lowercase (names are "
+                "matched case-insensitively on the command line)"
+            )
+        if not self.module:
+            raise AdapterError(f"adapter {self.name!r} has no module")
+
+    def spec(self) -> dict:
+        """The JSON-safe import spec (feeds task params and content hashes)."""
+        spec = {"module": self.module, "attr": self.attr}
+        if self.source is not None:
+            spec["source"] = self.source
+        return spec
+
+    @classmethod
+    def from_spec(cls, name: str, spec: dict) -> "AdapterManifest":
+        return cls(
+            name=name,
+            module=spec["module"],
+            attr=spec.get("attr", "build"),
+            source=spec.get("source"),
+        )

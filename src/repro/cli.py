@@ -12,17 +12,24 @@ Commands
 ``serve-bench`` benchmark the serving layer (batched vs unbatched replay)
 ``chaos-bench`` replay the pipeline and a Table-5 slice under a named
                fault schedule and assert byte-identical recovery
+``diff-exec``  differentially execute a domain's query sets on the in-repo
+               engine and an alternative backend (sqlite) and report
+               divergences
 ``trace``      run any other command under the tracer and export a Chrome
                trace, a JSONL span log and a terminal flame summary
 
 All commands accept ``--preset quick|full`` (default quick) and are fully
 deterministic: for a fixed seed, ``--workers 4`` produces byte-identical
-output to ``--workers 1``.  Artifacts are built through the task-graph
-runtime — ``--workers`` fans independent tasks across processes,
-``--cache-dir``/``--no-cache`` control the content-addressed artifact cache
-(default ``.repro-cache/``), and ``--timings`` prints the per-task runtime
-report to stderr.  Failures exit non-zero: 1 for benchmark errors
-(including lint findings), 2 for usage errors.
+output to ``--workers 1``.  Domain selection is uniform: ``--domain NAME``
+(repeatable) restricts any command to a subset of the registered adapters,
+and ``--adapter PATH`` registers an extra single-file domain adapter before
+the command runs — both validated against :func:`repro.adapters.list_adapters`.
+Artifacts are built through the task-graph runtime — ``--workers`` fans
+independent tasks across processes, ``--cache-dir``/``--no-cache`` control
+the content-addressed artifact cache (default ``.repro-cache/``), and
+``--timings`` prints the per-task runtime report to stderr.  Failures exit
+non-zero: 1 for benchmark errors (including lint findings), 2 for usage
+errors.
 """
 
 from __future__ import annotations
@@ -61,6 +68,16 @@ def _add_shared_flags(parser: argparse.ArgumentParser, suppress: bool) -> None:
         "--timings", action="store_true", default=default(False),
         help="print the runtime report (per-task wall time, cache hits) to stderr",
     )
+    parser.add_argument(
+        "--domain", action="append", default=default(None), metavar="NAME",
+        help="restrict to a registered domain adapter; repeatable "
+             "(default: every registered adapter)",
+    )
+    parser.add_argument(
+        "--adapter", action="append", default=default(None), metavar="PATH",
+        help="register a domain adapter from a Python file or module path "
+             "before running; repeatable",
+    )
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -84,8 +101,9 @@ def _parser() -> argparse.ArgumentParser:
 
     add_command("figures", help="regenerate Figure 1 and Figure 2")
 
-    augment = add_command("augment", help="run the pipeline for one domain")
-    augment.add_argument("domain", choices=("cordis", "sdss", "oncomx"))
+    augment = add_command(
+        "augment", help="run the pipeline for one domain (exactly one --domain)"
+    )
     augment.add_argument("--out", default=None, help="write the Synth split as JSON")
     augment.add_argument(
         "--target", type=int, default=None, metavar="N",
@@ -100,10 +118,6 @@ def _parser() -> argparse.ArgumentParser:
 
     lint = add_command(
         "lint", help="static-analyze gold queries and data integrity"
-    )
-    lint.add_argument(
-        "domains", nargs="*", default=[], metavar="domain",
-        help="domains to lint (default: cordis sdss oncomx)",
     )
     lint.add_argument(
         "--strict", action="store_true",
@@ -144,10 +158,6 @@ def _parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--regime", choices=("zero", "seed", "synth", "both"), default="both",
         help="training regime of the served systems (default: both)",
-    )
-    serve.add_argument(
-        "--domains", nargs="*", default=None, metavar="domain",
-        help="domains to serve (default: cordis sdss oncomx)",
     )
     serve.add_argument(
         "--concurrency", type=int, default=16, metavar="N",
@@ -215,10 +225,6 @@ def _parser() -> argparse.ArgumentParser:
         help="named fault schedule (default: transient-small)",
     )
     chaos.add_argument(
-        "--domain", choices=("cordis", "sdss", "oncomx"), default="cordis",
-        help="domain for the augment replay (default: cordis)",
-    )
-    chaos.add_argument(
         "--skip-tables", action="store_true",
         help="skip the (slower) Table-5 runtime replay",
     )
@@ -234,13 +240,68 @@ def _parser() -> argparse.ArgumentParser:
         "--out", default="benchmarks/BENCH_resilience.json", metavar="PATH",
         help="report destination (default: benchmarks/BENCH_resilience.json)",
     )
+
+    diff = add_command(
+        "diff-exec",
+        help="differentially execute a domain's query sets on the in-repo "
+             "engine and an alternative backend; report divergences",
+    )
+    diff.add_argument(
+        "--backend", choices=("sqlite",), default="sqlite",
+        help="execution backend to compare against (default: sqlite)",
+    )
+    diff.add_argument(
+        "--splits", choices=("gold", "silver", "all"), default="gold",
+        help="query sets to execute: gold (seed+dev, built bare), silver "
+             "(the synth split, built through the suite) or all "
+             "(default: gold)",
+    )
+    diff.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the JSON divergence report",
+    )
     return parser
 
 
 def _config_for(args):
+    import dataclasses
+
     from repro.experiments.config import full, quick
 
-    return {"quick": quick, "full": full}[args.preset]()
+    config = {"quick": quick, "full": full}[args.preset]()
+    if args.domain:
+        config = dataclasses.replace(config, domains=tuple(args.domain))
+    return config
+
+
+def _resolve_domain_flags(args) -> int:
+    """Register ``--adapter`` sources, then validate ``--domain`` names.
+
+    Adapters register first so a just-loaded single-file domain is a valid
+    ``--domain`` target in the same invocation.  Returns 0 on success or the
+    usage exit code.
+    """
+    from repro import adapters
+    from repro.errors import AdapterError
+
+    for path in args.adapter or ():
+        try:
+            adapters.load_adapter_source(path)
+        except AdapterError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    if args.domain:
+        available = adapters.list_adapters()
+        for name in args.domain:
+            if name.lower() not in available:
+                print(
+                    f"unknown domain {name!r} (available: "
+                    f"{', '.join(available)})",
+                    file=sys.stderr,
+                )
+                return 2
+        args.domain = [name.lower() for name in args.domain]
+    return 0
 
 
 def _build_suite(args):
@@ -262,6 +323,9 @@ def main(argv: list[str] | None = None) -> int:
             # The wrapper re-enters main() for the wrapped command; it never
             # builds a suite (or touches the shared flags) itself.
             return _trace(args)
+        code = _resolve_domain_flags(args)
+        if code:
+            return code
         if args.command == "lint":
             # Lint never builds the suite: it constructs bare domains itself
             # and must not pay for (or trigger) the synthesis pipeline.
@@ -273,13 +337,17 @@ def main(argv: list[str] | None = None) -> int:
             # Chaos-bench owns its runtimes (baseline vs chaos vs repair
             # caches must stay separate); it never touches the suite cache.
             return _chaos_bench(args)
+        if args.command == "diff-exec":
+            # Gold splits execute on bare domains (no synthesis); the silver
+            # split goes through a suite inside the handler.
+            return _diff_exec(args)
         suite = _build_suite(args)
         if args.command == "tables":
             code = _tables(suite, args.which)
         elif args.command == "figures":
             code = _figures(suite)
         elif args.command == "augment":
-            code = _augment(suite, args.domain, args.out, args.target, args.seed)
+            code = _augment(suite, args)
         elif args.command == "stats":
             code = _stats(suite)
         elif args.command == "serve-bench":
@@ -317,6 +385,10 @@ def _tables(suite, which: list[str]) -> int:
 def _figures(suite) -> int:
     from repro.experiments import registry
 
+    if "sdss" not in suite.domain_names():
+        print("figures requires the sdss domain (the paper's Figure 1/2 "
+              "walk-throughs are SDSS-based)", file=sys.stderr)
+        return 2
     suite.ensure(
         registry.required_tasks("figure1", suite.config)
         + registry.required_tasks("figure2", suite.config)
@@ -327,9 +399,12 @@ def _figures(suite) -> int:
     return 0
 
 
-def _augment(
-    suite, domain_name: str, out: str | None, target: int | None, seed: int | None
-) -> int:
+def _augment(suite, args) -> int:
+    if not args.domain or len(args.domain) != 1:
+        print("augment requires exactly one --domain", file=sys.stderr)
+        return 2
+    domain_name = args.domain[0]
+    out, target, seed = args.out, args.target, args.seed
     if target is None and seed is None:
         # Default run: the suite's own Synth artifact (graph-built, cached).
         synth = suite.domain(domain_name).synth
@@ -337,7 +412,7 @@ def _augment(
         # Overrides map onto an explicit PipelineConfig over a bare domain.
         import random
 
-        from repro.experiments.tasks import DOMAIN_BUILDERS
+        from repro import adapters
         from repro.llm.models import GPT3_PROFILE, make_model
         from repro.runtime import derive_seed
         from repro.synthesis import augment_domain
@@ -346,7 +421,9 @@ def _augment(
             seed = derive_seed(suite.config.seed, f"augment:{domain_name}")
         if target is None:
             target = suite.config.synth_targets.get(domain_name, 300)
-        domain = DOMAIN_BUILDERS[domain_name](scale=suite.config.domain_scale)
+        domain = adapters.get_adapter(domain_name).build(
+            scale=suite.config.domain_scale
+        )
         synth = augment_domain(
             domain,
             target_queries=target,
@@ -368,19 +445,15 @@ def _lint(args) -> int:
     Builds the bare domains directly — linting must not trigger the
     (expensive) synthesis pipeline that ``suite.domain()`` runs.
     """
+    from repro import adapters
     from repro.analysis import lint_domain
     from repro.analysis.diagnostics import gate_exit_code
-    from repro.experiments.tasks import DOMAIN_BUILDERS
 
     config = _config_for(args)
-    names = args.domains or list(DOMAIN_BUILDERS)
+    names = args.domain or list(adapters.list_adapters())
     n_errors = n_warnings = 0
     for name in names:
-        if name not in DOMAIN_BUILDERS:
-            print(f"unknown domain {name!r} (choose from "
-                  f"{', '.join(DOMAIN_BUILDERS)})", file=sys.stderr)
-            return 2
-        domain = DOMAIN_BUILDERS[name](scale=config.domain_scale)
+        domain = adapters.get_adapter(name).build(scale=config.domain_scale)
         report = lint_domain(domain)
         print(report.render())
         n_errors += report.n_errors
@@ -417,7 +490,6 @@ def _check(args) -> int:
 
 def _serve_bench(suite, args) -> int:
     """Warm-start the serving layer and replay dev questions through it."""
-    from repro.experiments.tasks import DOMAINS
     from repro.serving import (
         LoadProfile,
         ServerConfig,
@@ -427,12 +499,9 @@ def _serve_bench(suite, args) -> int:
         write_report,
     )
 
-    domains = tuple(args.domains) if args.domains else DOMAINS
-    for name in domains:
-        if name not in DOMAINS:
-            print(f"unknown domain {name!r} (choose from {', '.join(DOMAINS)})",
-                  file=sys.stderr)
-            return 2
+    # --domain (already validated against the registry) narrows the serve
+    # set; default is everything the suite's config names.
+    domains = tuple(args.domain) if args.domain else suite.domain_names()
 
     bundle = load_backends(
         suite, domains=domains, system_name=args.system, regime=args.regime
@@ -542,9 +611,13 @@ def _chaos_bench(args) -> int:
         write_report,
     )
 
+    if args.domain and len(args.domain) > 1:
+        print("chaos-bench accepts a single --domain", file=sys.stderr)
+        return 2
+    domain = args.domain[0] if args.domain else "cordis"
     report = run_chaos_bench(
         schedule=args.schedule,
-        domain=args.domain,
+        domain=domain,
         skip_tables=args.skip_tables,
         workers=max(2, args.workers),
     )
@@ -571,10 +644,52 @@ def _chaos_bench(args) -> int:
     return code
 
 
-def _stats(suite) -> int:
-    from repro.experiments.tasks import CORPUS_TASK, DOMAINS, domain_task
+def _diff_exec(args) -> int:
+    """Differentially execute query sets on the engine and a backend.
 
-    suite.ensure([CORPUS_TASK, *(domain_task(name) for name in DOMAINS)])
+    Gold splits (seed+dev) run against bare adapter-built domains — no
+    synthesis.  Asking for the silver split builds the domains through the
+    suite so the Synth artifact is materialised (and cached).  Exit 1 when
+    any query diverges, 2 on usage errors, 0 on full agreement.
+    """
+    from repro import adapters
+    from repro.engine.diffexec import (
+        ALL_SPLITS,
+        GOLD_SPLITS,
+        run_diff_exec,
+        write_reports,
+    )
+
+    splits = {"gold": GOLD_SPLITS, "silver": ("synth",), "all": ALL_SPLITS}[
+        args.splits
+    ]
+    names = list(args.domain or adapters.list_adapters())
+    suite = _build_suite(args) if "synth" in splits else None
+    config = suite.config if suite is not None else _config_for(args)
+
+    reports = []
+    for name in names:
+        if suite is not None:
+            domain = suite.domain(name)
+        else:
+            domain = adapters.get_adapter(name).build(scale=config.domain_scale)
+        report = run_diff_exec(domain, backend=args.backend, splits=splits)
+        print(report.render())
+        reports.append(report)
+    if args.out:
+        path = write_reports(reports, args.out)
+        print(f"report written to {path}", file=sys.stderr)
+    if suite is not None and args.timings:
+        print(suite.runtime.report.render(), file=sys.stderr)
+    return 0 if all(report.agreed for report in reports) else 1
+
+
+def _stats(suite) -> int:
+    from repro.experiments.tasks import CORPUS_TASK, domain_task
+
+    suite.ensure(
+        [CORPUS_TASK, *(domain_task(name) for name in suite.domain_names())]
+    )
     for name, domain in suite.domains().items():
         print(f"{name}:")
         for split in (domain.seed, domain.dev, domain.synth):

@@ -1,8 +1,17 @@
-"""ScienceBenchmark datasets: the three scientific domains and containers."""
+"""ScienceBenchmark datasets: the three scientific domains and containers.
 
-from repro.datasets import cordis, generators, oncomx, sdss
+The domain modules (``cordis``, ``sdss``, ``oncomx``) and ``generators``
+load lazily: importing this package no longer pulls in all three domains,
+so a run that only touches one domain (resolved through the
+:mod:`repro.adapters` registry) imports only that module.
+"""
+
+import importlib
+
 from repro.datasets.programs import Program, expand_programs
 from repro.datasets.records import BenchmarkDomain, NLSQLPair, Split
+
+_LAZY_MODULES = ("cordis", "sdss", "oncomx", "generators")
 
 __all__ = [
     "cordis",
@@ -15,3 +24,15 @@ __all__ = [
     "Program",
     "expand_programs",
 ]
+
+
+def __getattr__(name):
+    if name in _LAZY_MODULES:
+        module = importlib.import_module(f"{__name__}.{name}")
+        globals()[name] = module
+        return module
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_MODULES))

@@ -1,0 +1,36 @@
+"""The in-repo engine wrapped as an :class:`ExecutionBackend`.
+
+A thin adapter: the :class:`~repro.engine.database.Database` already *is*
+the engine, so loading is a pointer assignment and execution delegates to
+its executor.  Exists so differential execution treats both sides of the
+comparison uniformly.
+"""
+
+from __future__ import annotations
+
+from repro.engine.backends import ExecutionBackend
+from repro.engine.database import Database
+from repro.engine.executor import Result
+from repro.errors import ExecutionError
+
+
+class NativeBackend(ExecutionBackend):
+    """The reproduction's own in-memory SQL engine."""
+
+    name = "native"
+
+    def __init__(self) -> None:
+        self._database: Database | None = None
+
+    def load(self, database: Database) -> None:
+        self._database = database
+
+    def execute(self, sql: str) -> Result:
+        if self._database is None:
+            raise ExecutionError("native backend has no database loaded")
+        return self._database.execute(sql)
+
+    def try_execute(self, sql: str) -> Result | None:
+        if self._database is None:
+            raise ExecutionError("native backend has no database loaded")
+        return self._database.try_execute(sql)

@@ -44,6 +44,12 @@ class SemQLError(ReproError):
     when a SemQL tree cannot be lowered back to SQL."""
 
 
+class AdapterError(ReproError):
+    """Raised by the domain-adapter registry: unknown adapter names,
+    duplicate registrations, or manifests whose module/attribute cannot be
+    imported or does not satisfy the adapter protocol."""
+
+
 class GenerationError(ReproError):
     """Raised by the synthesis pipeline when a template cannot be instantiated
     under the enhanced-schema constraints (e.g. no compatible column exists)."""

@@ -1,7 +1,7 @@
 """Experiment harness: one module per paper table/figure plus the runner."""
 
 from repro.experiments.config import ExperimentConfig, full, quick
-from repro.experiments.runner import BenchmarkSuite, Suite, get_suite
+from repro.experiments.runner import BenchmarkSuite, Suite
 
 __all__ = [
     "ExperimentConfig",
@@ -9,5 +9,4 @@ __all__ = [
     "full",
     "BenchmarkSuite",
     "Suite",
-    "get_suite",
 ]

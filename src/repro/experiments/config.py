@@ -18,7 +18,11 @@ class ExperimentConfig:
     name: str = "quick"
     seed: int = 2023
 
-    # Domain databases
+    # Domain databases.  ``domains`` names the adapters the suite builds —
+    # resolved against the adapter registry (:mod:`repro.adapters`) when the
+    # task graph is assembled, so any registered adapter (including one
+    # loaded from a single file) slots in without code changes.
+    domains: tuple[str, ...] = ("cordis", "sdss", "oncomx")
     domain_scale: float = 0.3
 
     # MiniSpider corpus

@@ -33,7 +33,7 @@ class RendererSpec:
 
 
 def _domains(config: ExperimentConfig) -> list[str]:
-    return [tasks.domain_task(name) for name in tasks.DOMAINS]
+    return [tasks.domain_task(name) for name in tasks.active_domains(config)]
 
 
 def _corpus_and_domains(config: ExperimentConfig) -> list[str]:
@@ -45,7 +45,7 @@ def _sdss_only(config: ExperimentConfig) -> list[str]:
 
 
 def _table5_grid(config: ExperimentConfig) -> list[str]:
-    return tasks.eval_grid()
+    return tasks.eval_grid(domains=tasks.active_domains(config))
 
 
 RENDERERS: dict[str, RendererSpec] = {
@@ -109,7 +109,7 @@ def render(name: str, suite) -> str:
 
 def serving_tasks(
     system: str,
-    domains: tuple[str, ...] = tasks.DOMAINS,
+    domains: tuple[str, ...],
     regime: str = "both",
 ) -> list[str]:
     """Graph task names the serving layer warm-starts from.

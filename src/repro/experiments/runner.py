@@ -15,26 +15,26 @@ Public API::
     suite.corpus                # task "corpus"
     suite.ensure([...])         # fan a batch of tasks across the workers
 
-``get_suite()`` remains as a deprecated shim over ``Suite.from_config``.
+The suite's domain set is ``config.domains``, resolved through the adapter
+registry (:mod:`repro.adapters`) when the graph is assembled — any
+registered adapter slots in without code changes.
 """
 
 from __future__ import annotations
 
 import random
-import warnings
-from functools import lru_cache
 from typing import Any
 
 from repro.datasets.records import BenchmarkDomain, Split
 from repro.experiments.config import ExperimentConfig, quick
 from repro.experiments.tasks import (
     CORPUS_TASK,
-    DOMAIN_BUILDERS,
     DOMAIN_REGIMES,
     SPIDER_REGIMES,
     SYNTH_SPIDER_TASK,
     SYSTEM_CLASSES,
     Table5Cell,
+    active_domains,
     build_suite_graph,
     domain_task,
     eval_task,
@@ -46,8 +46,6 @@ from repro.spider.corpus import SpiderCorpus
 __all__ = [
     "BenchmarkSuite",
     "Suite",
-    "get_suite",
-    "DOMAIN_BUILDERS",
     "SYSTEM_CLASSES",
 ]
 
@@ -89,15 +87,19 @@ class BenchmarkSuite:
 
     # -- shared artifacts -----------------------------------------------------
 
+    def domain_names(self) -> tuple[str, ...]:
+        """The domain names this suite builds (from ``config.domains``)."""
+        return active_domains(self.config)
+
     def domain(self, name: str) -> BenchmarkDomain:
         """One ScienceBenchmark domain, with its Synth split materialised."""
-        if name not in DOMAIN_BUILDERS:
+        if name not in self.domain_names():
             raise KeyError(name)
         return self.artifact(domain_task(name))
 
     def domains(self) -> dict[str, BenchmarkDomain]:
-        self.ensure([domain_task(name) for name in DOMAIN_BUILDERS])
-        return {name: self.domain(name) for name in DOMAIN_BUILDERS}
+        self.ensure([domain_task(name) for name in self.domain_names()])
+        return {name: self.domain(name) for name in self.domain_names()}
 
     @property
     def corpus(self) -> SpiderCorpus:
@@ -116,7 +118,7 @@ class BenchmarkSuite:
         for db_id, database in self.corpus.databases.items():
             system.register_database(db_id, database, self.corpus.enhanced[db_id])
         if include_domains:
-            for name in DOMAIN_BUILDERS:
+            for name in self.domain_names():
                 domain = self.domain(name)
                 system.register_database(name, domain.database, domain.enhanced)
         return system
@@ -128,7 +130,7 @@ class BenchmarkSuite:
             return "spider"
         if regime not in DOMAIN_REGIMES:
             raise ValueError(f"unknown regime {regime!r}")
-        if domain_name not in DOMAIN_BUILDERS:
+        if domain_name not in self.domain_names():
             raise KeyError(domain_name)
         return domain_name
 
@@ -169,25 +171,3 @@ class BenchmarkSuite:
 
 #: The name the redesigned API is documented under.
 Suite = BenchmarkSuite
-
-
-@lru_cache(maxsize=2)
-def _suite_for(name: str) -> BenchmarkSuite:
-    from repro.experiments import config as config_module
-
-    factory = getattr(config_module, name)
-    return BenchmarkSuite(factory())
-
-
-def get_suite(preset: str = "quick") -> BenchmarkSuite:
-    """Deprecated process-wide shared suite (presets: ``quick`` or ``full``).
-
-    Use ``Suite.from_config(quick(), runtime=Runtime(...))`` instead; this
-    shim keeps returning a process-global, sequential, uncached suite.
-    """
-    warnings.warn(
-        "get_suite() is deprecated; use Suite.from_config(config, runtime=...)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _suite_for(preset)

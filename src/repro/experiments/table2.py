@@ -18,7 +18,7 @@ from repro.spider.hardness import HARDNESS_LEVELS
 def compute_table2(suite: BenchmarkSuite) -> list[dict]:
     """One dict per split with counts per hardness level."""
     rows = []
-    for name in ("cordis", "sdss", "oncomx"):
+    for name in suite.domain_names():
         domain = suite.domain(name)
         for split in (domain.seed, domain.dev, domain.synth):
             if split is None:

@@ -89,7 +89,7 @@ def compute_table3(suite: BenchmarkSuite) -> list[Table3Row]:
 def compute_domain_expert_rates(suite: BenchmarkSuite) -> dict[str, float]:
     """§4.1.2: expert rates of domain-fine-tuned GPT-3 on each domain's dev."""
     rates = {}
-    for name in ("cordis", "sdss", "oncomx"):
+    for name in suite.domain_names():
         domain = suite.domain(name)
         model = make_model(GPT3_PROFILE, seed=suite.config.seed)
         model.fine_tune(domain.seed.pairs, domain=name, lexicon=domain.lexicon)

@@ -26,7 +26,7 @@ class Table4Row:
 
 def compute_table4(suite: BenchmarkSuite) -> list[Table4Row]:
     rows = []
-    for name in ("cordis", "sdss", "oncomx"):
+    for name in suite.domain_names():
         domain = suite.domain(name)
         synth = domain.synth
         rng = suite.rng(f"table4:{name}")

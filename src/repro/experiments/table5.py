@@ -22,7 +22,6 @@ from repro.experiments.reporting import render_table
 from repro.experiments.runner import SYSTEM_CLASSES, BenchmarkSuite
 from repro.experiments.tasks import (
     DOMAIN_REGIMES,
-    DOMAINS,
     SPIDER_REGIMES,
     Table5Cell,
     eval_grid,
@@ -32,7 +31,6 @@ from repro.metrics.triage import format_triage, merge_triage
 __all__ = [
     "DOMAIN_REGIMES",
     "SPIDER_REGIMES",
-    "DOMAINS",
     "Table5Cell",
     "Table5Result",
     "evaluate_cell",
@@ -74,11 +72,14 @@ def evaluate_cell(
 def compute_table5(
     suite: BenchmarkSuite,
     systems: tuple[str, ...] = tuple(SYSTEM_CLASSES),
-    domains: tuple[str, ...] = DOMAINS,
+    domains: tuple[str, ...] | None = None,
     include_spider_control: bool = True,
 ) -> Table5Result:
-    """Evaluate the requested grid; independent cells fan across the
-    runtime's workers because the whole batch is requested at once."""
+    """Evaluate the requested grid (default: the suite's own domain set);
+    independent cells fan across the runtime's workers because the whole
+    batch is requested at once."""
+    if domains is None:
+        domains = suite.domain_names()
     names = eval_grid(systems, domains, include_spider_control)
     artifacts = suite.ensure(names)
     return Table5Result(cells=[artifacts[name] for name in names])

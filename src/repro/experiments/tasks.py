@@ -20,9 +20,10 @@ Graph shape (``build_suite_graph``)::
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass, field
 
-from repro.datasets import cordis, oncomx, sdss
+from repro import adapters
 from repro.datasets.records import BenchmarkDomain, Split
 from repro.experiments.config import ExperimentConfig
 from repro.llm.models import GPT3_PROFILE, make_model
@@ -37,19 +38,51 @@ from repro.spider.corpus import SpiderCorpus, build_corpus
 from repro.spider.domains import DOMAIN_BUILDERS as SPIDER_DB_BUILDERS
 from repro.synthesis import AugmentationPipeline, PipelineConfig, TranslationConfig
 
-DOMAIN_BUILDERS = {"cordis": cordis.build, "sdss": sdss.build, "oncomx": oncomx.build}
-
 SYSTEM_CLASSES = {
     "valuenet": ValueNet,
     "t5-large": T5Seq2Seq,
     "smbop": SmBoP,
 }
 
-DOMAINS = ("cordis", "sdss", "oncomx")
+#: The paper's three domains — the default of ``ExperimentConfig.domains``.
+#: Domain *resolution* goes through :mod:`repro.adapters`; this tuple only
+#: anchors defaults for configs that don't choose their own set.
+DEFAULT_DOMAINS = ("cordis", "sdss", "oncomx")
 DOMAIN_REGIMES = ("zero", "seed", "synth", "both")
 SPIDER_REGIMES = ("zero", "plus-synth", "synth-only")
 
 _FN = "repro.experiments.tasks:{}".format
+
+
+def active_domains(config: ExperimentConfig) -> tuple[str, ...]:
+    """The domain names one config builds (its ``domains`` field)."""
+    names = getattr(config, "domains", None)
+    return tuple(names) if names else DEFAULT_DOMAINS
+
+
+def __getattr__(name: str):
+    # Deprecation shims for the pre-registry module constants.  They keep
+    # old callers working (with a warning) but are no longer the source of
+    # truth — the adapter registry is.
+    if name == "DOMAINS":
+        warnings.warn(
+            "repro.experiments.tasks.DOMAINS is deprecated; use "
+            "ExperimentConfig.domains / repro.adapters.list_adapters()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return DEFAULT_DOMAINS
+    if name == "DOMAIN_BUILDERS":
+        warnings.warn(
+            "repro.experiments.tasks.DOMAIN_BUILDERS is deprecated; use "
+            "repro.adapters.get_adapter(name).build",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return {
+            domain: adapters.get_adapter(domain).build for domain in DEFAULT_DOMAINS
+        }
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass
@@ -96,7 +129,7 @@ def eval_grid(
 ) -> list[str]:
     """Table-5 eval task names in the table's canonical cell order."""
     systems = tuple(systems) if systems is not None else tuple(SYSTEM_CLASSES)
-    domains = tuple(domains) if domains is not None else DOMAINS
+    domains = tuple(domains) if domains is not None else DEFAULT_DOMAINS
     names = [
         eval_task(system, domain, regime)
         for domain in domains
@@ -135,10 +168,16 @@ def _pipeline_resilience(params: dict, seed: int):
 
 
 def build_domain_task(params: dict, inputs: dict) -> BenchmarkDomain:
-    """Build one domain and materialize its Synth split (Figure-1 pipeline)."""
-    name = params["domain"]
+    """Build one domain and materialize its Synth split (Figure-1 pipeline).
+
+    The adapter's import spec rides in ``params["adapter"]`` so this body
+    works in pool workers without any registry state crossing the process
+    boundary — and so the content hash distinguishes two adapters that share
+    a domain name.
+    """
     seed = params["seed"]
-    domain = DOMAIN_BUILDERS[name](scale=params["scale"])
+    builder = adapters.builder_from_spec(params["adapter"])
+    domain = builder(scale=params["scale"])
     model, extra = _pipeline_resilience(params, seed)
     pipeline = AugmentationPipeline(
         domain,
@@ -199,7 +238,7 @@ def train_system_task(params: dict, inputs: dict):
     domain_name = params["domain"]
     regime = params["regime"]
     if domain_name is not None:
-        for name in DOMAINS:
+        for name in params["domains"]:
             domain = inputs[domain_task(name)]
             system.register_database(name, domain.database, domain.enhanced)
     pairs = list(corpus.train.pairs)
@@ -279,6 +318,7 @@ def build_suite_graph(
     """
     graph = TaskGraph()
     base = config.seed
+    domains = active_domains(config)
     chaos: dict = {}
     if llm_fault_spec is not None:
         chaos["fault"] = llm_fault_spec
@@ -297,7 +337,7 @@ def build_suite_graph(
         )
     )
 
-    for name in DOMAINS:
+    for name in domains:
         tname = domain_task(name)
         graph.add(
             Task(
@@ -305,6 +345,7 @@ def build_suite_graph(
                 _FN("build_domain_task"),
                 {
                     "domain": name,
+                    "adapter": adapters.get_adapter(name).spec(),
                     "scale": config.domain_scale,
                     "target_queries": config.synth_targets.get(name, 300),
                     "seed": derive_seed(base, tname),
@@ -338,16 +379,21 @@ def build_suite_graph(
         )
     )
 
-    domain_deps = tuple((domain_task(n), domain_task(n)) for n in DOMAINS)
+    domain_deps = tuple((domain_task(n), domain_task(n)) for n in domains)
     for system in SYSTEM_CLASSES:
-        for name in DOMAINS:
+        for name in domains:
             for regime in DOMAIN_REGIMES:
                 tname = train_task(system, name, regime)
                 graph.add(
                     Task(
                         tname,
                         _FN("train_system_task"),
-                        {"system": system, "domain": name, "regime": regime},
+                        {
+                            "system": system,
+                            "domain": name,
+                            "domains": list(domains),
+                            "regime": regime,
+                        },
                         deps=(("corpus", CORPUS_TASK),) + domain_deps,
                     )
                 )

@@ -26,12 +26,11 @@ import random
 from dataclasses import asdict
 from pathlib import Path
 
-from repro import obs
+from repro import adapters, obs
 from repro.datasets.records import Split
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.tasks import (
     CORPUS_TASK,
-    DOMAIN_BUILDERS,
     build_suite_graph,
     eval_task,
 )
@@ -91,7 +90,7 @@ def _merge_counts(into: dict, counts: dict) -> None:
 
 def _augment_arm(domain_name: str, plan: FaultPlan | None, breaker=None, label="arm"):
     """One pipeline run; returns (report, wall_s, breaker)."""
-    domain = DOMAIN_BUILDERS[domain_name](scale=0.15)
+    domain = adapters.get_adapter(domain_name).build(scale=0.15)
     model = make_model(GPT3_PROFILE, seed=AUGMENT_SEED)
     if plan is not None:
         model = FlakyModel(model, plan)

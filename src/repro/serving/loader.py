@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.experiments import registry
-from repro.experiments.tasks import DOMAINS, domain_task, train_task
+from repro.experiments.tasks import domain_task, train_task
 from repro.serving.fallback import TemplateFallback
 from repro.serving.server import DomainBackend
 
@@ -32,12 +32,17 @@ class ServingBundle:
 
 def load_backends(
     suite,
-    domains: tuple[str, ...] = DOMAINS,
+    domains: tuple[str, ...] | None = None,
     system_name: str = "valuenet",
     regime: str = "both",
     with_fallback: bool = True,
 ) -> ServingBundle:
-    """Load one trained backend per domain out of the suite's runtime."""
+    """Load one trained backend per domain out of the suite's runtime.
+
+    ``domains`` defaults to the suite's own domain set (``config.domains``,
+    resolved through the adapter registry)."""
+    if domains is None:
+        domains = suite.domain_names()
     names = registry.serving_tasks(system_name, domains, regime)
     statuses = suite.runtime.probe(suite.graph, names)
     warm = all(status != "compute" for status in statuses.values())

@@ -50,7 +50,7 @@ def test_figures_command(tiny_suite, capsys):
 
 def test_augment_command_writes_json(tiny_suite, tmp_path, capsys):
     out_file = tmp_path / "synth.json"
-    assert cli.main(["augment", "sdss", "--out", str(out_file)]) == 0
+    assert cli.main(["augment", "--domain", "sdss", "--out", str(out_file)]) == 0
     assert out_file.exists()
     from repro.datasets.records import Split
 
@@ -63,7 +63,7 @@ def test_serve_bench_command(tiny_suite, tmp_path, capsys):
 
     out_file = tmp_path / "bench.json"
     argv = [
-        "serve-bench", "--domains", "sdss", "--concurrency", "4",
+        "serve-bench", "--domain", "sdss", "--concurrency", "4",
         "--repeat", "2", "--limit", "12", "--out", str(out_file),
     ]
     assert cli.main(argv) == 0
@@ -77,23 +77,33 @@ def test_serve_bench_command(tiny_suite, tmp_path, capsys):
 
 
 def test_serve_bench_rejects_unknown_domain(tiny_suite, capsys):
-    assert cli.main(["serve-bench", "--domains", "nope"]) == 2
+    assert cli.main(["serve-bench", "--domain", "nope"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown domain" in err and "cordis" in err
 
 
 def test_lint_command(tiny_suite, capsys):
-    assert cli.main(["lint", "cordis"]) == 0
+    assert cli.main(["lint", "--domain", "cordis"]) == 0
     out = capsys.readouterr().out
     assert "cordis" in out and "queries linted" in out
 
 
 def test_lint_command_rejects_unknown_domain(tiny_suite, capsys):
-    assert cli.main(["lint", "nope"]) == 2
+    assert cli.main(["lint", "--domain", "nope"]) == 2
+
+
+def test_augment_requires_exactly_one_domain(tiny_suite, capsys):
+    assert cli.main(["augment"]) == 2
+    assert cli.main(["augment", "--domain", "sdss", "--domain", "cordis"]) == 2
 
 
 def test_augment_command_with_overrides(tiny_suite, tmp_path, capsys):
     out_file = tmp_path / "synth-small.json"
     code = cli.main(
-        ["augment", "sdss", "--target", "12", "--seed", "5", "--out", str(out_file)]
+        [
+            "augment", "--domain", "sdss", "--target", "12", "--seed", "5",
+            "--out", str(out_file),
+        ]
     )
     assert code == 0
     from repro.datasets.records import Split

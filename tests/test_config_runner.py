@@ -3,7 +3,7 @@
 import pytest
 
 from repro.experiments.config import ExperimentConfig, full, quick
-from repro.experiments.runner import SYSTEM_CLASSES, BenchmarkSuite, get_suite
+from repro.experiments.runner import SYSTEM_CLASSES, BenchmarkSuite
 
 
 def test_quick_preset_defaults():
@@ -26,8 +26,12 @@ def test_config_is_frozen():
         config.seed = 1
 
 
-def test_get_suite_is_cached():
-    assert get_suite("quick") is get_suite("quick")
+def test_config_domains_drive_suite_domain_names():
+    import dataclasses
+
+    config = dataclasses.replace(quick(), domains=("sdss",))
+    suite = BenchmarkSuite(config)
+    assert suite.domain_names() == ("sdss",)
 
 
 def test_system_registry_names():

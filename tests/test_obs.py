@@ -415,11 +415,11 @@ def test_serving_span_forest_valid_under_any_interleaving(order, max_batch):
 
 def _augment_fingerprint(tracer):
     """Run a small pipeline under ``tracer``; returns (fingerprint, wall_s)."""
-    from repro.experiments.tasks import DOMAIN_BUILDERS
+    from repro import adapters
     from repro.llm.models import GPT3_PROFILE, make_model
     from repro.synthesis import augment_domain
 
-    domain = DOMAIN_BUILDERS["cordis"](scale=0.15)
+    domain = adapters.get_adapter("cordis").build(scale=0.15)
     with obs.use_tracer(tracer):
         started = time.perf_counter()
         split = augment_domain(

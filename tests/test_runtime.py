@@ -263,12 +263,17 @@ def test_suite_artifacts_are_memoized_per_task(warm_cache_dir):
     assert suite.corpus is suite.corpus
 
 
-def test_get_suite_shim_warns():
-    from repro.experiments.runner import get_suite
+def test_tasks_domains_shim_warns():
+    # get_suite is gone (removed after its deprecation cycle); the module
+    # constants DOMAINS/DOMAIN_BUILDERS are the remaining shims.
+    from repro.experiments import runner, tasks
 
+    assert not hasattr(runner, "get_suite")
     with pytest.warns(DeprecationWarning):
-        suite = get_suite("quick")
-    assert suite.config.name == "quick"
+        assert tasks.DOMAINS == ("cordis", "sdss", "oncomx")
+    with pytest.warns(DeprecationWarning):
+        builders = tasks.DOMAIN_BUILDERS
+    assert set(builders) == {"cordis", "sdss", "oncomx"}
 
 
 def test_augment_domain_rng_and_executor_injection():
