@@ -43,6 +43,8 @@ from repro.adapters.registry import (
     list_adapters,
     load_adapter_source,
     register,
+    register_specs,
+    specs_for,
     temporary,
     unregister,
 )
@@ -61,6 +63,8 @@ __all__ = [
     "list_adapters",
     "load_adapter_source",
     "register",
+    "register_specs",
+    "specs_for",
     "temporary",
     "unregister",
 ]

@@ -9,7 +9,7 @@ Commands
 ``lint``       static-analyze the gold queries and data of the domains
 ``check``      static-analyze the repo's own Python source against the
                determinism/concurrency/hygiene rule packs
-``serve-bench`` benchmark the serving layer (batched vs unbatched replay)
+``serve-bench`` benchmark the serving layer (unbatched/batched/fleet arms)
 ``chaos-bench`` replay the pipeline and a Table-5 slice under a named
                fault schedule and assert byte-identical recovery
 ``diff-exec``  differentially execute a domain's query sets on the in-repo
@@ -148,8 +148,9 @@ def _parser() -> argparse.ArgumentParser:
 
     serve = add_command(
         "serve-bench",
-        help="load-test the serving layer and report batched-vs-unbatched "
-             "throughput and latency percentiles",
+        help="load-test the serving layer: unbatched vs batched vs (with "
+             "--replicas) a sharded multi-replica fleet, plus an open-loop "
+             "multi-tenant soak arm under --qps",
     )
     serve.add_argument(
         "--system", choices=("valuenet", "t5-large", "smbop"), default="valuenet",
@@ -169,7 +170,42 @@ def _parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--qps", type=float, default=None, metavar="Q",
-        help="open-loop request rate instead of the closed loop",
+        help="open-loop offered rate; with --replicas >= 2 this drives a "
+             "sustained multi-tenant soak arm against the fleet, otherwise "
+             "it paces the base arms instead of the closed loop",
+    )
+    serve.add_argument(
+        "--replicas", type=int, default=1, metavar="N",
+        help="replica slots behind the fleet router; >= 2 adds the fleet "
+             "arm (default: 1 = no fleet)",
+    )
+    serve.add_argument(
+        "--isolation", choices=("process", "thread"), default="process",
+        help="replica decode isolation: process forks one decode worker "
+             "per replica (parallel across cores), thread shares the "
+             "interpreter (default: process)",
+    )
+    serve.add_argument(
+        "--tenants", type=int, default=4, metavar="N",
+        help="tenants the soak arm round-robins requests over (default: 4)",
+    )
+    serve.add_argument(
+        "--soak-requests", type=int, default=None, metavar="N",
+        help="cap on soak-arm requests (default: the full stream)",
+    )
+    serve.add_argument(
+        "--quota-rate", type=float, default=None, metavar="Q",
+        help="per-tenant token-bucket refill rate for the soak arm "
+             "(default: no quotas)",
+    )
+    serve.add_argument(
+        "--quota-burst", type=float, default=None, metavar="N",
+        help="per-tenant token-bucket burst size (default: the rate)",
+    )
+    serve.add_argument(
+        "--allow-rejections", action="store_true",
+        help="tolerate admission rejections under deliberate overload "
+             "(quota rejections never gate; failures/timeouts always do)",
     )
     serve.add_argument(
         "--limit", type=int, default=None, metavar="N",
@@ -198,6 +234,19 @@ def _parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--assert-p95-ms", type=float, default=None, metavar="MS",
         help="exit 1 unless the batched arm's p95 latency <= MS",
+    )
+    serve.add_argument(
+        "--assert-p99-ms", type=float, default=None, metavar="MS",
+        help="exit 1 unless the batched arm's p99 latency <= MS",
+    )
+    serve.add_argument(
+        "--assert-fairness", type=float, default=None, metavar="X",
+        help="exit 1 unless the soak arm's worst/best tenant p95 ratio <= X",
+    )
+    serve.add_argument(
+        "--assert-fleet-gain", action="store_true",
+        help="exit 1 unless the fleet arm shows >= 2x throughput or <= 0.5x "
+             "queue-stage p95 vs the batched arm",
     )
 
     trace = add_command(
@@ -491,8 +540,10 @@ def _check(args) -> int:
 def _serve_bench(suite, args) -> int:
     """Warm-start the serving layer and replay dev questions through it."""
     from repro.serving import (
+        FleetProfile,
         LoadProfile,
         ServerConfig,
+        evaluate_gates,
         load_backends,
         render_report,
         run_serve_bench,
@@ -513,51 +564,49 @@ def _serve_bench(suite, args) -> int:
     questions = {
         name: [pair.question for pair in suite.dev_pairs(name)] for name in domains
     }
+    # With a fleet, --qps drives the open-loop soak arm and the base arms
+    # stay closed-loop; without one it paces the base arms (old behaviour).
+    fleet = None
+    base_qps = args.qps
+    if args.replicas >= 2:
+        base_qps = None
+        fleet = FleetProfile(
+            replicas=args.replicas, isolation=args.isolation,
+            tenants=args.tenants,
+            soak_qps=args.qps, soak_requests=args.soak_requests,
+            quota_rate=args.quota_rate, quota_burst=args.quota_burst,
+        )
+        print(f"fleet: {args.replicas} replica slots over "
+              f"{', '.join(domains)} ({bundle.fleet_spec().system} "
+              f"[{bundle.fleet_spec().regime}])", file=sys.stderr)
     profile = LoadProfile(
         concurrency=args.concurrency, repeat=args.repeat,
-        qps=args.qps, seed=suite.config.seed, limit=args.limit,
+        qps=base_qps, seed=suite.config.seed, limit=args.limit,
     )
     config = ServerConfig(
         max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
         execute=args.execute,
     )
-    report = run_serve_bench(bundle.backends, questions, profile, config)
+    report = run_serve_bench(
+        bundle.backends, questions, profile, config, fleet=fleet
+    )
     print(render_report(report))
     if args.out:
         path = write_report(report, args.out)
         print(f"report written to {path}", file=sys.stderr)
 
-    code = 0
-    if args.assert_speedup is not None and report["speedup"] < args.assert_speedup:
-        print(f"FAIL: speedup {report['speedup']:.2f}x is below the required "
-              f"{args.assert_speedup:g}x", file=sys.stderr)
-        code = 1
-    if args.assert_p95_ms is not None:
-        p95 = report["arms"]["batched"]["latency"]["p95_ms"]
-        if p95 > args.assert_p95_ms:
-            print(f"FAIL: batched p95 {p95:.2f} ms exceeds the budget of "
-                  f"{args.assert_p95_ms:g} ms", file=sys.stderr)
-            code = 1
-    failures = sum(
-        report["arms"][arm]["statuses"].get(status, 0)
-        for arm in ("unbatched", "batched")
-        for status in ("rejected", "timeout", "failed")
+    failures = evaluate_gates(
+        report,
+        assert_speedup=args.assert_speedup,
+        assert_p95_ms=args.assert_p95_ms,
+        assert_p99_ms=args.assert_p99_ms,
+        assert_fairness=args.assert_fairness,
+        assert_fleet_gain=args.assert_fleet_gain,
+        allow_rejections=args.allow_rejections,
     )
-    if failures:
-        print(f"FAIL: {failures} requests did not produce an answer",
-              file=sys.stderr)
-        code = 1
-    open_breakers = [
-        f"{arm}:{domain}"
-        for arm in ("unbatched", "batched")
-        for domain, snap in report["arms"][arm].get("breakers", {}).items()
-        if snap.get("state") == "open"
-    ]
-    if open_breakers:
-        print("FAIL: circuit breaker(s) ended the run open: "
-              + ", ".join(open_breakers), file=sys.stderr)
-        code = 1
-    return code
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 def _trace(args) -> int:

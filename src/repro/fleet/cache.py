@@ -1,0 +1,122 @@
+"""Fleet-shared result cache with single-flight dedup.
+
+One :class:`SharedCache` fronts every replica in a fleet, replacing the
+per-server result caches (replicas run with ``cache_capacity=0``), so
+cache coherence holds by construction: there is exactly one copy of every
+cached answer, and a reload invalidates the whole fleet's cache in one
+call.
+
+Single-flight closes the window the per-server cache leaves open: a
+result is only cached *after* it decodes, so K concurrent identical
+questions would decode K times.  Here the first request for a key becomes
+the **leader** and decodes; every concurrent duplicate becomes a
+**follower** that awaits the leader's future instead of reaching a
+replica.  The table lives on the router's event loop — registration is
+synchronous (no await between lookup and insert), so exactly one leader
+per key is guaranteed, not merely likely.
+
+Leaders must always settle their flight (:meth:`SharedCache.settle` runs
+in a ``finally``), otherwise followers would hang; a leader that crashes
+without a result settles its followers with a structured failure.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.serving.cache import CachedResult, ResultCache
+
+
+class Flight:
+    """One in-flight decode: the leader resolves, followers await."""
+
+    __slots__ = ("key", "leader", "future")
+
+    def __init__(self, key: tuple[str, str], leader: bool, future: asyncio.Future) -> None:
+        self.key = key
+        self.leader = leader
+        self.future = future
+
+
+class SharedCache:
+    """Fleet-wide result cache + single-flight table.
+
+    The result store is a :class:`~repro.serving.cache.ResultCache`
+    (bounded LRU over ``(domain, normalized question)``); this class adds
+    the in-flight future table and its accounting.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        self.results = ResultCache(capacity)
+        self._inflight: dict[tuple[str, str], asyncio.Future] = {}
+        #: Followers that awaited a leader instead of decoding.
+        self.coalesced = 0
+        #: Leaders that settled without a result (crash/cancellation).
+        self.aborted = 0
+
+    @staticmethod
+    def key(domain: str, question: str) -> tuple[str, str]:
+        return ResultCache.key(domain, question)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    @property
+    def inflight(self) -> int:
+        return len(self._inflight)
+
+    # -- result store --------------------------------------------------------------
+
+    def get(self, domain: str, question: str) -> tuple[bool, CachedResult | None]:
+        return self.results.get(domain, question)
+
+    def put(self, domain: str, question: str, entry: CachedResult) -> None:
+        self.results.put(domain, question, entry)
+
+    def invalidate(self) -> int:
+        """Drop every cached result (model reload); returns the count."""
+        dropped = len(self.results)
+        self.results.clear()
+        return dropped
+
+    # -- single-flight -------------------------------------------------------------
+
+    def flight(self, domain: str, question: str) -> Flight:
+        """Join the in-flight decode for this key, or lead a new one.
+
+        Must be called (and the returned leader settled) on one event
+        loop; there is deliberately no lock here — atomicity comes from
+        the absence of any await point.
+        """
+        key = self.key(domain, question)
+        future = self._inflight.get(key)
+        if future is not None:
+            self.coalesced += 1
+            return Flight(key, leader=False, future=future)
+        future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        return Flight(key, leader=True, future=future)
+
+    def settle(self, flight: Flight, result) -> None:
+        """Resolve a leader's flight for every follower and retire it.
+
+        ``result is None`` means the leader crashed before producing a
+        :class:`~repro.serving.request.ServeResult`; followers are settled
+        with ``None`` and must synthesize their own failure.
+        """
+        if not flight.leader:
+            raise ValueError("only the flight leader settles it")
+        if self._inflight.get(flight.key) is flight.future:
+            del self._inflight[flight.key]
+        if result is None:
+            self.aborted += 1
+        if not flight.future.done():
+            flight.future.set_result(result)
+
+    def stats(self) -> dict:
+        return {
+            **self.results.stats(),
+            "inflight": len(self._inflight),
+            "singleflight_coalesced": self.coalesced,
+            "singleflight_aborted": self.aborted,
+        }

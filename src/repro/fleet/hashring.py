@@ -1,0 +1,100 @@
+"""Consistent hashing: stable assignment of questions to replica slots.
+
+The ring hashes every replica slot onto ``vnodes`` points of a 64-bit
+circle and routes a key to the first slot point at or after the key's own
+hash.  Hashes come from :func:`hashlib.blake2b`, not the builtin ``hash``
+— Python salts the latter per process, which would scatter a fleet's
+shard ownership across restarts and break the determinism contract.
+
+Properties the router depends on:
+
+* **Stability** — the slot a key maps to depends only on the ring's
+  member names, never on insertion order or process identity.
+* **Minimal movement** — removing one slot re-routes only the keys that
+  slot owned; every other key keeps its assignment (tested).
+* **Sibling order** — :meth:`HashRing.nodes_for` walks the ring past the
+  owner and yields distinct successor slots, giving each key a stable
+  retry order for failover.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+
+def stable_hash(key: str) -> int:
+    """A process-independent 64-bit hash of ``key``."""
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """A consistent-hash ring over named slots."""
+
+    def __init__(self, nodes: tuple[str, ...] = (), vnodes: int = 64) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        #: Sorted virtual-node points: parallel lists of (point, slot name).
+        self._points: list[int] = []
+        self._owners: list[str] = []
+        self._nodes: dict[str, None] = {}  # insertion-ordered set of slots
+        for node in nodes:
+            self.add(node)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def nodes(self) -> tuple[str, ...]:
+        """The member slots, in insertion order."""
+        return tuple(self._nodes)
+
+    def _vpoints(self, node: str) -> list[int]:
+        return [stable_hash(f"{node}#{i}") for i in range(self.vnodes)]
+
+    def add(self, node: str) -> None:
+        if node in self._nodes:
+            return
+        self._nodes[node] = None
+        for point in self._vpoints(node):
+            index = bisect.bisect_left(self._points, point)
+            self._points.insert(index, point)
+            self._owners.insert(index, node)
+
+    def remove(self, node: str) -> None:
+        if node not in self._nodes:
+            return
+        del self._nodes[node]
+        keep = [
+            (point, owner)
+            for point, owner in zip(self._points, self._owners)
+            if owner != node
+        ]
+        self._points = [point for point, _ in keep]
+        self._owners = [owner for _, owner in keep]
+
+    def node_for(self, key: str) -> str:
+        """The slot owning ``key`` (raises when the ring is empty)."""
+        if not self._points:
+            raise KeyError("hash ring is empty")
+        index = bisect.bisect_right(self._points, stable_hash(key))
+        return self._owners[index % len(self._owners)]
+
+    def nodes_for(self, key: str, n: int) -> list[str]:
+        """Up to ``n`` distinct slots for ``key``: the owner first, then the
+        ring-order successors (the key's stable failover siblings)."""
+        if not self._points or n < 1:
+            return []
+        start = bisect.bisect_right(self._points, stable_hash(key))
+        picked: list[str] = []
+        for offset in range(len(self._points)):
+            owner = self._owners[(start + offset) % len(self._owners)]
+            if owner not in picked:
+                picked.append(owner)
+                if len(picked) == n or len(picked) == len(self._nodes):
+                    break
+        return picked

@@ -1,0 +1,116 @@
+"""Per-tenant admission control: token-bucket quotas.
+
+A :class:`TenantQuotas` table guards the fleet's front door.  Every tenant
+draws from its own :class:`TokenBucket` — ``burst`` tokens of headroom,
+refilled at ``rate_per_s`` — and a request that finds the bucket empty is
+rejected *structurally* (the router turns it into a ``rejected``
+:class:`~repro.serving.request.ServeResult` with error kind ``"quota"``),
+never queued: quota pressure from one tenant must not grow any replica's
+queue and steal latency from the others.
+
+Time is injected (:mod:`repro.resilience.clock`), so refill behaviour is
+tested against a :class:`~repro.resilience.clock.FakeClock` with no real
+waiting, and the buckets never read the wall clock directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.resilience.clock import SYSTEM_CLOCK
+
+
+@dataclass(frozen=True)
+class QuotaPolicy:
+    """Steady-state rate plus burst headroom for one tenant."""
+
+    rate_per_s: float
+    burst: float
+
+    def __post_init__(self) -> None:
+        if self.rate_per_s <= 0 or self.burst < 1:
+            raise ValueError("quota needs rate_per_s > 0 and burst >= 1")
+
+
+class TokenBucket:
+    """The classic leaky abstraction: spend now, refill continuously."""
+
+    __slots__ = ("policy", "clock", "_tokens", "_updated", "admitted", "rejected")
+
+    def __init__(self, policy: QuotaPolicy, clock=SYSTEM_CLOCK) -> None:
+        self.policy = policy
+        self.clock = clock
+        self._tokens = float(policy.burst)
+        self._updated = clock.now()
+        self.admitted = 0
+        self.rejected = 0
+
+    def _refill(self) -> None:
+        now = self.clock.now()
+        elapsed = max(0.0, now - self._updated)
+        self._updated = now
+        self._tokens = min(
+            float(self.policy.burst), self._tokens + elapsed * self.policy.rate_per_s
+        )
+
+    def try_acquire(self, cost: float = 1.0) -> bool:
+        self._refill()
+        if self._tokens >= cost:
+            self._tokens -= cost
+            self.admitted += 1
+            return True
+        self.rejected += 1
+        return False
+
+    @property
+    def available(self) -> float:
+        self._refill()
+        return self._tokens
+
+    def snapshot(self) -> dict:
+        return {
+            "rate_per_s": self.policy.rate_per_s,
+            "burst": self.policy.burst,
+            "available": round(self.available, 3),
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+        }
+
+
+class TenantQuotas:
+    """Lazy per-tenant bucket table with an optional default policy.
+
+    ``default=None`` admits unknown tenants without limit (they still get
+    accounting buckets are *not* created for them — unlimited means
+    untracked here; the router keeps its own per-tenant counters).
+    ``overrides`` pins specific tenants to their own policies.
+    """
+
+    def __init__(
+        self,
+        default: QuotaPolicy | None = None,
+        overrides: dict[str, QuotaPolicy] | None = None,
+        clock=SYSTEM_CLOCK,
+    ) -> None:
+        self.default = default
+        self.overrides = dict(overrides or {})
+        self.clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+
+    def policy_for(self, tenant: str) -> QuotaPolicy | None:
+        return self.overrides.get(tenant, self.default)
+
+    def admit(self, tenant: str, cost: float = 1.0) -> bool:
+        policy = self.policy_for(tenant)
+        if policy is None:
+            return True
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = self._buckets[tenant] = TokenBucket(policy, self.clock)
+        return bucket.try_acquire(cost)
+
+    def snapshot(self) -> dict:
+        return {
+            tenant: bucket.snapshot()
+            for tenant, bucket in sorted(self._buckets.items())
+        }

@@ -36,6 +36,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     geometric_bounds,
+    merged_snapshot,
 )
 from repro.obs.span import Span, SpanEvent
 from repro.obs.tracer import NULL_SPAN, NULL_TRACER, NullTracer, Tracer
@@ -57,6 +58,7 @@ __all__ = [
     "flame_summary",
     "geometric_bounds",
     "get_tracer",
+    "merged_snapshot",
     "set_trace_path",
     "set_tracer",
     "use_tracer",

@@ -233,3 +233,20 @@ class MetricsRegistry:
             name: {"kind": instrument.kind, "value": instrument.snapshot()}
             for name, instrument in sorted(instruments.items())
         }
+
+
+def merged_snapshot(parts: dict[str, MetricsRegistry]) -> dict:
+    """One snapshot over several registries, instrument names prefixed.
+
+    The serving fleet uses this to present itself as a single accounting
+    surface: ``{"": router_registry, "replica.r0": ..., "replica.r1": ...}``
+    merges into one dict where every replica's ``serving.*`` instruments
+    appear under ``replica.<slot>.serving.*`` next to the router's own
+    ``fleet.*`` counters — one view shows the whole fleet.  An empty-string
+    prefix merges a registry's instruments unprefixed.
+    """
+    merged: dict[str, dict] = {}
+    for prefix in sorted(parts):
+        for name, entry in parts[prefix].snapshot().items():
+            merged[f"{prefix}.{name}" if prefix else name] = entry
+    return merged

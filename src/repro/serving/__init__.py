@@ -15,8 +15,10 @@ from repro.serving.cache import CachedResult, ResultCache
 from repro.serving.fallback import TemplateFallback
 from repro.serving.loader import ServingBundle, load_backends
 from repro.serving.loadgen import (
+    FleetProfile,
     LoadProfile,
     build_stream,
+    evaluate_gates,
     render_report,
     replay,
     run_serve_bench,
@@ -31,6 +33,7 @@ __all__ = [
     "BatchPolicy",
     "CachedResult",
     "DomainBackend",
+    "FleetProfile",
     "InferenceServer",
     "LatencyHistogram",
     "LoadProfile",
@@ -45,6 +48,7 @@ __all__ = [
     "TemplateFallback",
     "build_stream",
     "collect_batch",
+    "evaluate_gates",
     "load_backends",
     "render_report",
     "replay",

@@ -28,6 +28,22 @@ class ServingBundle:
     regime: str
     #: True when every required artifact came from the cache (no training).
     warm: bool
+    #: Named adapter manifest specs behind the served domains
+    #: (:func:`repro.adapters.specs_for`) — the fleet ships these with every
+    #: replica spec so a reload factory can re-register the domains before
+    #: rebuilding backends in a context that never imported them.
+    adapter_specs: tuple[dict, ...] = ()
+
+    def fleet_spec(self):
+        """The pure-data :class:`~repro.fleet.replica.FleetSpec` equivalent."""
+        from repro.fleet.replica import FleetSpec
+
+        return FleetSpec(
+            system=self.system_name,
+            regime=self.regime,
+            domains=tuple(self.backends),
+            adapter_specs=self.adapter_specs,
+        )
 
 
 def load_backends(
@@ -41,6 +57,8 @@ def load_backends(
 
     ``domains`` defaults to the suite's own domain set (``config.domains``,
     resolved through the adapter registry)."""
+    from repro.adapters import specs_for
+
     if domains is None:
         domains = suite.domain_names()
     names = registry.serving_tasks(system_name, domains, regime)
@@ -60,5 +78,6 @@ def load_backends(
             name=name, system=system, database=domain.database, fallback=fallback
         )
     return ServingBundle(
-        backends=backends, system_name=system_name, regime=regime, warm=warm
+        backends=backends, system_name=system_name, regime=regime, warm=warm,
+        adapter_specs=specs_for(domains),
     )

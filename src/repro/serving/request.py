@@ -44,6 +44,15 @@ class ServeResult:
     error: ServeError | None = None
     #: Served from the result cache (no decode happened for this request).
     cached: bool = False
+    #: Slot of the fleet replica that decoded this request (None outside a
+    #: fleet, and for cache hits / rejections that never reached a replica).
+    replica: str | None = None
+    #: Coalesced onto another request's in-flight decode by the fleet's
+    #: single-flight table (no decode happened for this request either).
+    single_flight: bool = False
+    #: Tenant the fleet router accounted this request to (None outside a
+    #: fleet; the single server has no tenant concept).
+    tenant: str | None = None
     #: Number of requests decoded together with this one (0 for non-decoded
     #: outcomes: cache hits, rejections, timeouts).
     batch_size: int = 0

@@ -121,11 +121,15 @@ class InferenceServer:
         backends: dict[str, DomainBackend] | list[DomainBackend],
         config: ServerConfig | None = None,
         clock=SYSTEM_CLOCK,
+        labels: dict | None = None,
     ) -> None:
         if not isinstance(backends, dict):
             backends = {backend.name: backend for backend in backends}
         self.backends = dict(backends)
         self.config = config or ServerConfig()
+        #: Static span attributes (e.g. ``replica=<slot>`` in a fleet) so
+        #: one trace attributes every span to the server that emitted it.
+        self.labels = dict(labels or {})
         self.cache = ResultCache(self.config.cache_capacity)
         self.metrics = ServerMetrics()
         self.clock = clock
@@ -205,7 +209,7 @@ class InferenceServer:
         """Serve one question; always resolves to a :class:`ServeResult`."""
         tracer = get_tracer()
         started = self.clock.now()
-        with tracer.span("serve.request", domain=domain) as span:
+        with tracer.span("serve.request", domain=domain, **self.labels) as span:
             backend = self.backends.get(domain)
             if backend is None:
                 span.set_attr("status", "failed")
@@ -266,10 +270,14 @@ class InferenceServer:
             span.set_attr("status", result.status)
             return result
 
+    def pending(self) -> int:
+        """Requests currently queued (admitted, not yet dequeued)."""
+        return sum(queue.qsize() for queue in self._queues.values())
+
     def stats(self) -> ServerStats:
         """A point-in-time observability snapshot."""
         return self.metrics.snapshot(
-            pending=sum(queue.qsize() for queue in self._queues.values()),
+            pending=self.pending(),
             cache=self.cache.stats(),
             breakers=self.breaker_states(),
         )
@@ -302,7 +310,7 @@ class InferenceServer:
             # Manual span: decode happens on the executor thread, which does
             # not inherit this task's context.
             batch_span = tracer.start_span(
-                "serve.batch", domain=domain, size=len(live)
+                "serve.batch", domain=domain, size=len(live), **self.labels
             )
             outcome = await loop.run_in_executor(
                 self._executor, self._decode_batch, backend, questions, batch_span

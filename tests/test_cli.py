@@ -76,6 +76,25 @@ def test_serve_bench_command(tiny_suite, tmp_path, capsys):
     assert cli.main(argv + ["--assert-speedup", "999"]) == 1
 
 
+def test_serve_bench_fleet_command(tiny_suite, tmp_path, capsys):
+    import json
+
+    out_file = tmp_path / "fleet.json"
+    argv = [
+        "serve-bench", "--domain", "sdss", "--concurrency", "4",
+        "--repeat", "2", "--limit", "12", "--replicas", "2",
+        "--qps", "200", "--tenants", "2", "--soak-requests", "8",
+        "--out", str(out_file),
+    ]
+    assert cli.main(argv) == 0
+    report = json.loads(out_file.read_text())
+    assert set(report["arms"]) == {"unbatched", "batched", "fleet", "soak"}
+    assert report["fleet_identity"]["identical"]
+    assert set(report["arms"]["soak"]["tenants"]["per_tenant"]) == {"t0", "t1"}
+    out = capsys.readouterr().out
+    assert "fleet" in out
+
+
 def test_serve_bench_rejects_unknown_domain(tiny_suite, capsys):
     assert cli.main(["serve-bench", "--domain", "nope"]) == 2
     err = capsys.readouterr().err

@@ -496,6 +496,35 @@ def test_any_interleaving_matches_direct_predict(
         assert result.sql == expected[result.question]
 
 
+def test_fleet_serving_is_byte_identical(served_system):
+    """The determinism contract: fleet answers == direct ``predict`` output,
+    byte for byte, with requests sharded over two replica clones."""
+    from repro.fleet import build_fleet
+
+    system, db_id, questions, expected = served_system
+
+    async def scenario():
+        backend = DomainBackend(name=db_id, system=system)
+        router = build_fleet(
+            {db_id: backend}, 2,
+            server_config=ServerConfig(max_batch=4, max_wait_ms=2.0),
+        )
+        async with router:
+            return await asyncio.gather(
+                *(router.submit(question, db_id) for question in questions * 2)
+            )
+
+    results = run(scenario())
+    replicas = set()
+    for result in results:
+        assert result.ok
+        assert result.sql == expected[result.question]
+        if result.replica:
+            replicas.add(result.replica)
+    # Requests really dispatched to the fleet's slots, not a degenerate path.
+    assert replicas and replicas <= {"r0", "r1"}
+
+
 # -- load generator -------------------------------------------------------------
 
 
