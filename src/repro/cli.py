@@ -12,6 +12,9 @@ Commands
 ``serve-bench`` benchmark the serving layer (unbatched/batched/fleet arms)
 ``chaos-bench`` replay the pipeline and a Table-5 slice under a named
                fault schedule and assert byte-identical recovery
+``robustness-bench`` run the scenario matrix (system x domain x
+               perturbation family x severity) and report the per-axis
+               hardness/robustness breakdown with degradation deltas
 ``diff-exec``  differentially execute a domain's query sets on the in-repo
                engine and an alternative backend (sqlite) and report
                divergences
@@ -290,6 +293,59 @@ def _parser() -> argparse.ArgumentParser:
         help="report destination (default: benchmarks/BENCH_resilience.json)",
     )
 
+    robust = add_command(
+        "robustness-bench",
+        help="run the scenario matrix (system x domain x perturbation "
+             "family x severity) and report hardness/robustness breakdowns "
+             "with degradation-vs-baseline deltas",
+    )
+    robust.add_argument(
+        "--family", action="append", metavar="NAME", default=None,
+        choices=("distractor", "drift", "paraphrase", "rename", "synth"),
+        help="perturbation family to include; repeatable (default: all five)",
+    )
+    robust.add_argument(
+        "--severity", action="append", type=int, choices=(1, 2, 3),
+        default=None, metavar="S",
+        help="severity level to include; repeatable (default: 1 2 3)",
+    )
+    robust.add_argument(
+        "--system", action="append", default=None,
+        choices=("valuenet", "t5-large", "smbop"),
+        help="NL-to-SQL system to evaluate; repeatable (default: valuenet)",
+    )
+    robust.add_argument(
+        "--seed", type=int, default=2023, metavar="S",
+        help="base seed of the matrix (default: 2023)",
+    )
+    robust.add_argument(
+        "--scale", type=float, default=0.2, metavar="X",
+        help="domain data scale for the matrix (default: 0.2)",
+    )
+    robust.add_argument(
+        "--dev-limit", type=int, default=12, metavar="N",
+        help="dev pairs evaluated per cell; 0 = the full split (default: 12)",
+    )
+    robust.add_argument(
+        "--fault-schedule", default=None,
+        choices=("transient-small", "transient-heavy", "permanent-mix"),
+        help="also inject this resilience fault schedule into the matrix "
+             "run (chaos composition; default: no faults)",
+    )
+    robust.add_argument(
+        "--out", default="benchmarks/BENCH_robustness.json", metavar="PATH",
+        help="report destination (default: benchmarks/BENCH_robustness.json)",
+    )
+    robust.add_argument(
+        "--assert-max-degradation", type=float, default=None, metavar="X",
+        help="exit 1 when any family's mean degradation exceeds X",
+    )
+    robust.add_argument(
+        "--assert-invariant", action="store_true",
+        help="exit 1 unless every distractor-widened gold query returned "
+             "exactly the baseline rows",
+    )
+
     diff = add_command(
         "diff-exec",
         help="differentially execute a domain's query sets on the in-repo "
@@ -386,6 +442,10 @@ def main(argv: list[str] | None = None) -> int:
             # Chaos-bench owns its runtimes (baseline vs chaos vs repair
             # caches must stay separate); it never touches the suite cache.
             return _chaos_bench(args)
+        if args.command == "robustness-bench":
+            # The matrix builds bare perturbed domains through its own
+            # runtime (never the suite's synthesis pipeline).
+            return _robustness_bench(args)
         if args.command == "diff-exec":
             # Gold splits execute on bare domains (no synthesis); the silver
             # split goes through a suite inside the handler.
@@ -591,10 +651,9 @@ def _serve_bench(suite, args) -> int:
         bundle.backends, questions, profile, config, fleet=fleet
     )
     print(render_report(report))
-    if args.out:
-        path = write_report(report, args.out)
-        print(f"report written to {path}", file=sys.stderr)
-
+    # Gates run before the report is written: a downgraded gate (e.g.
+    # --assert-fleet-gain on a 1-cpu host) records its warning *in* the
+    # report, so the written artifact carries the note.
     failures = evaluate_gates(
         report,
         assert_speedup=args.assert_speedup,
@@ -604,6 +663,11 @@ def _serve_bench(suite, args) -> int:
         assert_fleet_gain=args.assert_fleet_gain,
         allow_rejections=args.allow_rejections,
     )
+    if args.out:
+        path = write_report(report, args.out)
+        print(f"report written to {path}", file=sys.stderr)
+    for warning in report.get("warnings", ()):
+        print(f"WARN: {warning}", file=sys.stderr)
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0
@@ -691,6 +755,51 @@ def _chaos_bench(args) -> int:
         print("FAIL: a circuit breaker ended the run open", file=sys.stderr)
         code = 1
     return code
+
+
+def _robustness_bench(args) -> int:
+    """Run the perturbation scenario matrix and enforce its gates."""
+    from repro import adapters
+    from repro.perturb import FAMILY_NAMES, SEVERITIES
+    from repro.perturb.bench import (
+        evaluate_robustness_gates,
+        render_report,
+        run_robustness_bench,
+        write_report,
+    )
+
+    domains = tuple(args.domain) if args.domain else adapters.list_adapters()
+    families = tuple(dict.fromkeys(args.family)) if args.family else FAMILY_NAMES
+    severities = (
+        tuple(dict.fromkeys(args.severity)) if args.severity else SEVERITIES
+    )
+    systems = tuple(dict.fromkeys(args.system)) if args.system else ("valuenet",)
+    report, run_report = run_robustness_bench(
+        domains=domains,
+        systems=systems,
+        families=families,
+        severities=severities,
+        seed=args.seed,
+        scale=args.scale,
+        dev_limit=args.dev_limit or None,
+        workers=args.workers,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        fault_schedule=args.fault_schedule,
+    )
+    print(render_report(report))
+    if args.out:
+        path = write_report(report, args.out)
+        print(f"report written to {path}", file=sys.stderr)
+    if args.timings:
+        print(run_report.render(), file=sys.stderr)
+    failures = evaluate_robustness_gates(
+        report,
+        max_degradation=args.assert_max_degradation,
+        assert_invariant=args.assert_invariant,
+    )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 def _diff_exec(args) -> int:

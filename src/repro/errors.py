@@ -50,6 +50,12 @@ class AdapterError(ReproError):
     imported or does not satisfy the adapter protocol."""
 
 
+class PerturbationError(ReproError):
+    """Raised by the perturbation engine: unknown families or severities, or
+    a perturbed domain whose gold queries no longer execute (a perturbation
+    must keep every gold query runnable on its own rewritten schema)."""
+
+
 class GenerationError(ReproError):
     """Raised by the synthesis pipeline when a template cannot be instantiated
     under the enhanced-schema constraints (e.g. no compatible column exists)."""

@@ -94,7 +94,14 @@ class BenchmarkSuite:
     def domain(self, name: str) -> BenchmarkDomain:
         """One ScienceBenchmark domain, with its Synth split materialised."""
         if name not in self.domain_names():
-            raise KeyError(name)
+            from repro.adapters import list_adapters
+            from repro.errors import AdapterError
+
+            raise AdapterError(
+                f"unknown domain {name!r}: this suite builds "
+                f"{', '.join(self.domain_names())}; registered adapters: "
+                f"{', '.join(list_adapters())}"
+            )
         return self.artifact(domain_task(name))
 
     def domains(self) -> dict[str, BenchmarkDomain]:
@@ -131,7 +138,14 @@ class BenchmarkSuite:
         if regime not in DOMAIN_REGIMES:
             raise ValueError(f"unknown regime {regime!r}")
         if domain_name not in self.domain_names():
-            raise KeyError(domain_name)
+            from repro.adapters import list_adapters
+            from repro.errors import AdapterError
+
+            raise AdapterError(
+                f"unknown domain {domain_name!r}: this suite builds "
+                f"{', '.join(self.domain_names())}; registered adapters: "
+                f"{', '.join(list_adapters())}"
+            )
         return domain_name
 
     def train_regime(self, system_name: str, domain_name: str | None, regime: str):

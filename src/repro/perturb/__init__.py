@@ -1,0 +1,90 @@
+"""``repro.perturb`` — the seeded, deterministic perturbation engine.
+
+The scenario-matrix robustness suite: instead of evaluating every NL-to-SQL
+system on one frozen rendering of each domain, the engine programmatically
+varies the domains along five families (:data:`FAMILIES`) —
+
+============  ==============================================================
+``rename``    consistent schema renames/crypticization, propagated into
+              gold/silver SQL, the lexicon and the enhanced schema
+``drift``     re-sampled cell distributions; gold answers re-derived by
+              executing the unchanged gold SQL through the engine
+``paraphrase``  seeded question rewrites through :mod:`repro.nlgen`
+``distractor``  schema widening that must not change any gold result
+              (checked row-for-row, gated by ``--assert-invariant``)
+``synth``     SynSQL-style synthesized mini-domains: a fresh adapter
+              manifest from a seeded schema grammar, registered through
+              :mod:`repro.adapters`
+============  ==============================================================
+
+— each at severities 1-3.  The full matrix (system × domain × family ×
+severity) runs as :mod:`repro.runtime` tasks (see
+:func:`repro.perturb.tasks.build_matrix_graph`), so the content-addressed
+cache makes incremental re-runs cheap, and ``sciencebenchmark
+robustness-bench`` (:mod:`repro.perturb.bench`) emits the per-axis
+hardness/robustness breakdown with degradation-vs-baseline deltas.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PerturbationError
+from repro.perturb.base import (
+    BASELINE_FAMILY,
+    SEVERITIES,
+    Perturbation,
+    PerturbedDomain,
+    fingerprint_domain,
+    fingerprint_rows,
+)
+from repro.perturb.distractor import DistractorWidening
+from repro.perturb.drift import ValueDrift
+from repro.perturb.paraphrase import ParaphraseStorm
+from repro.perturb.rename import SchemaRename
+from repro.perturb.synthdomain import SynthMiniDomain
+
+#: Every shipped family, keyed by name (sorted; the matrix default).
+FAMILIES: dict[str, Perturbation] = {
+    family.name: family
+    for family in sorted(
+        (
+            SchemaRename(),
+            ValueDrift(),
+            ParaphraseStorm(),
+            DistractorWidening(),
+            SynthMiniDomain(),
+        ),
+        key=lambda f: f.name,
+    )
+}
+
+FAMILY_NAMES: tuple[str, ...] = tuple(FAMILIES)
+
+
+def get_family(name: str) -> Perturbation:
+    """The family registered under ``name`` (with the usual sorted hint)."""
+    try:
+        return FAMILIES[name]
+    except KeyError:
+        raise PerturbationError(
+            f"unknown perturbation family {name!r}; available families: "
+            + ", ".join(FAMILY_NAMES)
+        ) from None
+
+
+__all__ = [
+    "BASELINE_FAMILY",
+    "FAMILIES",
+    "FAMILY_NAMES",
+    "SEVERITIES",
+    "Perturbation",
+    "PerturbationError",
+    "PerturbedDomain",
+    "DistractorWidening",
+    "ParaphraseStorm",
+    "SchemaRename",
+    "SynthMiniDomain",
+    "ValueDrift",
+    "fingerprint_domain",
+    "fingerprint_rows",
+    "get_family",
+]

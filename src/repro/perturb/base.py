@@ -1,0 +1,188 @@
+"""Core of the perturbation engine: the protocol and shared plumbing.
+
+A *perturbation family* is a seeded, deterministic transformation of a
+:class:`~repro.datasets.records.BenchmarkDomain` — the SynSQL/NL2SQLBench
+direction of programmatically varying the benchmark itself instead of
+evaluating on one frozen rendering of each domain.  Every family implements
+the :class:`Perturbation` protocol::
+
+    class MyFamily:
+        name = "my-family"
+
+        def apply(self, base, severity, rng) -> PerturbedDomain: ...
+
+``apply`` must be pure in ``(base, severity, rng)``: the same base domain,
+severity and RNG seed yield a byte-identical perturbed domain, which is what
+lets the robustness matrix run as content-addressed
+:mod:`repro.runtime` tasks and stay bit-identical across worker counts.
+
+Severity is a small integer axis (:data:`SEVERITIES`, 1-3) whose meaning is
+family-local but monotone: a higher severity never perturbs *less* (more
+identifiers renamed, more cells drifted, more paraphrase operations, more
+distractor columns, a larger synthesized schema).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+from repro.datasets.records import BenchmarkDomain, NLSQLPair, Split
+from repro.engine.database import Database
+from repro.errors import PerturbationError
+
+#: The severity axis of the robustness matrix.
+SEVERITIES = (1, 2, 3)
+
+#: The identity "family" of the matrix: severity 0, domain untouched.
+BASELINE_FAMILY = "baseline"
+
+
+@dataclass
+class PerturbedDomain:
+    """One cell of the domain × family × severity perturbation space.
+
+    ``domain`` is a fully self-consistent benchmark domain: its gold SQL
+    executes on its own database, its lexicon/enhanced schema are keyed by
+    its own identifiers.  ``invariance`` is populated only by families that
+    promise gold results unchanged (the distractor family): it records the
+    result-fingerprint comparison against the unperturbed database.
+    """
+
+    domain: BenchmarkDomain
+    base_name: str
+    family: str
+    severity: int
+    metadata: dict = field(default_factory=dict)
+    #: ``{"checked": n, "identical": bool, "mismatched": [sql, ...]}`` for
+    #: invariant families; None elsewhere.
+    invariance: dict | None = None
+
+
+@runtime_checkable
+class Perturbation(Protocol):
+    """The family protocol: a named, seeded domain transformation."""
+
+    name: str
+
+    def apply(
+        self, base: BenchmarkDomain, severity: int, rng
+    ) -> PerturbedDomain: ...
+
+
+def check_severity(severity: int) -> int:
+    if severity not in SEVERITIES:
+        raise PerturbationError(
+            f"severity {severity!r} out of range; valid severities: "
+            + ", ".join(str(s) for s in SEVERITIES)
+        )
+    return severity
+
+
+# -- shared plumbing -----------------------------------------------------------
+
+
+def table_rows(database: Database) -> dict[str, list[tuple]]:
+    """``{table name: rows}`` snapshot of a database, in schema order."""
+    return {
+        tdef.name: list(database.table(tdef.name).rows)
+        for tdef in database.schema.tables
+    }
+
+
+def clone_pairs(
+    split: Split,
+    name: str | None = None,
+    sql_rewrite=None,
+    question_rewrite=None,
+) -> Split:
+    """A deep copy of a split with optional SQL/question rewriters.
+
+    Hardness is carried over only when the SQL is untouched (a rewritten
+    query re-classifies lazily; renames preserve structure but recomputing
+    is cheap and avoids trusting the rewriter).
+    """
+    pairs = []
+    for pair in split.pairs:
+        sql = sql_rewrite(pair.sql) if sql_rewrite else pair.sql
+        question = (
+            question_rewrite(pair.question) if question_rewrite else pair.question
+        )
+        pairs.append(
+            NLSQLPair(
+                question=question,
+                sql=sql,
+                db_id=pair.db_id,
+                source=pair.source,
+                _hardness=None if sql_rewrite else pair._hardness,
+            )
+        )
+    return Split(name=name or split.name, pairs=pairs)
+
+
+def fingerprint_rows(result) -> str:
+    """SHA-256 over a query result's row tuples (order-sensitive).
+
+    Column *labels* are deliberately excluded: a schema rename changes the
+    labels but must not change the rows, and the distractor invariance gate
+    compares gold results across schemas whose identifiers differ only in
+    unreferenced additions.
+    """
+    blob = json.dumps([list(row) for row in result.rows], default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def fingerprint_domain(domain: BenchmarkDomain) -> str:
+    """A stable fingerprint over everything a perturbation may touch.
+
+    Covers the schema (tables, columns, types, aliases, foreign keys), every
+    data row, and the seed/dev question/SQL pairs — the determinism property
+    tests compare this digest across repeated applications and worker
+    counts.
+    """
+    schema = domain.database.schema
+    payload = {
+        "name": domain.name,
+        "tables": [
+            {
+                "name": t.name,
+                "alias": t.alias,
+                "primary_key": t.primary_key,
+                "columns": [
+                    [c.name, c.type.value, c.alias, c.nullable] for c in t.columns
+                ],
+            }
+            for t in schema.tables
+        ],
+        "foreign_keys": [
+            [fk.table, fk.column, fk.ref_table, fk.ref_column]
+            for fk in schema.foreign_keys
+        ],
+        "rows": {
+            t.name: [list(map(str, row)) for row in domain.database.table(t.name).rows]
+            for t in schema.tables
+        },
+        "seed": [[p.question, p.sql, p.db_id] for p in domain.seed.pairs],
+        "dev": [[p.question, p.sql, p.db_id] for p in domain.dev.pairs],
+    }
+    blob = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def validate_perturbed(perturbed: PerturbedDomain) -> PerturbedDomain:
+    """Assert the perturbed domain's gold SQL still executes; returns it.
+
+    Every family runs through this before its output enters the matrix: a
+    perturbation that breaks its own gold queries would silently zero the
+    accuracy of every cell built on it and masquerade as degradation.
+    """
+    bad = perturbed.domain.validate_gold_sql()
+    if bad:
+        raise PerturbationError(
+            f"family {perturbed.family!r} severity {perturbed.severity} broke "
+            f"{len(bad)} gold quer{'y' if len(bad) == 1 else 'ies'} on "
+            f"{perturbed.base_name!r}; first: {bad[0]!r}"
+        )
+    return perturbed

@@ -1,0 +1,186 @@
+"""Distractor widening: plausible-but-irrelevant columns and tables.
+
+The schema grows — every table gains seeded housekeeping-style columns and
+the database gains whole unreferenced operational tables — but questions,
+gold SQL and the original data stay byte-for-byte identical.  The family
+therefore carries a *hard invariant*: every gold query must return exactly
+the same rows on the widened database as on the original.  ``apply``
+verifies this by executing the full gold set on both databases and
+recording the row-fingerprint comparison in
+:attr:`~repro.perturb.base.PerturbedDomain.invariance`; the CLI's
+``--assert-invariant`` gate fails the run if any result moved.
+
+What the widening stresses is schema linking: the systems now choose among
+more (and deliberately plausible-sounding) columns and tables for the same
+questions.  Severity is the number of distractor columns per table and the
+number of distractor tables added.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.records import BenchmarkDomain
+from repro.engine.database import create_database
+from repro.perturb.base import (
+    PerturbedDomain,
+    check_severity,
+    fingerprint_rows,
+    table_rows,
+    validate_perturbed,
+)
+from repro.schema.enhanced import ColumnAnnotation, EnhancedSchema
+from repro.schema.model import Column, ColumnType, Schema, TableDef
+
+#: Plausible operational column names (name, type, value pool).
+_COLUMN_POOL = (
+    ("audit_flag", ColumnType.TEXT, ("ok", "stale", "pending", "review")),
+    ("legacy_code", ColumnType.INTEGER, (0, 1, 2, 3, 7)),
+    ("etl_batch", ColumnType.INTEGER, (101, 102, 103, 104)),
+    ("row_version", ColumnType.INTEGER, (1, 2, 3)),
+    ("sync_status", ColumnType.TEXT, ("synced", "dirty", "queued")),
+    ("qa_note", ColumnType.TEXT, ("checked", "sampled", "skipped")),
+    ("import_tag", ColumnType.TEXT, ("bulk", "manual", "api")),
+    ("archive_hint", ColumnType.TEXT, ("hot", "cold", "frozen")),
+)
+
+#: Whole distractor tables: (name, row prefix).
+_TABLE_POOL = (
+    ("audit_log", "evt"),
+    ("etl_runs", "run"),
+    ("schema_changelog", "chg"),
+    ("sync_state", "syn"),
+    ("housekeeping_jobs", "job"),
+)
+
+
+def _distractor_tables(severity: int, taken: set[str], rng) -> list[TableDef]:
+    chosen = rng.sample(list(_TABLE_POOL), severity)
+    tables = []
+    for name, _prefix in chosen:
+        candidate = name
+        suffix = 2
+        while candidate.lower() in taken:
+            candidate = f"{name}_{suffix}"
+            suffix += 1
+        taken.add(candidate.lower())
+        tables.append(
+            TableDef(
+                name=candidate,
+                columns=(
+                    Column(f"{candidate}_id", ColumnType.INTEGER, nullable=False),
+                    Column("ref_code", ColumnType.TEXT),
+                    Column("status", ColumnType.TEXT),
+                    Column("priority", ColumnType.INTEGER),
+                ),
+                primary_key=f"{candidate}_id",
+            )
+        )
+    return tables
+
+
+class DistractorWidening:
+    """The distractor-column/table family (see module docstring)."""
+
+    name = "distractor"
+
+    def apply(self, base: BenchmarkDomain, severity: int, rng) -> PerturbedDomain:
+        check_severity(severity)
+        old_schema = base.database.schema
+        old_data = table_rows(base.database)
+
+        widened: list[TableDef] = []
+        data: dict[str, list[tuple]] = {}
+        added_columns = 0
+        for tdef in old_schema.tables:
+            taken = {c.name.lower() for c in tdef.columns}
+            pool = [entry for entry in _COLUMN_POOL if entry[0] not in taken]
+            extras = rng.sample(pool, min(severity, len(pool)))
+            new_columns = tuple(
+                Column(name, ctype) for name, ctype, _pool in extras
+            )
+            added_columns += len(new_columns)
+            widened.append(
+                TableDef(
+                    name=tdef.name,
+                    columns=tdef.columns + new_columns,
+                    primary_key=tdef.primary_key,
+                    alias=tdef.alias,
+                )
+            )
+            rows = old_data[tdef.name]
+            data[tdef.name] = [
+                row + tuple(rng.choice(pool) for _name, _ctype, pool in extras)
+                for row in rows
+            ]
+
+        taken_tables = {t.name.lower() for t in old_schema.tables}
+        extra_tables = _distractor_tables(severity, taken_tables, rng)
+        for tdef in extra_tables:
+            data[tdef.name] = [
+                (
+                    i + 1,
+                    f"{tdef.name[:3]}-{rng.randrange(1000):03d}",
+                    rng.choice(("done", "active", "failed")),
+                    rng.randrange(1, 6),
+                )
+                for i in range(5 * severity)
+            ]
+
+        schema = Schema(
+            name=old_schema.name,
+            tables=tuple(widened) + tuple(extra_tables),
+            foreign_keys=old_schema.foreign_keys,
+        )
+        database = create_database(schema, data)
+
+        # Old annotation/stat keys remain valid (columns only gained
+        # neighbours); distractor identifier columns are marked
+        # non-aggregatable so the synthesis constraints treat them like the
+        # codes they imitate.
+        enhanced = EnhancedSchema(
+            schema=schema,
+            annotations=dict(base.enhanced.annotations),
+            stats=dict(base.enhanced.stats),
+        )
+        for tdef in extra_tables:
+            enhanced.annotate(
+                tdef.name, f"{tdef.name}_id", ColumnAnnotation(aggregatable=False)
+            )
+
+        domain = BenchmarkDomain(
+            name=base.name,
+            database=database,
+            enhanced=enhanced,
+            lexicon=base.lexicon,
+            seed=base.seed,
+            dev=base.dev,
+            nominal_stats=base.nominal_stats,
+        )
+
+        # The family's contract: widening must not move a single gold row.
+        mismatched: list[str] = []
+        checked = 0
+        for split in (base.seed, base.dev):
+            for pair in split.pairs:
+                checked += 1
+                before = fingerprint_rows(base.database.execute(pair.sql))
+                after = fingerprint_rows(database.execute(pair.sql))
+                if before != after:
+                    mismatched.append(pair.sql)
+
+        return validate_perturbed(
+            PerturbedDomain(
+                domain=domain,
+                base_name=base.name,
+                family=self.name,
+                severity=severity,
+                metadata={
+                    "added_columns": added_columns,
+                    "added_tables": [t.name for t in extra_tables],
+                },
+                invariance={
+                    "checked": checked,
+                    "identical": not mismatched,
+                    "mismatched": mismatched,
+                },
+            )
+        )

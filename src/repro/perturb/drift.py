@@ -1,0 +1,126 @@
+"""Value drift: re-sampled cell distributions under an unchanged schema.
+
+The questions and gold SQL stay exactly as written; the *data* underneath
+them moves.  Numeric measurement columns are rescaled by a per-column drift
+factor and jittered per cell; non-numeric columns have a fraction of their
+cells permuted among themselves (the value domain is preserved, the
+row-to-value association is not).  Key columns — primary keys and both
+endpoints of every foreign key — are never touched, so referential
+integrity and join cardinalities survive.
+
+Gold answers are *re-derived through the engine*: the evaluation harness
+executes the unchanged gold SQL against the drifted database, so a
+prediction is judged against what the query truly returns now — not
+against a stale answer set.  What drifts for the NL-to-SQL systems is value
+linking: literals mentioned in questions may no longer exist in the data.
+
+Severity scales the drifted fraction of eligible cells and the width of
+the numeric drift factor.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.records import BenchmarkDomain
+from repro.engine.database import create_database
+from repro.perturb.base import (
+    PerturbedDomain,
+    check_severity,
+    table_rows,
+    validate_perturbed,
+)
+from repro.schema.enhanced import EnhancedSchema
+from repro.schema.introspect import profile_database
+from repro.schema.model import ColumnType, Schema
+
+#: severity -> (fraction of eligible cells drifted, numeric drift half-width).
+_INTENSITY = {1: (0.15, 0.10), 2: (0.35, 0.25), 3: (0.60, 0.45)}
+
+
+def _protected_columns(schema: Schema) -> set[tuple[str, str]]:
+    """Columns drift must not touch: primary keys and FK endpoints."""
+    protected: set[tuple[str, str]] = set()
+    for tdef in schema.tables:
+        if tdef.primary_key:
+            protected.add((tdef.name.lower(), tdef.primary_key.lower()))
+    for fk in schema.foreign_keys:
+        protected.add((fk.table.lower(), fk.column.lower()))
+        protected.add((fk.ref_table.lower(), fk.ref_column.lower()))
+    return protected
+
+
+class ValueDrift:
+    """The value-drift family (see module docstring)."""
+
+    name = "drift"
+
+    def apply(self, base: BenchmarkDomain, severity: int, rng) -> PerturbedDomain:
+        check_severity(severity)
+        fraction, half_width = _INTENSITY[severity]
+        schema = base.database.schema
+        protected = _protected_columns(schema)
+
+        drifted_cells = 0
+        data: dict[str, list[tuple]] = {}
+        for tdef in schema.tables:
+            rows = [list(row) for row in table_rows(base.database)[tdef.name]]
+            for index, col in enumerate(tdef.columns):
+                if (tdef.name.lower(), col.name.lower()) in protected:
+                    continue
+                cells = [
+                    i for i, row in enumerate(rows) if row[index] is not None
+                ]
+                if not cells:
+                    continue
+                n_drift = max(1, round(fraction * len(cells)))
+                chosen = sorted(rng.sample(cells, min(n_drift, len(cells))))
+                if col.type.is_numeric:
+                    factor = 1.0 + rng.uniform(-half_width, half_width)
+                    for i in chosen:
+                        value = rows[i][index] * factor
+                        if col.type is ColumnType.INTEGER:
+                            value = int(round(value))
+                        rows[i][index] = value
+                        drifted_cells += 1
+                else:
+                    # Permute the chosen cells among themselves: the column
+                    # keeps its exact value domain, rows lose their values.
+                    values = [rows[i][index] for i in chosen]
+                    shuffled = list(values)
+                    rng.shuffle(shuffled)
+                    for i, value in zip(chosen, shuffled):
+                        if rows[i][index] != value:
+                            drifted_cells += 1
+                        rows[i][index] = value
+            data[tdef.name] = [tuple(row) for row in rows]
+
+        database = create_database(schema, data)
+        # Fresh statistics from the drifted data (the static analyzer's cost
+        # pass would otherwise reason from the pre-drift value ranges);
+        # annotations are domain knowledge and carry over unchanged.
+        enhanced = EnhancedSchema(
+            schema=schema,
+            annotations=dict(base.enhanced.annotations),
+            stats=dict(profile_database(database).stats),
+        )
+        domain = BenchmarkDomain(
+            name=base.name,
+            database=database,
+            enhanced=enhanced,
+            lexicon=base.lexicon,
+            seed=base.seed,
+            dev=base.dev,
+            nominal_stats=base.nominal_stats,
+        )
+        return validate_perturbed(
+            PerturbedDomain(
+                domain=domain,
+                base_name=base.name,
+                family=self.name,
+                severity=severity,
+                metadata={
+                    "drifted_cells": drifted_cells,
+                    "cell_fraction": fraction,
+                    "numeric_half_width": half_width,
+                },
+            )
+        )

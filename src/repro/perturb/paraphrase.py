@@ -1,0 +1,64 @@
+"""Paraphrase storms: seeded question rewrites, SQL untouched.
+
+The schema and data stay frozen; every seed and dev *question* is rewritten
+through :func:`repro.nlgen.augmentations.augment_question` — the DBPal-style
+meaning-preserving operations (synonym substitution, filler deletion,
+prefix rewriting) already used by the augmentation ablation.  Because the
+operations never touch numbers, quoted values or domain terms outside the
+synonym bank, the gold SQL remains the gold SQL; what degrades is the
+systems' surface-form matching.
+
+Severity is the number of rewrite operations applied per question (1-3).
+"""
+
+from __future__ import annotations
+
+from repro.datasets.records import BenchmarkDomain
+from repro.nlgen.augmentations import augment_question
+from repro.perturb.base import (
+    PerturbedDomain,
+    check_severity,
+    clone_pairs,
+    validate_perturbed,
+)
+
+
+class ParaphraseStorm:
+    """The paraphrase-storm family (see module docstring)."""
+
+    name = "paraphrase"
+
+    def apply(self, base: BenchmarkDomain, severity: int, rng) -> PerturbedDomain:
+        check_severity(severity)
+        changed = 0
+
+        def _rewrite(question: str) -> str:
+            nonlocal changed
+            rewritten = augment_question(question, rng, n_ops=severity)
+            if rewritten != question:
+                changed += 1
+            return rewritten
+
+        domain = BenchmarkDomain(
+            name=base.name,
+            database=base.database,
+            enhanced=base.enhanced,
+            lexicon=base.lexicon,
+            seed=clone_pairs(base.seed, question_rewrite=_rewrite),
+            dev=clone_pairs(base.dev, question_rewrite=_rewrite),
+            nominal_stats=base.nominal_stats,
+        )
+        n_total = len(base.seed.pairs) + len(base.dev.pairs)
+        return validate_perturbed(
+            PerturbedDomain(
+                domain=domain,
+                base_name=base.name,
+                family=self.name,
+                severity=severity,
+                metadata={
+                    "n_ops": severity,
+                    "questions_changed": changed,
+                    "questions_total": n_total,
+                },
+            )
+        )

@@ -1,0 +1,341 @@
+"""Schema rename / crypticization: consistent identifier rewrites.
+
+ScienceBenchmark's domains are hard partly because their identifiers are
+cryptic (``specobj.z``); this family manufactures that hardness on demand.
+A seeded subset of tables and columns is renamed consistently across
+
+* the structural schema (tables, columns, primary keys, foreign keys),
+* the populated database (rows copied verbatim),
+* the gold and silver SQL (AST rewrite — aliases, qualified and
+  unqualified column references, ``T1.*`` stars),
+* the enhanced schema's annotations and statistics (re-keyed),
+* and the domain lexicon (re-keyed, phrases preserved).
+
+Severity controls both *coverage* and *crypticness*: severity 1 renames a
+third of the identifiers to versioned names (``project_v2``), severity 2
+renames two thirds to consonant skeletons (``prjct``), severity 3 renames
+everything to opaque codes (``t03``, ``c017``) and also strips the
+human-readable aliases — the fully cryptic rendering.  Natural-language
+questions are never touched: the question still says "project", the schema
+no longer does.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.datasets.records import BenchmarkDomain
+from repro.engine.database import create_database
+from repro.nlgen.lexicon import DomainLexicon
+from repro.perturb.base import (
+    PerturbedDomain,
+    check_severity,
+    clone_pairs,
+    table_rows,
+    validate_perturbed,
+)
+from repro.schema.enhanced import EnhancedSchema
+from repro.schema.model import Column, ForeignKey, Schema, TableDef
+from repro.sql import ast as sql_ast
+from repro.sql import parse, to_sql
+
+#: severity -> fraction of tables/columns renamed.
+_COVERAGE = {1: 0.34, 2: 0.67, 3: 1.0}
+
+_VOWELS = set("aeiou")
+
+
+def _skeleton(name: str) -> str:
+    """Consonant skeleton of an identifier (``project`` -> ``prjct``)."""
+    kept = name[0] + "".join(
+        ch for ch in name[1:] if ch not in _VOWELS and ch != "_"
+    )
+    return kept[:8] or name[:8]
+
+
+class _NameAllocator:
+    """Unique new names within one scope (tables, or one table's columns)."""
+
+    def __init__(self, severity: int, prefix: str, taken: set[str]) -> None:
+        self.severity = severity
+        self.prefix = prefix  # "t" for tables, "c" for columns
+        self.taken = {name.lower() for name in taken}
+        self.counter = 0
+
+    def rename(self, old: str) -> str:
+        self.counter += 1
+        if self.severity == 1:
+            candidate = f"{old}_v2"
+        elif self.severity == 2:
+            candidate = _skeleton(old.lower())
+        else:
+            width = 2 if self.prefix == "t" else 3
+            candidate = f"{self.prefix}{self.counter:0{width}d}"
+        base = candidate
+        suffix = 2
+        while candidate.lower() in self.taken:
+            candidate = f"{base}_{suffix}"
+            suffix += 1
+        self.taken.add(candidate.lower())
+        return candidate
+
+
+def _build_rename_maps(schema: Schema, severity: int, rng):
+    """(table_map, column_map) keyed by lower-cased old names."""
+    fraction = _COVERAGE[severity]
+    table_names = sorted(t.name for t in schema.tables)
+    n_tables = max(1, math.ceil(fraction * len(table_names)))
+    renamed_tables = sorted(rng.sample(table_names, n_tables))
+
+    tables_alloc = _NameAllocator(severity, "t", set(table_names))
+    table_map = {name.lower(): tables_alloc.rename(name) for name in renamed_tables}
+
+    column_map: dict[tuple[str, str], str] = {}
+    for tdef in schema.tables:
+        names = sorted(c.name for c in tdef.columns)
+        n_cols = max(1, math.ceil(fraction * len(names)))
+        renamed = sorted(rng.sample(names, n_cols))
+        alloc = _NameAllocator(severity, "c", set(names))
+        for name in renamed:
+            column_map[(tdef.name.lower(), name.lower())] = alloc.rename(name)
+    return table_map, column_map
+
+
+def _rename_schema(
+    schema: Schema,
+    table_map: dict[str, str],
+    column_map: dict[tuple[str, str], str],
+    strip_aliases: bool,
+) -> Schema:
+    tables = []
+    for tdef in schema.tables:
+        tkey = tdef.name.lower()
+        columns = []
+        for col in tdef.columns:
+            new_name = column_map.get((tkey, col.name.lower()), col.name)
+            renamed = new_name != col.name
+            columns.append(
+                Column(
+                    name=new_name,
+                    type=col.type,
+                    alias=None if (strip_aliases and renamed) else col.alias,
+                    nullable=col.nullable,
+                )
+            )
+        pk = tdef.primary_key
+        if pk is not None:
+            pk = column_map.get((tkey, pk.lower()), pk)
+        new_tname = table_map.get(tkey, tdef.name)
+        tables.append(
+            TableDef(
+                name=new_tname,
+                columns=tuple(columns),
+                primary_key=pk,
+                alias=None if (strip_aliases and new_tname != tdef.name) else tdef.alias,
+            )
+        )
+    foreign_keys = tuple(
+        ForeignKey(
+            table=table_map.get(fk.table.lower(), fk.table),
+            column=column_map.get((fk.table.lower(), fk.column.lower()), fk.column),
+            ref_table=table_map.get(fk.ref_table.lower(), fk.ref_table),
+            ref_column=column_map.get(
+                (fk.ref_table.lower(), fk.ref_column.lower()), fk.ref_column
+            ),
+        )
+        for fk in schema.foreign_keys
+    )
+    return Schema(name=schema.name, tables=tuple(tables), foreign_keys=foreign_keys)
+
+
+def rewrite_sql(
+    sql: str,
+    schema: Schema,
+    table_map: dict[str, str],
+    column_map: dict[tuple[str, str], str],
+) -> str:
+    """Rewrite one query under the rename maps (aliases preserved).
+
+    ``schema`` is the *pre-rename* schema, used to resolve unqualified
+    column references to their owning table.  Resolution is scope-aware:
+    each SELECT core resolves against its own FROM/JOIN tables first, then
+    the enclosing scopes — so ``SELECT specobjid FROM speclineall`` inside a
+    subquery renames with ``speclineall`` even when an outer table also has
+    a ``specobjid`` column (the case a global alias map gets wrong).
+    """
+    return to_sql(_rewrite_query(parse(sql), (), schema, table_map, column_map))
+
+
+def _rewrite_query(
+    query: sql_ast.Query,
+    outer: tuple[tuple[str, str], ...],
+    schema: Schema,
+    table_map: dict[str, str],
+    column_map: dict[tuple[str, str], str],
+) -> sql_ast.Query:
+    return sql_ast.Query(
+        select=_rewrite_select(query.select, outer, schema, table_map, column_map),
+        set_op=query.set_op,
+        right=(
+            _rewrite_query(query.right, outer, schema, table_map, column_map)
+            if query.right is not None
+            else None
+        ),
+        set_all=query.set_all,
+    )
+
+
+def _rewrite_select(
+    select: sql_ast.Select,
+    outer: tuple[tuple[str, str], ...],
+    schema: Schema,
+    table_map: dict[str, str],
+    column_map: dict[tuple[str, str], str],
+) -> sql_ast.Select:
+    # Innermost-first scope: this select's bindings, then the enclosing ones
+    # (the correlated-subquery resolution order).
+    scope = tuple(
+        (ref.binding.lower(), ref.name) for ref in select.table_refs()
+    ) + tuple(outer)
+    alias_to_table: dict[str, str] = {}
+    for binding, name in reversed(scope):
+        alias_to_table[binding] = name
+
+    def _owner_of(column: str) -> str | None:
+        for _binding, table in scope:
+            if schema.has_table(table) and schema.table(table).has_column(column):
+                return table
+        return None
+
+    def rewrite(node: sql_ast.Node) -> sql_ast.Node:
+        if isinstance(node, sql_ast.TableRef):
+            return sql_ast.TableRef(
+                name=table_map.get(node.name.lower(), node.name), alias=node.alias
+            )
+        if isinstance(node, sql_ast.Star) and node.table:
+            owner = alias_to_table.get(node.table.lower())
+            if owner is not None and node.table.lower() == owner.lower():
+                return sql_ast.Star(table=table_map.get(owner.lower(), node.table))
+            return node
+        if isinstance(node, sql_ast.ColumnRef):
+            owner = alias_to_table.get((node.table or "").lower())
+            if owner is None and node.table is None:
+                owner = _owner_of(node.column)
+            if owner is None:
+                return node
+            new_column = column_map.get(
+                (owner.lower(), node.column.lower()), node.column
+            )
+            new_table = node.table
+            # A qualification by the real table name (not an alias) renames
+            # with the table; an alias like ``T1`` stays as written.
+            if new_table is not None and new_table.lower() == owner.lower():
+                new_table = table_map.get(owner.lower(), new_table)
+            return sql_ast.ColumnRef(table=new_table, column=new_column)
+        return node
+
+    def recurse(node: sql_ast.Node) -> sql_ast.Node:
+        if isinstance(node, sql_ast.Query):
+            return _rewrite_query(node, scope, schema, table_map, column_map)
+        kwargs = {}
+        for field_ in dataclasses.fields(node):
+            value = getattr(node, field_.name)
+            if isinstance(value, sql_ast.Node):
+                kwargs[field_.name] = recurse(value)
+            elif isinstance(value, tuple):
+                kwargs[field_.name] = tuple(
+                    recurse(item) if isinstance(item, sql_ast.Node) else item
+                    for item in value
+                )
+            else:
+                kwargs[field_.name] = value
+        return rewrite(type(node)(**kwargs))
+
+    return recurse(select)
+
+
+def _rekey_lexicon(
+    lexicon: DomainLexicon | None,
+    table_map: dict[str, str],
+    column_map: dict[tuple[str, str], str],
+) -> DomainLexicon | None:
+    if lexicon is None:
+        return None
+    renamed = DomainLexicon(name=lexicon.name)
+    for table, phrases in lexicon.table_phrases.items():
+        renamed.table_phrases[table_map.get(table, table).lower()] = list(phrases)
+    for (table, column), phrases in lexicon.column_phrases.items():
+        new_t = table_map.get(table, table).lower()
+        new_c = column_map.get((table, column), column).lower()
+        renamed.column_phrases[(new_t, new_c)] = list(phrases)
+    for (table, column, value), phrases in lexicon.value_phrases.items():
+        new_t = table_map.get(table, table).lower()
+        new_c = column_map.get((table, column), column).lower()
+        renamed.value_phrases[(new_t, new_c, value)] = list(phrases)
+    return renamed
+
+
+class SchemaRename:
+    """The rename/crypticization family (see module docstring)."""
+
+    name = "rename"
+
+    def apply(self, base: BenchmarkDomain, severity: int, rng) -> PerturbedDomain:
+        check_severity(severity)
+        old_schema = base.database.schema
+        table_map, column_map = _build_rename_maps(old_schema, severity, rng)
+        new_schema = _rename_schema(
+            old_schema, table_map, column_map, strip_aliases=severity >= 3
+        )
+
+        data = {
+            table_map.get(name.lower(), name): rows
+            for name, rows in table_rows(base.database).items()
+        }
+        database = create_database(new_schema, data)
+
+        enhanced = EnhancedSchema(
+            schema=new_schema,
+            annotations={
+                (
+                    table_map.get(t, t).lower(),
+                    column_map.get((t, c), c).lower(),
+                ): annotation
+                for (t, c), annotation in base.enhanced.annotations.items()
+            },
+            stats={
+                (
+                    table_map.get(t, t).lower(),
+                    column_map.get((t, c), c).lower(),
+                ): stats
+                for (t, c), stats in base.enhanced.stats.items()
+            },
+        )
+
+        def _rewrite(sql: str) -> str:
+            return rewrite_sql(sql, old_schema, table_map, column_map)
+
+        domain = BenchmarkDomain(
+            name=base.name,
+            database=database,
+            enhanced=enhanced,
+            lexicon=_rekey_lexicon(base.lexicon, table_map, column_map),
+            seed=clone_pairs(base.seed, sql_rewrite=_rewrite),
+            dev=clone_pairs(base.dev, sql_rewrite=_rewrite),
+            nominal_stats=base.nominal_stats,
+        )
+        return validate_perturbed(
+            PerturbedDomain(
+                domain=domain,
+                base_name=base.name,
+                family=self.name,
+                severity=severity,
+                metadata={
+                    "renamed_tables": len(table_map),
+                    "renamed_columns": len(column_map),
+                    "aliases_stripped": severity >= 3,
+                    "table_map": dict(sorted(table_map.items())),
+                },
+            )
+        )

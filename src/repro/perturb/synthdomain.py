@@ -1,0 +1,296 @@
+"""SynSQL-style synthesized mini-domains from a seeded schema grammar.
+
+Where the other families bend an existing domain, this one manufactures a
+*fresh* scientific micro-domain — schema, data, lexicon and gold NL/SQL
+pairs — from a small grammar over entity vocabularies (a parent "site"/
+"lab"-style registry table plus ``severity`` child measurement tables with
+foreign keys into it).  The result is delivered the same way real domains
+are: as an :class:`~repro.adapters.manifest.AdapterManifest` whose build
+entry point lives in this module, registered through
+:mod:`repro.adapters` and built through the returned adapter handle.  The
+manifest's attribute encodes the grammar seed and severity
+(``build_s<seed>x<severity>``), resolved by this module's ``__getattr__`` —
+so the spec travels through task params and rebuilds identically inside
+pool worker processes with no registry state crossing the boundary.
+
+Severity scales the schema (number of child tables) and the data volume.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+
+from repro.adapters.manifest import AdapterManifest
+from repro.datasets.records import BenchmarkDomain, NLSQLPair, Split
+from repro.engine.database import create_database
+from repro.errors import PerturbationError
+from repro.nlgen.lexicon import DomainLexicon
+from repro.perturb.base import PerturbedDomain, check_severity, validate_perturbed
+from repro.schema.introspect import profile_database
+from repro.schema.model import Column, ColumnType, ForeignKey, Schema, TableDef
+
+_GROUPS = ("site", "lab", "cohort", "station", "facility")
+_SUBJECTS = (
+    "sample", "sensor", "trial", "compound",
+    "specimen", "isolate", "reactor", "probe",
+)
+_MEASURES = ("mass", "density", "voltage", "purity", "intensity", "half_life")
+_CATEGORIES = ("control", "treated", "reference", "blind")
+_REGIONS = ("north", "south", "east", "west")
+
+I, F, T = ColumnType.INTEGER, ColumnType.REAL, ColumnType.TEXT
+
+
+def domain_name(seed: int, severity: int) -> str:
+    return f"synth_s{seed}x{severity}"
+
+
+def generate_domain(seed: int, severity: int, scale: float = 1.0) -> BenchmarkDomain:
+    """Generate one mini-domain; pure in ``(seed, severity, scale)``."""
+    check_severity(severity)
+    rng = random.Random(seed)
+    name = domain_name(seed, severity)
+
+    group = rng.choice(_GROUPS)
+    subjects = rng.sample(_SUBJECTS, severity)
+    measures = {subject: rng.choice(_MEASURES) for subject in subjects}
+
+    group_id = f"{group}_id"
+    tables = [
+        TableDef(
+            name=group,
+            columns=(
+                Column(group_id, I, nullable=False),
+                Column("name", T),
+                Column("region", T),
+            ),
+            primary_key=group_id,
+        )
+    ]
+    foreign_keys = []
+    for subject in subjects:
+        tables.append(
+            TableDef(
+                name=subject,
+                columns=(
+                    Column(f"{subject}_id", I, nullable=False),
+                    Column("name", T),
+                    Column(group_id, I),
+                    Column("category", T),
+                    Column(measures[subject], F),
+                    Column("reading_count", I),
+                ),
+                primary_key=f"{subject}_id",
+            )
+        )
+        foreign_keys.append(
+            ForeignKey(
+                table=subject, column=group_id,
+                ref_table=group, ref_column=group_id,
+            )
+        )
+    schema = Schema(
+        name=name, tables=tuple(tables), foreign_keys=tuple(foreign_keys)
+    )
+
+    n_groups = 4 + severity
+    n_rows = max(12, int(round(24 * scale * (1 + severity))))
+    data: dict[str, list[tuple]] = {
+        group: [
+            (i + 1, f"{group} {i + 1:02d}", rng.choice(_REGIONS))
+            for i in range(n_groups)
+        ]
+    }
+    for subject in subjects:
+        data[subject] = [
+            (
+                i + 1,
+                f"{subject}-{i + 1:03d}",
+                rng.randrange(1, n_groups + 1),
+                rng.choice(_CATEGORIES),
+                round(rng.uniform(1.0, 100.0), 2),
+                rng.randrange(0, 50),
+            )
+            for i in range(n_rows)
+        ]
+    database = create_database(schema, data)
+
+    lexicon = DomainLexicon(name=name)
+    lexicon.add_table(group, f"{group}s")
+    for subject in subjects:
+        lexicon.add_table(subject, f"{subject}s")
+        lexicon.add_column(
+            subject, measures[subject], measures[subject].replace("_", " ")
+        )
+
+    pairs = _question_programs(rng, name, group, subjects, measures, data)
+    rng.shuffle(pairs)
+    n_dev = max(2, len(pairs) // 3)
+    dev, seed_pairs = pairs[:n_dev], pairs[n_dev:]
+
+    domain = BenchmarkDomain(
+        name=name,
+        database=database,
+        enhanced=profile_database(database),
+        lexicon=lexicon,
+        seed=Split(name=f"{name}-seed", pairs=seed_pairs),
+        dev=Split(name=f"{name}-dev", pairs=dev),
+    )
+    bad = domain.validate_gold_sql()
+    if bad:
+        raise PerturbationError(
+            f"mini-domain grammar produced a non-executable gold query "
+            f"(seed {seed}, severity {severity}): {bad[0]!r}"
+        )
+    return domain
+
+
+def _question_programs(rng, db_id, group, subjects, measures, data):
+    """The grammar's gold NL/SQL pairs; every query executes by construction."""
+
+    def pair(question: str, sql: str) -> NLSQLPair:
+        return NLSQLPair(question=question, sql=sql, db_id=db_id, source="seed")
+
+    pairs = [
+        pair(
+            f"How many {group}s are there?",
+            f"SELECT count(*) FROM {group}",
+        ),
+        pair(
+            f"List the names of all {group}s.",
+            f"SELECT name FROM {group}",
+        ),
+    ]
+    region = rng.choice(_REGIONS)
+    pairs.append(
+        pair(
+            f"Show the names of {group}s in the {region} region.",
+            f"SELECT name FROM {group} WHERE region = '{region}'",
+        )
+    )
+    group_id = f"{group}_id"
+    for subject in subjects:
+        measure = measures[subject]
+        phrase = measure.replace("_", " ")
+        values = sorted(row[4] for row in data[subject])
+        threshold = values[len(values) // 2]
+        category = rng.choice(_CATEGORIES)
+        pairs.extend(
+            [
+                pair(
+                    f"How many {subject}s are there?",
+                    f"SELECT count(*) FROM {subject}",
+                ),
+                pair(
+                    f"List the names of {subject}s with {phrase} greater "
+                    f"than {threshold}.",
+                    f"SELECT name FROM {subject} WHERE {measure} > {threshold}",
+                ),
+                pair(
+                    f"What is the average {phrase} for each category of "
+                    f"{subject}s?",
+                    f"SELECT category, avg({measure}) FROM {subject} "
+                    f"GROUP BY category",
+                ),
+                pair(
+                    f"What is the maximum {phrase} of a {subject}?",
+                    f"SELECT max({measure}) FROM {subject}",
+                ),
+                pair(
+                    f"List the names of {subject}s in the {category} category.",
+                    f"SELECT name FROM {subject} WHERE category = '{category}'",
+                ),
+                pair(
+                    f"Show the name of each {group} and the number of "
+                    f"{subject}s it has.",
+                    f"SELECT T1.name, count(*) FROM {group} AS T1 JOIN "
+                    f"{subject} AS T2 ON T1.{group_id} = T2.{group_id} "
+                    f"GROUP BY T1.name",
+                ),
+            ]
+        )
+    return pairs
+
+
+# -- adapter-manifest integration ----------------------------------------------
+
+_BUILD_PATTERN = re.compile(r"^build_s(\d+)x([123])$")
+
+
+def build(scale: float = 1.0, seed: int = 4201, severity: int = 2) -> BenchmarkDomain:
+    """Default build entry point (the adapter protocol)."""
+    return generate_domain(seed, severity, scale)
+
+
+def __getattr__(name: str):
+    """Resolve ``build_s<seed>x<severity>`` attributes to builders.
+
+    This is what makes a generated manifest self-contained: the grammar
+    parameters live in the *attribute name*, so
+    :func:`repro.adapters.registry.builder_from_spec` resolves the exact
+    builder in any process from the spec alone.
+    """
+    match = _BUILD_PATTERN.match(name)
+    if match is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    grammar_seed, severity = int(match.group(1)), int(match.group(2))
+
+    def _build(scale: float = 1.0, seed: int | None = None) -> BenchmarkDomain:
+        return generate_domain(
+            grammar_seed if seed is None else seed, severity, scale
+        )
+
+    _build.__name__ = name
+    return _build
+
+
+def manifest_for(seed: int, severity: int) -> AdapterManifest:
+    """A fresh adapter manifest for one grammar (seed, severity) point."""
+    check_severity(severity)
+    return AdapterManifest(
+        name=domain_name(seed, severity),
+        module=__name__,
+        attr=f"build_s{seed}x{severity}",
+        description=(
+            f"synthesized mini-domain (grammar seed {seed}, "
+            f"severity {severity})"
+        ),
+    )
+
+
+class SynthMiniDomain:
+    """The synthesized mini-domain family (see module docstring)."""
+
+    name = "synth"
+
+    def apply(self, base: BenchmarkDomain, severity: int, rng) -> PerturbedDomain:
+        check_severity(severity)
+        # The grammar seed derives from the cell's RNG stream, so each
+        # (base domain, severity) cell synthesizes a distinct mini-domain.
+        grammar_seed = rng.randrange(1_000_000)
+        manifest = manifest_for(grammar_seed, severity)
+
+        from repro import adapters
+
+        # Registered through the adapter registry for the build, released
+        # after: task bodies run in long-lived processes and must not leak
+        # per-cell adapters into the session's registry.
+        with adapters.temporary(manifest) as adapter:
+            domain = adapter.build(scale=1.0)
+        return validate_perturbed(
+            PerturbedDomain(
+                domain=domain,
+                base_name=base.name,
+                family=self.name,
+                severity=severity,
+                metadata={
+                    "adapter": {"name": manifest.name, **manifest.spec()},
+                    "grammar_seed": grammar_seed,
+                    "n_tables": len(domain.database.schema.tables),
+                    "n_rows": domain.database.row_count(),
+                    "n_seed_pairs": len(domain.seed.pairs),
+                    "n_dev_pairs": len(domain.dev.pairs),
+                },
+            )
+        )

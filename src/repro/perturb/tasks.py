@@ -1,0 +1,233 @@
+"""The robustness matrix as a :mod:`repro.runtime` task graph.
+
+Per (domain, family, severity) cell, three tasks::
+
+    pdomain:<domain>:<family>:<sev>   build base domain, apply perturbation
+        └─> ptrain:<system>:<domain>:<family>:<sev>   train on perturbed seed
+                └─> pcell:<system>:<domain>:<family>:<sev>  eval on perturbed dev
+
+plus one ``baseline``/severity-0 column per domain (the identity
+perturbation) that every degradation delta is measured against.  Task
+bodies are module-level ``fn(params, inputs)`` functions (pool-worker
+transport by name), pure in their params and dependency artifacts; the
+adapter import spec rides in params so no registry state crosses the
+process boundary, and each stochastic body gets a
+:func:`~repro.runtime.derive_seed`-derived seed.  Content-addressed caching
+therefore makes re-running the matrix with one new family or severity pay
+only for the new cells.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro import adapters
+from repro.datasets.records import BenchmarkDomain
+from repro.metrics.execution import ExecutionAccuracy
+from repro.obs import get_tracer
+from repro.perturb.base import BASELINE_FAMILY, PerturbedDomain, check_severity
+from repro.runtime import Task, TaskGraph, derive_seed
+
+_FN = "repro.perturb.tasks:{}".format
+
+
+@dataclass
+class RobustnessCell:
+    """One evaluated (system, domain, family, severity) matrix cell."""
+
+    system: str
+    domain: str
+    family: str
+    severity: int
+    accuracy: float
+    n_eval: int
+    #: hardness class -> {"n": evaluated, "correct": matched}.
+    by_hardness: dict = field(default_factory=dict)
+    triage: dict = field(default_factory=dict)
+    #: Gold-result invariance record for invariant families (distractor).
+    invariance: dict | None = None
+    #: The perturbation's own metadata (rename maps, drift counts, ...).
+    perturbation: dict = field(default_factory=dict)
+
+
+# -- task names ----------------------------------------------------------------
+
+
+def pdomain_task(domain: str, family: str, severity: int) -> str:
+    return f"pdomain:{domain}:{family}:{severity}"
+
+
+def ptrain_task(system: str, domain: str, family: str, severity: int) -> str:
+    return f"ptrain:{system}:{domain}:{family}:{severity}"
+
+
+def pcell_task(system: str, domain: str, family: str, severity: int) -> str:
+    return f"pcell:{system}:{domain}:{family}:{severity}"
+
+
+def matrix_cells(
+    families: tuple[str, ...], severities: tuple[int, ...]
+) -> list[tuple[str, int]]:
+    """(family, severity) points of one domain column, baseline first."""
+    return [(BASELINE_FAMILY, 0)] + [
+        (family, severity) for family in families for severity in severities
+    ]
+
+
+# -- task bodies ---------------------------------------------------------------
+
+
+def build_perturbed_domain(params: dict, inputs: dict) -> PerturbedDomain:
+    """Build the base domain bare (no synthesis pipeline) and perturb it."""
+    from repro.perturb import get_family
+
+    builder = adapters.builder_from_spec(params["adapter"])
+    base: BenchmarkDomain = builder(scale=params["scale"])
+    family = params["family"]
+    if family == BASELINE_FAMILY:
+        return PerturbedDomain(
+            domain=base,
+            base_name=base.name,
+            family=BASELINE_FAMILY,
+            severity=0,
+        )
+    severity = check_severity(params["severity"])
+    with get_tracer().span(
+        "perturb.apply", domain=base.name, family=family, severity=severity
+    ):
+        return get_family(family).apply(base, severity, random.Random(params["seed"]))
+
+
+def train_perturbed_system(params: dict, inputs: dict):
+    """Train one system on the perturbed domain's seed split."""
+    from repro.experiments.tasks import SYSTEM_CLASSES
+
+    perturbed: PerturbedDomain = inputs["pdomain"]
+    domain = perturbed.domain
+    system = SYSTEM_CLASSES[params["system"]]()
+    system.register_database(domain.name, domain.database, domain.enhanced)
+    with get_tracer().span(
+        "perturb.train",
+        system=params["system"],
+        domain=perturbed.base_name,
+        family=perturbed.family,
+        severity=perturbed.severity,
+    ):
+        system.train(list(domain.seed.pairs))
+    return system
+
+
+def eval_perturbed_cell(params: dict, inputs: dict) -> RobustnessCell:
+    """Execution accuracy of the trained system on the perturbed dev split.
+
+    Uses the same ``predict_all`` batch path and
+    :class:`~repro.metrics.execution.ExecutionAccuracy` scoring as the
+    Table-5 harness, so robustness numbers are directly comparable to the
+    headline accuracy — including gold answers re-derived by executing the
+    gold SQL on the (possibly drifted) database.
+    """
+    system = inputs["system"]
+    perturbed: PerturbedDomain = inputs["pdomain"]
+    domain = perturbed.domain
+    dev_limit = params["dev_limit"]
+    pairs = domain.dev.pairs[:dev_limit] if dev_limit else list(domain.dev.pairs)
+    tracer = get_tracer()
+    cell_attrs = {
+        "system": params["system"],
+        "domain": perturbed.base_name,
+        "family": perturbed.family,
+        "severity": perturbed.severity,
+    }
+    with tracer.span("perturb.predict", n_pairs=len(pairs), **cell_attrs):
+        predictions = list(system.predict_all(pairs))
+    accuracy = ExecutionAccuracy()
+    by_hardness: dict[str, dict] = {}
+    with tracer.span("perturb.score", n_pairs=len(pairs), **cell_attrs):
+        for pair, predicted in zip(pairs, predictions):
+            matched = accuracy.add(
+                domain.database, pair.sql, predicted, enhanced=domain.enhanced
+            )
+            bucket = by_hardness.setdefault(pair.hardness, {"n": 0, "correct": 0})
+            bucket["n"] += 1
+            bucket["correct"] += int(matched)
+    return RobustnessCell(
+        system=params["system"],
+        domain=perturbed.base_name,
+        family=perturbed.family,
+        severity=perturbed.severity,
+        accuracy=accuracy.accuracy,
+        n_eval=accuracy.total,
+        by_hardness=dict(sorted(by_hardness.items())),
+        triage=dict(sorted(accuracy.triage.items())),
+        invariance=perturbed.invariance,
+        perturbation=perturbed.metadata,
+    )
+
+
+# -- graph assembly ------------------------------------------------------------
+
+
+def build_matrix_graph(
+    domains: tuple[str, ...],
+    systems: tuple[str, ...],
+    families: tuple[str, ...],
+    severities: tuple[int, ...],
+    base_seed: int,
+    scale: float,
+    dev_limit: int | None,
+) -> TaskGraph:
+    """The full robustness matrix as a task graph (baseline column included)."""
+    graph = TaskGraph()
+    for domain in domains:
+        spec = adapters.get_adapter(domain).spec()
+        for family, severity in matrix_cells(families, severities):
+            pname = pdomain_task(domain, family, severity)
+            graph.add(
+                Task(
+                    pname,
+                    _FN("build_perturbed_domain"),
+                    {
+                        "domain": domain,
+                        "adapter": spec,
+                        "scale": scale,
+                        "family": family,
+                        "severity": severity,
+                        "seed": derive_seed(base_seed, pname),
+                    },
+                )
+            )
+            for system in systems:
+                tname = ptrain_task(system, domain, family, severity)
+                graph.add(
+                    Task(
+                        tname,
+                        _FN("train_perturbed_system"),
+                        {"system": system},
+                        deps=(("pdomain", pname),),
+                    )
+                )
+                graph.add(
+                    Task(
+                        pcell_task(system, domain, family, severity),
+                        _FN("eval_perturbed_cell"),
+                        {"system": system, "dev_limit": dev_limit},
+                        deps=(("system", tname), ("pdomain", pname)),
+                    )
+                )
+    return graph
+
+
+def matrix_targets(
+    domains: tuple[str, ...],
+    systems: tuple[str, ...],
+    families: tuple[str, ...],
+    severities: tuple[int, ...],
+) -> list[str]:
+    """Every eval cell of the matrix, in canonical order."""
+    return [
+        pcell_task(system, domain, family, severity)
+        for domain in domains
+        for family, severity in matrix_cells(families, severities)
+        for system in systems
+    ]

@@ -564,6 +564,23 @@ def test_gates_fleet_gain_needs_speedup_or_queue_relief():
     assert evaluate_gates(report, assert_fleet_gain=True) == []
 
 
+def test_gates_fleet_gain_downgrades_to_warning_on_one_cpu_host():
+    """Satellite: on a 1-cpu host the missed fleet gain is a recorded
+    warning in the report, not a failure; multi-cpu hosts still gate hard."""
+    report = _minimal_report()
+    report["fleet_identity"] = {"identical": True, "divergences": []}
+    report["fleet_speedup"] = 1.1
+    report["queue_p95_ratio"] = 0.9
+    report["host"] = {"cpus": 1}
+    assert evaluate_gates(report, assert_fleet_gain=True) == []
+    assert any("1-cpu host" in w for w in report["warnings"])
+
+    report["host"] = {"cpus": 8}
+    assert any(
+        "fleet gain" in f for f in evaluate_gates(report, assert_fleet_gain=True)
+    )
+
+
 def test_gates_identity_divergence_always_fails():
     report = _minimal_report()
     report["fleet_identity"] = {
