@@ -26,7 +26,7 @@ from repro.checks.engine import FileContext, Rule
 #: The packages where shared-state discipline is enforced.
 _CONCURRENT_PACKAGES = (
     "repro/runtime/", "repro/serving/", "repro/obs/", "repro/resilience/",
-    "repro/checks/", "repro/fleet/", "repro/perturb/",
+    "repro/checks/", "repro/fleet/", "repro/perturb/", "repro/engine/vector/",
 )
 
 #: Methods whose mutation of shared state is tolerated lock-free because

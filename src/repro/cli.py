@@ -16,8 +16,12 @@ Commands
                perturbation family x severity) and report the per-axis
                hardness/robustness breakdown with degradation deltas
 ``diff-exec``  differentially execute a domain's query sets on the in-repo
-               engine and an alternative backend (sqlite) and report
-               divergences
+               engine and an alternative backend (sqlite, vector, or the
+               three-way ``all`` gate) and report divergences
+``engine-bench`` time the native/vector/sqlite engines on the gold
+               workloads, check cross-engine agreement and gate the vector
+               speedup
+``explain``    print the vector engine's costed plan tree for one query
 ``trace``      run any other command under the tracer and export a Chrome
                trace, a JSONL span log and a terminal flame summary
 
@@ -100,6 +104,13 @@ def _parser() -> argparse.ArgumentParser:
     tables.add_argument(
         "which", nargs="*", default=["1", "2", "4"],
         help="table numbers (1-5); default: the fast ones (1, 2, 4)",
+    )
+    tables.add_argument(
+        "--backend", dest="engine", choices=("native", "vector"),
+        default="native",
+        help="SQL engine for the evaluation's execute stage; results are "
+             "byte-identical, vector is an order of magnitude faster "
+             "(default: native)",
     )
 
     add_command("figures", help="regenerate Figure 1 and Figure 2")
@@ -227,6 +238,10 @@ def _parser() -> argparse.ArgumentParser:
         help="also execute the predicted SQL against the domain databases",
     )
     serve.add_argument(
+        "--exec-backend", choices=("native", "vector"), default="native",
+        help="SQL engine behind the --execute stage (default: native)",
+    )
+    serve.add_argument(
         "--out", default="benchmarks/BENCH_serving.json", metavar="PATH",
         help="report destination (default: benchmarks/BENCH_serving.json)",
     )
@@ -352,8 +367,10 @@ def _parser() -> argparse.ArgumentParser:
              "engine and an alternative backend; report divergences",
     )
     diff.add_argument(
-        "--backend", choices=("sqlite",), default="sqlite",
-        help="execution backend to compare against (default: sqlite)",
+        "--backend", choices=("sqlite", "vector", "all"), default="sqlite",
+        help="execution backend to compare against; 'all' runs the "
+             "three-way gate (engine vs vector strict, engine vs sqlite "
+             "tolerant) (default: sqlite)",
     )
     diff.add_argument(
         "--splits", choices=("gold", "silver", "all"), default="gold",
@@ -365,6 +382,43 @@ def _parser() -> argparse.ArgumentParser:
         "--out", default=None, metavar="PATH",
         help="write the JSON divergence report",
     )
+
+    engine = add_command(
+        "engine-bench",
+        help="benchmark the SQL engines (native vs vector vs sqlite) on "
+             "the gold workloads and gate the vector speedup",
+    )
+    engine.add_argument(
+        "--workload", choices=("table5", "serve"), default="table5",
+        help="query stream: table5 (all gold queries, steady-state per-"
+             "query minimum) or serve (dev split streamed --repeat times) "
+             "(default: table5)",
+    )
+    engine.add_argument(
+        "--repeat", type=int, default=5, metavar="N",
+        help="runs per query (table5) or stream repetitions (serve) "
+             "(default: 5)",
+    )
+    engine.add_argument(
+        "--out", default="benchmarks/BENCH_engine.json", metavar="PATH",
+        help="report destination (default: benchmarks/BENCH_engine.json)",
+    )
+    engine.add_argument(
+        "--assert-speedup", type=float, default=None, metavar="MIN",
+        help="exit 1 unless the vector engine's overall p50 speedup over "
+             "native >= MIN",
+    )
+    engine.add_argument(
+        "--assert-identical", action="store_true",
+        help="exit 1 unless vector results are byte-identical to native "
+             "and sqlite agrees on every query",
+    )
+
+    explain = add_command(
+        "explain",
+        help="print the vector engine's costed plan tree for one SQL query",
+    )
+    explain.add_argument("sql", help="the SQL query to plan")
     return parser
 
 
@@ -376,6 +430,9 @@ def _config_for(args):
     config = {"quick": quick, "full": full}[args.preset]()
     if args.domain:
         config = dataclasses.replace(config, domains=tuple(args.domain))
+    engine = getattr(args, "engine", None)
+    if engine and engine != "native":
+        config = dataclasses.replace(config, engine=engine)
     return config
 
 
@@ -450,6 +507,11 @@ def main(argv: list[str] | None = None) -> int:
             # Gold splits execute on bare domains (no synthesis); the silver
             # split goes through a suite inside the handler.
             return _diff_exec(args)
+        if args.command == "engine-bench":
+            # Gold workloads run on bare domains — never the synthesis suite.
+            return _engine_bench(args)
+        if args.command == "explain":
+            return _explain(args)
         suite = _build_suite(args)
         if args.command == "tables":
             code = _tables(suite, args.which)
@@ -615,7 +677,8 @@ def _serve_bench(suite, args) -> int:
     domains = tuple(args.domain) if args.domain else suite.domain_names()
 
     bundle = load_backends(
-        suite, domains=domains, system_name=args.system, regime=args.regime
+        suite, domains=domains, system_name=args.system, regime=args.regime,
+        exec_engine=args.exec_backend,
     )
     start = "warm (all artifacts cached)" if bundle.warm else "cold (training ran)"
     print(f"serving {args.system} [{args.regime}] on "
@@ -815,6 +878,7 @@ def _diff_exec(args) -> int:
         ALL_SPLITS,
         GOLD_SPLITS,
         run_diff_exec,
+        run_three_way,
         write_reports,
     )
 
@@ -831,15 +895,72 @@ def _diff_exec(args) -> int:
             domain = suite.domain(name)
         else:
             domain = adapters.get_adapter(name).build(scale=config.domain_scale)
-        report = run_diff_exec(domain, backend=args.backend, splits=splits)
-        print(report.render())
-        reports.append(report)
+        if args.backend == "all":
+            new_reports = run_three_way(domain, splits=splits)
+        else:
+            new_reports = [
+                run_diff_exec(domain, backend=args.backend, splits=splits)
+            ]
+        for report in new_reports:
+            print(report.render())
+        reports.extend(new_reports)
     if args.out:
         path = write_reports(reports, args.out)
         print(f"report written to {path}", file=sys.stderr)
     if suite is not None and args.timings:
         print(suite.runtime.report.render(), file=sys.stderr)
     return 0 if all(report.agreed for report in reports) else 1
+
+
+def _engine_bench(args) -> int:
+    """Benchmark the execution engines on bare gold domains."""
+    from repro import adapters
+    from repro.engine.bench import (
+        evaluate_engine_gates,
+        render_report,
+        run_engine_bench,
+        write_report,
+    )
+
+    config = _config_for(args)
+    names = list(args.domain or adapters.list_adapters())
+    domains = {
+        name: adapters.get_adapter(name).build(scale=config.domain_scale)
+        for name in names
+    }
+    report = run_engine_bench(
+        domains, workload=args.workload, repeat=args.repeat
+    )
+    print(render_report(report))
+    failures = evaluate_engine_gates(
+        report,
+        assert_speedup=args.assert_speedup,
+        assert_identical=args.assert_identical,
+    )
+    if args.out:
+        path = write_report(report, args.out)
+        print(f"report written to {path}", file=sys.stderr)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def _explain(args) -> int:
+    """Plan one query with the vector engine and print the costed tree."""
+    from repro import adapters
+    from repro.engine.vector import VectorEngine
+    from repro.sql import parse
+
+    if not args.domain or len(args.domain) != 1:
+        print("explain requires exactly one --domain", file=sys.stderr)
+        return 2
+    config = _config_for(args)
+    domain = adapters.get_adapter(args.domain[0]).build(
+        scale=config.domain_scale
+    )
+    engine = VectorEngine(domain.database)
+    print(engine.explain(parse(args.sql), args.sql))
+    return 0
 
 
 def _stats(suite) -> int:

@@ -57,6 +57,7 @@ class ExecutionBackend(abc.ABC):
 _BACKENDS = {
     "native": ("repro.engine.backends.native", "NativeBackend"),
     "sqlite": ("repro.engine.backends.sqlite", "SqliteBackend"),
+    "vector": ("repro.engine.backends.vector", "VectorBackend"),
 }
 
 

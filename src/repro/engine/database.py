@@ -26,6 +26,31 @@ class Database:
             t.name.lower(): Table(t) for t in schema.tables
         }
         self._executor = Executor(self)
+        self._engine_name = "native"
+
+    # -- engine selection --------------------------------------------------------
+
+    @property
+    def engine_name(self) -> str:
+        """The active execution engine: ``native`` (row) or ``vector``."""
+        return self._engine_name
+
+    def set_engine(self, name: str) -> None:
+        """Swap the execution engine.  Results are byte-identical between
+        engines (the vector engine's contract); only performance differs."""
+        if name == self._engine_name:
+            return
+        if name == "native":
+            self._executor = Executor(self)
+        elif name == "vector":
+            from repro.engine.vector import VectorEngine
+
+            self._executor = VectorEngine(self)
+        else:
+            raise ExecutionError(
+                f"unknown engine {name!r}; expected 'native' or 'vector'"
+            )
+        self._engine_name = name
 
     # -- table access -----------------------------------------------------------
 
@@ -39,6 +64,12 @@ class Database:
 
     def tables(self) -> list[Table]:
         return [self._tables[t.name.lower()] for t in self.schema.tables]
+
+    def data_version(self) -> int:
+        """Monotonic counter covering every table's contents; caches keyed
+        on it (vector-engine scan selections, join indexes) invalidate on
+        any insert anywhere in the database."""
+        return sum(t.version for t in self._tables.values())
 
     def insert(self, table: str, rows: Iterable[tuple | list]) -> None:
         """Bulk-insert rows into one table."""

@@ -24,6 +24,13 @@ necessities (same-engine accuracy scoring never needs them):
   ``round(x, 6)`` can amplify into different 6-decimal values exactly at a
   rounding half-boundary.  Near-equal floats (``rel_tol=1e-6``) therefore
   compare equal here.
+
+Neither refinement applies to the in-repo ``vector`` backend: its contract
+is *byte-identity* with the row engine (same columns, same rows, same
+order, same value objects), so ``run_diff_exec`` compares it strictly —
+no tie tolerance, no float slack.  :func:`run_three_way` runs both
+comparisons (engine vs vector strict, engine vs sqlite tolerant) over one
+domain, the full cross-engine correctness gate.
 """
 
 from __future__ import annotations
@@ -50,6 +57,9 @@ MAX_SAMPLE_ROWS = 3
 #: Split names accepted by :func:`run_diff_exec`.
 GOLD_SPLITS = ("seed", "dev")
 ALL_SPLITS = ("seed", "dev", "synth")
+
+#: Backends of the three-way run (each compared against the native engine).
+THREE_WAY_BACKENDS = ("vector", "sqlite")
 
 
 @dataclass(frozen=True)
@@ -248,15 +258,28 @@ def _row_sample(engine_result: Result, backend_result: Result) -> tuple:
     return tuple(sample[: 2 * MAX_SAMPLE_ROWS])
 
 
+def _identical(engine_result: Result, backend_result: Result) -> bool:
+    """Byte-identity: the vector backend's agreement contract."""
+    return (
+        list(engine_result.columns) == list(backend_result.columns)
+        and engine_result.rows == backend_result.rows
+    )
+
+
 def _compare_one(
     domain_name: str,
     split_name: str,
     pair,
     native: NativeBackend,
     backend: ExecutionBackend,
+    strict: bool = False,
 ) -> Divergence | str:
     """Run one pair on both backends; a :class:`Divergence` or a verdict
-    string (``"agree"`` / ``"both-error"``)."""
+    string (``"agree"`` / ``"both-error"``).
+
+    ``strict`` switches agreement from the tolerant cross-engine comparison
+    to byte-identity (columns, rows, order) — used for the vector backend,
+    whose contract is exact equality with the row engine."""
 
     def attempt(executor):
         try:
@@ -284,7 +307,10 @@ def _compare_one(
             + str(backend_error),
             engine_rows=len(engine_result.rows),
         )
-    if _results_agree(pair.sql, engine_result, backend_result):
+    if strict:
+        if _identical(engine_result, backend_result):
+            return "agree"
+    elif _results_agree(pair.sql, engine_result, backend_result):
         return "agree"
     ordered = _is_ordered(pair.sql)
     if len(engine_result.rows) != len(backend_result.rows):
@@ -298,6 +324,8 @@ def _compare_one(
             f"column count {len(engine_result.rows[0])} vs "
             f"{len(backend_result.rows[0])}"
         )
+    elif strict:
+        detail = "results not byte-identical (strict comparison)"
     else:
         detail = "row contents differ" + (" (ordered comparison)" if ordered else "")
     return Divergence(
@@ -313,15 +341,20 @@ def run_diff_exec(
     domain: BenchmarkDomain,
     backend: ExecutionBackend | str = "sqlite",
     splits: tuple[str, ...] = GOLD_SPLITS,
+    strict: bool | None = None,
 ) -> DiffReport:
     """Differentially execute ``domain``'s query sets on both backends.
 
     ``splits`` picks the query sets: ``("seed", "dev")`` is the gold
     standard; add ``"synth"`` for the silver split (skipped with a per-split
-    note when the domain has none materialised).
+    note when the domain has none materialised).  ``strict`` selects
+    byte-identical comparison; the default (None) enables it exactly for
+    the ``vector`` backend, whose contract is exact equality.
     """
     if isinstance(backend, str):
         backend = get_backend(backend)
+    if strict is None:
+        strict = backend.name == "vector"
     native = NativeBackend()
     native.load(domain.database)
     backend.load(domain.database)
@@ -348,7 +381,8 @@ def run_diff_exec(
             ):
                 for pair in split.pairs:
                     verdict = _compare_one(
-                        domain.name, split_name, pair, native, backend
+                        domain.name, split_name, pair, native, backend,
+                        strict=strict,
                     )
                     counts["queries"] += 1
                     queries.inc()
@@ -370,6 +404,23 @@ def run_diff_exec(
     backend.close()
     report.metrics = registry.snapshot()
     return report
+
+
+def run_three_way(
+    domain: BenchmarkDomain,
+    splits: tuple[str, ...] = GOLD_SPLITS,
+) -> list[DiffReport]:
+    """The full cross-engine gate: native vs vector *and* native vs sqlite.
+
+    One :class:`DiffReport` per comparison arm (:data:`THREE_WAY_BACKENDS`
+    order).  The vector arm is strict (byte-identity), the sqlite arm uses
+    the tolerant cross-engine comparison; three engines agreeing on every
+    gold and silver query is the engine-correctness bar of this repo.
+    """
+    return [
+        run_diff_exec(domain, backend=name, splits=splits)
+        for name in THREE_WAY_BACKENDS
+    ]
 
 
 def write_reports(reports: list[DiffReport], path: str | Path) -> Path:

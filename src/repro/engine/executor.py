@@ -155,8 +155,10 @@ class Executor:
 
     def _load_source(self, source) -> tuple[str, list[str], list[tuple]]:
         if isinstance(source, ast.SubqueryRef):
+            # Scan work inside the derived table is already counted by its
+            # own execution; counting its *result* rows again would bill the
+            # same work twice (and bill materialisation as scanning).
             result = self.execute(source.query)
-            self.rows_scanned += len(result.rows)
             return source.binding, result.columns, result.rows
         table = self.database.table(source.name)
         self.rows_scanned += len(table.rows)

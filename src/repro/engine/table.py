@@ -32,6 +32,9 @@ class Table:
         self.columns = [c.name for c in definition.columns]
         self._index = {name.lower(): i for i, name in enumerate(self.columns)}
         self.rows: list[tuple] = []
+        #: Monotonic mutation counter; columnar snapshots
+        #: (:mod:`repro.engine.vector.columns`) cache against it.
+        self.version = 0
         if rows is not None:
             self.insert_many(rows)
 
@@ -63,6 +66,7 @@ class Table:
                 value = float(value)
             coerced.append(value)
         self.rows.append(tuple(coerced))
+        self.version += 1
 
     def insert_many(self, rows: Iterable[tuple | list]) -> None:
         for row in rows:

@@ -1,0 +1,148 @@
+"""Columnar table storage: one row→column decomposition per table version.
+
+The :class:`ColumnStore` is the vector engine's physical layer.  Each
+:class:`~repro.engine.table.Table` is transposed once into per-column value
+lists; the table's monotonic ``version`` counter (bumped on every insert)
+invalidates the cached decomposition, so databases mutated after loading
+stay correct without any explicit cache management by callers.
+
+The store also profiles :class:`~repro.schema.enhanced.ColumnStats` lazily
+per column — the same statistics dataclass the static analyzer's cost pass
+(:mod:`repro.analysis.cost`) consumes — which the planner uses for join
+ordering and filter placement.  Stats are exact (profiled from the stored
+values, not sampled) and cached per table version.
+"""
+
+from __future__ import annotations
+
+from repro.checks.lockorder import new_lock
+from repro.schema.enhanced import ColumnStats
+
+#: Distinct-value sets up to this size are kept on the stats (enabling the
+#: cost pass's exact IN/equality exclusion checks); larger sets are dropped.
+MAX_STAT_VALUES = 64
+
+
+class ColumnTable:
+    """One table decomposed into per-column value lists (immutable snapshot)."""
+
+    __slots__ = ("name", "version", "n_rows", "columns", "_vectors", "identity")
+
+    def __init__(
+        self,
+        name: str,
+        version: int,
+        n_rows: int,
+        columns: list[str],
+        vectors: list[list],
+    ) -> None:
+        self.name = name
+        self.version = version
+        self.n_rows = n_rows
+        #: Lower-cased column names, in schema order.
+        self.columns = columns
+        self._vectors = vectors
+        #: Shared all-rows selection (never mutated): scans start from it,
+        #: and views recognise it to skip the gather copy entirely.
+        self.identity: list[int] = list(range(n_rows))
+
+    def vector(self, position: int) -> list:
+        """The full value list of the column at ``position``."""
+        return self._vectors[position]
+
+
+def _profile(vector: list) -> ColumnStats:
+    """Exact column statistics over one value vector."""
+    n_rows = len(vector)
+    present = [v for v in vector if v is not None]
+    distinct: dict = dict.fromkeys(present)
+    n_distinct = len(distinct)
+    min_value = max_value = None
+    if present:
+        try:
+            min_value = min(present)
+            max_value = max(present)
+        except TypeError:
+            # Mixed-type column: leave the range unknown (sound for the
+            # cost pass, which treats missing bounds as "cannot exclude").
+            min_value = max_value = None
+    values = frozenset(distinct) if 0 < n_distinct <= MAX_STAT_VALUES else None
+    return ColumnStats(
+        n_rows=n_rows,
+        n_distinct=n_distinct,
+        n_null=n_rows - len(present),
+        min_value=min_value,
+        max_value=max_value,
+        values=values,
+    )
+
+
+class ColumnStore:
+    """Version-tracked columnar snapshots of one database's tables."""
+
+    def __init__(self, database) -> None:
+        self._database = database
+        self._tables: dict[str, ColumnTable] = {}
+        self._stats: dict[tuple[str, str], tuple[int, ColumnStats]] = {}
+        self._indexes: dict[tuple[str, int, bool], tuple[int, dict]] = {}
+        self._lock = new_lock("engine.vector.store")
+
+    def table(self, name: str) -> ColumnTable:
+        """The columnar snapshot of ``name``, rebuilt when the row-store
+        version moved (raises the row engine's error for unknown tables)."""
+        source = self._database.table(name)
+        key = source.name.lower()
+        with self._lock:
+            cached = self._tables.get(key)
+            if cached is not None and cached.version == source.version:
+                return cached
+            return self._load_locked(key, source)
+
+    def _load_locked(self, key: str, source) -> ColumnTable:
+        rows = source.rows
+        vectors: list[list] = [
+            [row[i] for row in rows] for i in range(len(source.columns))
+        ]
+        loaded = ColumnTable(
+            name=source.name,
+            version=source.version,
+            n_rows=len(rows),
+            columns=[c.lower() for c in source.columns],
+            vectors=vectors,
+        )
+        self._tables[key] = loaded
+        return loaded
+
+    def join_index(self, name: str, position: int, raw: bool, build) -> dict:
+        """A shared hash-join build index over a full (unfiltered) column:
+        key -> row-id list, built once per table version by ``build`` and
+        reused by every execution.  Callers must treat the returned dict and
+        its lists as immutable."""
+        table = self.table(name)
+        key = (table.name.lower(), position, raw)
+        with self._lock:
+            cached = self._indexes.get(key)
+            if cached is not None and cached[0] == table.version:
+                return cached[1]
+            index = build(table.vector(position))
+            self._indexes[key] = (table.version, index)
+            return index
+
+    def stats(self, name: str, column: str) -> ColumnStats | None:
+        """Lazily-profiled :class:`ColumnStats` for ``name.column`` (None
+        when the column does not exist — the planner treats that as
+        "no statistics" rather than an error; resolution errors surface
+        through the executor with the row engine's exact message)."""
+        table = self.table(name)
+        key = (table.name.lower(), column.lower())
+        try:
+            position = table.columns.index(column.lower())
+        except ValueError:
+            return None
+        with self._lock:
+            cached = self._stats.get(key)
+            if cached is not None and cached[0] == table.version:
+                return cached[1]
+            stats = _profile(table.vector(position))
+            self._stats[key] = (table.version, stats)
+            return stats

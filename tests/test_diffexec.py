@@ -47,7 +47,7 @@ def climate_domain():
 
 
 def test_backend_registry():
-    assert available_backends() == ("native", "sqlite")
+    assert available_backends() == ("native", "sqlite", "vector")
     assert isinstance(get_backend("sqlite"), SqliteBackend)
     assert isinstance(get_backend("native"), NativeBackend)
     with pytest.raises(ExecutionError, match="unknown execution backend"):
